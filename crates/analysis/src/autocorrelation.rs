@@ -1,0 +1,238 @@
+//! On-the-fly autocorrelation analysis over multiple thinning values.
+//!
+//! Storing the full per-edge time series for a long run is memory-hungry; the
+//! paper instead fixes a set of thinning values `T` and aggregates the
+//! transition counts of every `k`-thinned series on the fly (Sec. 6.1).  This
+//! module implements that accumulator and the end-to-end harness that drives a
+//! chain, samples the tracked edges after every superstep and reports the
+//! fraction of non-independent edges per thinning value — the quantity plotted
+//! in Figs. 2 and 3.
+
+use crate::independence::TransitionCounts;
+use gesmc_core::EdgeSwitching;
+use gesmc_graph::{EdgeListGraph, PackedEdge};
+use std::collections::HashSet;
+
+/// The set of edges whose presence is tracked over time.
+///
+/// Following the paper, the tracked edges are (by default) the edges of the
+/// *initial* graph, which keeps the memory footprint at `Θ(m)` regardless of
+/// the number of supersteps.
+#[derive(Debug, Clone)]
+pub struct EdgeTracker {
+    tracked: Vec<PackedEdge>,
+}
+
+impl EdgeTracker {
+    /// Track the edges of `graph`.
+    pub fn initial_edges(graph: &EdgeListGraph) -> Self {
+        Self { tracked: graph.packed_edges() }
+    }
+
+    /// Track an explicit set of packed edges.
+    pub fn new(tracked: Vec<PackedEdge>) -> Self {
+        Self { tracked }
+    }
+
+    /// Number of tracked edges.
+    pub fn len(&self) -> usize {
+        self.tracked.len()
+    }
+
+    /// Whether nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.tracked.is_empty()
+    }
+
+    /// Presence bit of every tracked edge in `graph`.
+    pub fn presence(&self, graph: &EdgeListGraph) -> Vec<bool> {
+        let set: HashSet<PackedEdge> = graph.packed_edges().into_iter().collect();
+        self.tracked.iter().map(|e| set.contains(e)).collect()
+    }
+}
+
+/// Per-edge, per-thinning accumulator of transition counts.
+#[derive(Debug, Clone)]
+pub struct ThinnedAutocorrelation {
+    thinnings: Vec<usize>,
+    /// `state[t][e]` = (previous bit at the last multiple of thinnings[t], counts).
+    state: Vec<Vec<(Option<bool>, TransitionCounts)>>,
+    observations: usize,
+}
+
+impl ThinnedAutocorrelation {
+    /// Create an accumulator for `num_edges` tracked edges and the given
+    /// thinning values (deduplicated, sorted).
+    pub fn new(num_edges: usize, thinnings: &[usize]) -> Self {
+        let mut ks: Vec<usize> = thinnings.iter().copied().filter(|&k| k > 0).collect();
+        ks.sort_unstable();
+        ks.dedup();
+        Self {
+            state: vec![vec![(None, TransitionCounts::new()); num_edges]; ks.len()],
+            thinnings: ks,
+            observations: 0,
+        }
+    }
+
+    /// The thinning values in use.
+    pub fn thinnings(&self) -> &[usize] {
+        &self.thinnings
+    }
+
+    /// Feed the presence bits observed after one superstep.
+    ///
+    /// # Panics
+    /// Panics if `bits.len()` differs from the tracked edge count.
+    pub fn observe(&mut self, bits: &[bool]) {
+        assert_eq!(bits.len(), self.state.first().map_or(bits.len(), |s| s.len()));
+        self.observations += 1;
+        for (t, &k) in self.thinnings.iter().enumerate() {
+            if self.observations % k != 0 {
+                continue;
+            }
+            for (slot, &bit) in self.state[t].iter_mut().zip(bits) {
+                if let Some(prev) = slot.0 {
+                    slot.1.record(prev, bit);
+                }
+                slot.0 = Some(bit);
+            }
+        }
+    }
+
+    /// Fraction of tracked edges whose `k`-thinned series is *not* deemed
+    /// independent, for every thinning value (in the order of
+    /// [`Self::thinnings`]).
+    pub fn non_independent_fractions(&self) -> Vec<f64> {
+        self.state
+            .iter()
+            .map(|edges| {
+                if edges.is_empty() {
+                    return 0.0;
+                }
+                let dependent =
+                    edges.iter().filter(|(_, counts)| !counts.is_independent()).count();
+                dependent as f64 / edges.len() as f64
+            })
+            .collect()
+    }
+}
+
+/// Result of a mixing-profile run: one (thinning value, fraction of
+/// non-independent edges) pair per thinning value.
+#[derive(Debug, Clone)]
+pub struct MixingProfile {
+    /// Name of the chain that produced the profile.
+    pub chain: String,
+    /// (thinning value, fraction of non-independent edges).
+    pub points: Vec<(usize, f64)>,
+}
+
+impl MixingProfile {
+    /// The first thinning value whose non-independence fraction drops below
+    /// `threshold` (the y-axis of Fig. 3), if any.
+    pub fn first_thinning_below(&self, threshold: f64) -> Option<usize> {
+        self.points.iter().find(|&&(_, frac)| frac < threshold).map(|&(k, _)| k)
+    }
+}
+
+/// Drive `chain` for `supersteps` supersteps, tracking the edges of
+/// `initial_graph`, and return the non-independence profile over `thinnings`.
+///
+/// The chain is expected to start at `initial_graph`; the caller constructs it
+/// so that the same harness serves ES-MC, G-ES-MC and the baselines.
+pub fn mixing_profile<C: EdgeSwitching>(
+    chain: &mut C,
+    initial_graph: &EdgeListGraph,
+    supersteps: usize,
+    thinnings: &[usize],
+) -> MixingProfile {
+    let tracker = EdgeTracker::initial_edges(initial_graph);
+    let mut acc = ThinnedAutocorrelation::new(tracker.len(), thinnings);
+    for _ in 0..supersteps {
+        chain.superstep();
+        let bits = tracker.presence(&chain.graph());
+        acc.observe(&bits);
+    }
+    MixingProfile {
+        chain: chain.name().to_string(),
+        points: acc
+            .thinnings()
+            .iter()
+            .copied()
+            .zip(acc.non_independent_fractions())
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gesmc_core::{SeqGlobalES, SwitchingConfig};
+    use gesmc_graph::gen::gnp;
+    use gesmc_randx::rng_from_seed;
+
+    #[test]
+    fn tracker_reports_presence() {
+        let mut rng = rng_from_seed(1);
+        let graph = gnp(&mut rng, 50, 0.1);
+        let tracker = EdgeTracker::initial_edges(&graph);
+        let bits = tracker.presence(&graph);
+        assert_eq!(bits.len(), graph.num_edges());
+        assert!(bits.iter().all(|&b| b), "all initial edges present initially");
+    }
+
+    #[test]
+    fn accumulator_thinning_schedule() {
+        // Two edges, thinnings 1 and 2, six observations.
+        let mut acc = ThinnedAutocorrelation::new(2, &[1, 2, 2, 0]);
+        assert_eq!(acc.thinnings(), &[1, 2]);
+        for step in 0..6 {
+            let bit = step % 2 == 0;
+            acc.observe(&[bit, true]);
+        }
+        // Thinning 1 sees 5 transitions per edge, thinning 2 sees 2.
+        assert_eq!(acc.state[0][0].1.total(), 5);
+        assert_eq!(acc.state[1][0].1.total(), 2);
+        // The alternating edge is perfectly anti-correlated at thinning 1 and
+        // constant at thinning 2.
+        assert_eq!(acc.state[1][0].1.count(false, false), 2);
+    }
+
+    #[test]
+    fn fractions_lie_in_unit_interval_and_decrease_with_thinning() {
+        let mut rng = rng_from_seed(3);
+        let graph = gnp(&mut rng, 80, 0.08);
+        let mut chain = SeqGlobalES::new(graph.clone(), SwitchingConfig::with_seed(4));
+        let profile = mixing_profile(&mut chain, &graph, 40, &[1, 2, 4, 8]);
+        assert_eq!(profile.points.len(), 4);
+        for &(_, frac) in &profile.points {
+            assert!((0.0..=1.0).contains(&frac), "fraction {frac} out of range");
+        }
+        // Heavier thinning cannot make edges look *less* independent in a
+        // well-mixing chain; allow small statistical slack.
+        let first = profile.points.first().unwrap().1;
+        let last = profile.points.last().unwrap().1;
+        assert!(last <= first + 0.15, "thinning should reduce dependence: {first} -> {last}");
+    }
+
+    #[test]
+    fn first_thinning_below_threshold() {
+        let profile = MixingProfile {
+            chain: "test".into(),
+            points: vec![(1, 0.9), (2, 0.5), (4, 0.009), (8, 0.001)],
+        };
+        assert_eq!(profile.first_thinning_below(0.01), Some(4));
+        assert_eq!(profile.first_thinning_below(0.6), Some(2));
+        assert_eq!(profile.first_thinning_below(0.0001), None);
+    }
+
+    #[test]
+    fn empty_tracker_is_handled() {
+        let graph = EdgeListGraph::new(3, vec![]).unwrap();
+        let tracker = EdgeTracker::initial_edges(&graph);
+        assert!(tracker.is_empty());
+        let mut acc = ThinnedAutocorrelation::new(0, &[1, 2]);
+        acc.observe(&[]);
+        assert_eq!(acc.non_independent_fractions(), vec![0.0, 0.0]);
+    }
+}

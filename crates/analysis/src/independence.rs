@@ -1,0 +1,173 @@
+//! The `G²` statistic and BIC-based independence test for binary time series.
+//!
+//! Following Ray, Pinar and Seshadhri (the paper's reference [64]), a binary
+//! time series `{Z_t}` is summarised by its four transition counts
+//! `n_{ij} = #{t : Z_t = i, Z_{t+1} = j}`.  Two models are compared:
+//!
+//! * **independent draws** — one free parameter (the marginal probability);
+//! * **first-order Markov chain** — two free parameters (`p_{0→1}`, `p_{1→1}`).
+//!
+//! Twice the log-likelihood difference between the models is the
+//! `G²`-statistic of the 2×2 transition table.  The Bayesian Information
+//! Criterion adds a `ln N` penalty per extra parameter, so the chain is deemed
+//! *independent* iff `G² ≤ ln N` — i.e. the extra Markov parameter does not
+//! pay for itself.
+
+/// Transition counts of a binary time series.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransitionCounts {
+    counts: [u64; 4],
+}
+
+impl TransitionCounts {
+    /// Create empty counts.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a transition from `prev` to `next`.
+    #[inline]
+    pub fn record(&mut self, prev: bool, next: bool) {
+        self.counts[(prev as usize) * 2 + next as usize] += 1;
+    }
+
+    /// Total number of recorded transitions.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Count of transitions `i → j`.
+    pub fn count(&self, prev: bool, next: bool) -> u64 {
+        self.counts[(prev as usize) * 2 + next as usize]
+    }
+
+    /// The `G²` log-likelihood-ratio statistic of the 2×2 transition table.
+    ///
+    /// `G² = 2 Σ_{ij} n_{ij} ln(n_{ij} N / (n_{i·} n_{·j}))`, with empty cells
+    /// contributing zero.  Always non-negative (up to floating-point noise).
+    pub fn g2(&self) -> f64 {
+        let n = self.total() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let row = [self.counts[0] + self.counts[1], self.counts[2] + self.counts[3]];
+        let col = [self.counts[0] + self.counts[2], self.counts[1] + self.counts[3]];
+        let mut g2 = 0.0;
+        for i in 0..2 {
+            for j in 0..2 {
+                let observed = self.counts[i * 2 + j] as f64;
+                if observed == 0.0 {
+                    continue;
+                }
+                let expected = row[i] as f64 * col[j] as f64 / n;
+                g2 += 2.0 * observed * (observed / expected).ln();
+            }
+        }
+        g2.max(0.0)
+    }
+
+    /// BIC decision: does the independent model describe the series at least
+    /// as well as the first-order Markov model?
+    ///
+    /// The Markov model has one extra parameter, penalised by `ln N`, so the
+    /// series is deemed independent iff `G² ≤ ln N`.  Degenerate series (no
+    /// transitions, or a constant series) are deemed independent.
+    pub fn is_independent(&self) -> bool {
+        let n = self.total();
+        if n < 2 {
+            return true;
+        }
+        self.g2() <= (n as f64).ln()
+    }
+
+    /// Merge another set of counts into this one.
+    pub fn merge(&mut self, other: &TransitionCounts) {
+        for i in 0..4 {
+            self.counts[i] += other.counts[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gesmc_randx::rng_from_seed;
+    use rand::Rng as _;
+
+    fn counts_from_series(series: &[bool]) -> TransitionCounts {
+        let mut c = TransitionCounts::new();
+        for w in series.windows(2) {
+            c.record(w[0], w[1]);
+        }
+        c
+    }
+
+    #[test]
+    fn empty_and_constant_series_are_independent() {
+        assert!(TransitionCounts::new().is_independent());
+        let constant = vec![true; 100];
+        assert!(counts_from_series(&constant).is_independent());
+        assert_eq!(counts_from_series(&constant).g2(), 0.0);
+    }
+
+    #[test]
+    fn iid_series_is_deemed_independent() {
+        let mut rng = rng_from_seed(1);
+        let series: Vec<bool> = (0..20_000).map(|_| rng.gen_bool(0.3)).collect();
+        let counts = counts_from_series(&series);
+        assert!(counts.is_independent(), "G² = {}", counts.g2());
+    }
+
+    #[test]
+    fn sticky_markov_series_is_deemed_dependent() {
+        // A strongly autocorrelated chain: stay in the same state with
+        // probability 0.95.
+        let mut rng = rng_from_seed(2);
+        let mut state = false;
+        let series: Vec<bool> = (0..20_000)
+            .map(|_| {
+                if rng.gen_bool(0.05) {
+                    state = !state;
+                }
+                state
+            })
+            .collect();
+        let counts = counts_from_series(&series);
+        assert!(!counts.is_independent(), "G² = {} too small", counts.g2());
+        assert!(counts.g2() > 1000.0);
+    }
+
+    #[test]
+    fn g2_is_zero_for_perfectly_independent_table() {
+        // Counts proportional to the product of the marginals.
+        let mut c = TransitionCounts::new();
+        // rows: 40/60, cols: 40/60 -> n00=16, n01=24, n10=24, n11=36
+        for _ in 0..16 {
+            c.record(false, false);
+        }
+        for _ in 0..24 {
+            c.record(false, true);
+        }
+        for _ in 0..24 {
+            c.record(true, false);
+        }
+        for _ in 0..36 {
+            c.record(true, true);
+        }
+        assert!(c.g2().abs() < 1e-9);
+        assert!(c.is_independent());
+    }
+
+    #[test]
+    fn counting_and_merge() {
+        let mut a = counts_from_series(&[true, false, true, true]);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.count(true, false), 1);
+        assert_eq!(a.count(false, true), 1);
+        assert_eq!(a.count(true, true), 1);
+        let b = counts_from_series(&[false, false]);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.count(false, false), 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Criterion ablation benchmarks for the design choices DESIGN.md calls out:
+//! software prefetching in the sequential chain, and the cost of exactness
+//! (ParGlobalES vs. the inexact NaiveParES).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gesmc_core::{EdgeSwitching, NaiveParES, ParGlobalES, SeqES, SwitchingConfig};
+use gesmc_datasets::{netrep_like::family_graph, GraphFamily};
+
+fn bench_prefetch_ablation(c: &mut Criterion) {
+    let graph = family_graph(2, GraphFamily::Mesh, 30_000).graph;
+    let mut group = c.benchmark_group("prefetch_ablation");
+    group.throughput(Throughput::Elements((graph.num_edges() / 2) as u64));
+    group.sample_size(10);
+    for prefetch in [false, true] {
+        let cfg = SwitchingConfig::with_seed(3).prefetch(prefetch);
+        group.bench_with_input(
+            BenchmarkId::new("SeqES_superstep", prefetch),
+            &graph,
+            |b, g| {
+                b.iter_batched(
+                    || SeqES::new(g.clone(), cfg),
+                    |mut chain| {
+                        chain.superstep();
+                        chain
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_exactness_cost(c: &mut Criterion) {
+    let graph = family_graph(3, GraphFamily::PowerLaw, 30_000).graph;
+    let mut group = c.benchmark_group("exactness_cost");
+    group.throughput(Throughput::Elements((graph.num_edges() / 2) as u64));
+    group.sample_size(10);
+    let cfg = SwitchingConfig::with_seed(4);
+    group.bench_with_input(BenchmarkId::new("ParGlobalES", "exact"), &graph, |b, g| {
+        b.iter_batched(
+            || ParGlobalES::new(g.clone(), cfg),
+            |mut chain| {
+                chain.superstep();
+                chain
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.bench_with_input(BenchmarkId::new("NaiveParES", "inexact"), &graph, |b, g| {
+        b.iter_batched(
+            || NaiveParES::new(g.clone(), cfg),
+            |mut chain| {
+                chain.superstep();
+                chain
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prefetch_ablation, bench_exactness_cost);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benchmark: one superstep of every chain implementation on the
+//! same mesh-like graph (the head-to-head comparison underlying Fig. 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gesmc_baselines::{AdjacencyListES, GlobalCurveball, SortedAdjacencyES};
+use gesmc_core::{EdgeSwitching, NaiveParES, ParES, ParGlobalES, SeqES, SeqGlobalES, SwitchingConfig};
+use gesmc_datasets::{netrep_like::family_graph, GraphFamily};
+use gesmc_graph::EdgeListGraph;
+
+fn bench_one<C, F>(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>, name: &str, graph: &EdgeListGraph, make: F)
+where
+    C: EdgeSwitching,
+    F: Fn(EdgeListGraph) -> C,
+{
+    group.bench_with_input(BenchmarkId::new(name, graph.num_edges()), graph, |b, g| {
+        b.iter_batched(
+            || make(g.clone()),
+            |mut chain| {
+                chain.superstep();
+                chain
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+}
+
+fn bench_chains(c: &mut Criterion) {
+    let corpus = family_graph(1, GraphFamily::Mesh, 20_000);
+    let graph = corpus.graph;
+    let cfg = SwitchingConfig::with_seed(1);
+
+    let mut group = c.benchmark_group("one_superstep");
+    group.throughput(Throughput::Elements((graph.num_edges() / 2) as u64));
+    group.sample_size(10);
+
+    bench_one(&mut group, "SeqES", &graph, |g| SeqES::new(g, cfg));
+    bench_one(&mut group, "SeqGlobalES", &graph, |g| SeqGlobalES::new(g, cfg));
+    bench_one(&mut group, "ParES", &graph, |g| ParES::new(g, cfg));
+    bench_one(&mut group, "ParGlobalES", &graph, |g| ParGlobalES::new(g, cfg));
+    bench_one(&mut group, "NaiveParES", &graph, |g| NaiveParES::new(g, cfg));
+    bench_one(&mut group, "AdjacencyListES", &graph, |g| AdjacencyListES::new(g, cfg));
+    bench_one(&mut group, "SortedAdjacencyES", &graph, |g| SortedAdjacencyES::new(g, cfg));
+    bench_one(&mut group, "GlobalCurveball", &graph, |g| GlobalCurveball::new(g, cfg));
+    group.finish();
+}
+
+criterion_group!(benches, bench_chains);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion micro-benchmark: sequential vs. parallel random permutation
+//! (the per-global-switch setup cost of G-ES-MC).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gesmc_randx::permutation::{parallel_permutation, random_permutation};
+use gesmc_randx::rng_from_seed;
+
+fn bench_permutations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("random_permutation");
+    group.sample_size(20);
+    for size in [1usize << 14, 1 << 18] {
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_with_input(BenchmarkId::new("sequential", size), &size, |b, &n| {
+            let mut rng = rng_from_seed(3);
+            b.iter(|| random_permutation(&mut rng, n));
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", size), &size, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                parallel_permutation(seed, n)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_permutations);
+criterion_main!(benches);

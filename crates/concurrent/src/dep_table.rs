@@ -1,0 +1,344 @@
+//! The concurrent dependency table of `ParallelSuperstep` (Algorithm 1).
+//!
+//! Before a superstep is executed, every switch `σ_k` registers four records
+//! keyed by packed edges: one *erase* record per source edge and one *insert*
+//! record per target edge, all initially `undecided`.  While deciding a
+//! switch, the table answers two queries:
+//!
+//! * [`DependencyTable::erase_lookup`] — who (if anyone) erases edge `e` in
+//!   this superstep, and in which state is that switch?  By Observation 2 of
+//!   the paper at most one switch erases a given edge per superstep, so a
+//!   single slot per edge suffices.
+//! * [`DependencyTable::insert_constraint`] — among the switches with a
+//!   smaller index that also try to insert `e`, is any of them already legal
+//!   (then the caller is illegal) or still undecided (then the caller must be
+//!   delayed)?
+//!
+//! The table uses open addressing with lock-free bucket acquisition (CAS on
+//! the key) and a tiny per-bucket mutex protecting the record payload.  The
+//! payload mutex is uncontended except when several switches genuinely target
+//! the same edge, which Theorems 2/3 of the paper show is rare.
+
+use crate::hash_edge;
+use gesmc_graph::PackedEdge;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Decision state of a switch, as recorded in the dependency table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchState {
+    /// Not yet decided (initial state).
+    Undecided,
+    /// Decided: the switch is legal and its rewiring has been applied.
+    Legal,
+    /// Decided: the switch is illegal (rejected).
+    Illegal,
+}
+
+/// Result of looking up the erase record of an edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EraseLookup {
+    /// No switch of this superstep erases the edge.
+    None,
+    /// The switch with the given index erases the edge; its current state is
+    /// attached.
+    By {
+        /// Index of the erasing switch within the superstep.
+        index: u32,
+        /// Current decision state of that switch.
+        state: SwitchState,
+    },
+}
+
+/// Constraint imposed on switch `k` by earlier switches inserting the same
+/// target edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertConstraint {
+    /// No earlier switch constrains `k`.
+    None,
+    /// An earlier switch already legally inserted the edge: `k` is illegal.
+    EarlierLegal,
+    /// An earlier switch targeting the edge is still undecided: `k` must be
+    /// delayed to a later round.
+    EarlierUndecided,
+}
+
+const KEY_EMPTY: u64 = u64::MAX;
+
+#[derive(Debug, Default)]
+struct Records {
+    /// The unique erase record (switch index, state), if any.
+    erase: Option<(u32, SwitchState)>,
+    /// All insert records for this edge (switch index, state).  Target
+    /// collisions are rare, so the vector almost always has length 1.
+    inserts: Vec<(u32, SwitchState)>,
+}
+
+#[derive(Debug)]
+struct Bucket {
+    key: AtomicU64,
+    records: Mutex<Records>,
+}
+
+/// Concurrent map from packed edge to its erase/insert dependency records.
+#[derive(Debug)]
+pub struct DependencyTable {
+    buckets: Vec<Bucket>,
+    mask: usize,
+}
+
+impl DependencyTable {
+    /// Create a table sized for a superstep of `num_switches` switches.
+    ///
+    /// Every switch registers records for at most four distinct edges, so the
+    /// table allocates `8 × num_switches` buckets (next power of two) to keep
+    /// the load factor at or below 1/2.
+    pub fn for_switches(num_switches: usize) -> Self {
+        let buckets = (num_switches.max(1) * 8).next_power_of_two();
+        Self {
+            buckets: (0..buckets)
+                .map(|_| Bucket { key: AtomicU64::new(KEY_EMPTY), records: Mutex::new(Records::default()) })
+                .collect(),
+            mask: buckets - 1,
+        }
+    }
+
+    /// Number of buckets (diagnostics only).
+    pub fn capacity(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Reset the table for reuse by a later superstep of at most the size it
+    /// was created for.  Requires exclusive access.
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.key = AtomicU64::new(KEY_EMPTY);
+            let records = b.records.get_mut();
+            records.erase = None;
+            records.inserts.clear();
+        }
+    }
+
+    /// Find the bucket of `key`, claiming an empty one if necessary.
+    fn bucket_for(&self, key: PackedEdge) -> &Bucket {
+        debug_assert_ne!(key, KEY_EMPTY);
+        let mut idx = (hash_edge(key) as usize) & self.mask;
+        loop {
+            let bucket = &self.buckets[idx];
+            let current = bucket.key.load(Ordering::Acquire);
+            if current == key {
+                return bucket;
+            }
+            if current == KEY_EMPTY {
+                match bucket.key.compare_exchange(KEY_EMPTY, key, Ordering::AcqRel, Ordering::Acquire) {
+                    Ok(_) => return bucket,
+                    Err(actual) if actual == key => return bucket,
+                    Err(_) => { /* someone claimed it for a different key */ }
+                }
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    /// Find the bucket of `key` without claiming one; `None` if absent.
+    fn find_bucket(&self, key: PackedEdge) -> Option<&Bucket> {
+        debug_assert_ne!(key, KEY_EMPTY);
+        let mut idx = (hash_edge(key) as usize) & self.mask;
+        loop {
+            let bucket = &self.buckets[idx];
+            let current = bucket.key.load(Ordering::Acquire);
+            if current == key {
+                return Some(bucket);
+            }
+            if current == KEY_EMPTY {
+                return None;
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    /// Register that switch `index` erases edge `key` (phase 1 of a superstep).
+    ///
+    /// By Observation 2 a superstep without source dependencies erases every
+    /// edge at most once; a second registration for the same edge indicates a
+    /// bug in the caller and panics in debug builds.
+    pub fn register_erase(&self, key: PackedEdge, index: u32) {
+        let bucket = self.bucket_for(key);
+        let mut records = bucket.records.lock();
+        debug_assert!(
+            records.erase.is_none(),
+            "edge {key:#x} erased twice in one superstep (source dependency?)"
+        );
+        records.erase = Some((index, SwitchState::Undecided));
+    }
+
+    /// Register that switch `index` wants to insert edge `key` (phase 1).
+    pub fn register_insert(&self, key: PackedEdge, index: u32) {
+        let bucket = self.bucket_for(key);
+        let mut records = bucket.records.lock();
+        records.inserts.push((index, SwitchState::Undecided));
+    }
+
+    /// Who erases `key` in this superstep, and in which state is that switch?
+    pub fn erase_lookup(&self, key: PackedEdge) -> EraseLookup {
+        match self.find_bucket(key) {
+            None => EraseLookup::None,
+            Some(bucket) => {
+                let records = bucket.records.lock();
+                match records.erase {
+                    None => EraseLookup::None,
+                    Some((index, state)) => EraseLookup::By { index, state },
+                }
+            }
+        }
+    }
+
+    /// Constraint imposed on switch `k` by earlier inserts of `key`.
+    ///
+    /// Mirrors the paper's "tuple with the smallest index `q` where
+    /// `t_{e,q} = insert` and `s_q ≠ illegal`" rule: a smaller-index legal
+    /// insert makes `k` illegal, a smaller-index undecided insert delays `k`,
+    /// and smaller-index illegal inserts impose nothing.
+    pub fn insert_constraint(&self, key: PackedEdge, k: u32) -> InsertConstraint {
+        let Some(bucket) = self.find_bucket(key) else {
+            return InsertConstraint::None;
+        };
+        let records = bucket.records.lock();
+        let mut undecided = false;
+        for &(index, state) in &records.inserts {
+            if index >= k {
+                continue;
+            }
+            match state {
+                SwitchState::Legal => return InsertConstraint::EarlierLegal,
+                SwitchState::Undecided => undecided = true,
+                SwitchState::Illegal => {}
+            }
+        }
+        if undecided {
+            InsertConstraint::EarlierUndecided
+        } else {
+            InsertConstraint::None
+        }
+    }
+
+    /// Record the final state of switch `index` on the erase record of `key`.
+    pub fn decide_erase(&self, key: PackedEdge, index: u32, state: SwitchState) {
+        if let Some(bucket) = self.find_bucket(key) {
+            let mut records = bucket.records.lock();
+            if let Some((i, s)) = records.erase.as_mut() {
+                if *i == index {
+                    *s = state;
+                }
+            }
+        }
+    }
+
+    /// Record the final state of switch `index` on the insert record of `key`.
+    pub fn decide_insert(&self, key: PackedEdge, index: u32, state: SwitchState) {
+        if let Some(bucket) = self.find_bucket(key) {
+            let mut records = bucket.records.lock();
+            for (i, s) in records.inserts.iter_mut() {
+                if *i == index {
+                    *s = state;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn erase_lookup_lifecycle() {
+        let table = DependencyTable::for_switches(4);
+        assert_eq!(table.erase_lookup(42), EraseLookup::None);
+        table.register_erase(42, 3);
+        assert_eq!(table.erase_lookup(42), EraseLookup::By { index: 3, state: SwitchState::Undecided });
+        table.decide_erase(42, 3, SwitchState::Legal);
+        assert_eq!(table.erase_lookup(42), EraseLookup::By { index: 3, state: SwitchState::Legal });
+        // Deciding with the wrong index is a no-op.
+        table.decide_erase(42, 5, SwitchState::Illegal);
+        assert_eq!(table.erase_lookup(42), EraseLookup::By { index: 3, state: SwitchState::Legal });
+    }
+
+    #[test]
+    fn insert_constraint_rules() {
+        let table = DependencyTable::for_switches(8);
+        // No records at all: no constraint.
+        assert_eq!(table.insert_constraint(7, 5), InsertConstraint::None);
+
+        table.register_insert(7, 2);
+        table.register_insert(7, 4);
+        table.register_insert(7, 9);
+
+        // Earlier undecided insert delays.
+        assert_eq!(table.insert_constraint(7, 5), InsertConstraint::EarlierUndecided);
+        // Entries with larger index never constrain.
+        assert_eq!(table.insert_constraint(7, 1), InsertConstraint::None);
+
+        // Once the earliest becomes illegal, the next earlier entry governs.
+        table.decide_insert(7, 2, SwitchState::Illegal);
+        assert_eq!(table.insert_constraint(7, 3), InsertConstraint::None);
+        assert_eq!(table.insert_constraint(7, 5), InsertConstraint::EarlierUndecided);
+
+        // A legal earlier insert makes later ones illegal.
+        table.decide_insert(7, 4, SwitchState::Legal);
+        assert_eq!(table.insert_constraint(7, 5), InsertConstraint::EarlierLegal);
+        assert_eq!(table.insert_constraint(7, 9), InsertConstraint::EarlierLegal);
+        assert_eq!(table.insert_constraint(7, 4), InsertConstraint::None);
+    }
+
+    #[test]
+    fn clear_resets_the_table() {
+        let mut table = DependencyTable::for_switches(4);
+        table.register_erase(10, 0);
+        table.register_insert(11, 1);
+        table.clear();
+        assert_eq!(table.erase_lookup(10), EraseLookup::None);
+        assert_eq!(table.insert_constraint(11, 5), InsertConstraint::None);
+    }
+
+    #[test]
+    fn concurrent_registration_over_distinct_edges() {
+        let n = 10_000u32;
+        let table = DependencyTable::for_switches(n as usize);
+        (0..n).into_par_iter().for_each(|i| {
+            table.register_erase(u64::from(i) * 2 + 1, i);
+            table.register_insert(u64::from(i) * 2 + 2, i);
+        });
+        (0..n).into_par_iter().for_each(|i| {
+            assert_eq!(
+                table.erase_lookup(u64::from(i) * 2 + 1),
+                EraseLookup::By { index: i, state: SwitchState::Undecided }
+            );
+            assert_eq!(
+                table.insert_constraint(u64::from(i) * 2 + 2, i + 1),
+                InsertConstraint::EarlierUndecided
+            );
+        });
+    }
+
+    #[test]
+    fn concurrent_inserts_on_the_same_edge() {
+        let table = DependencyTable::for_switches(1024);
+        (0..1024u32).into_par_iter().for_each(|i| {
+            table.register_insert(99, i);
+        });
+        // The smallest index is 0 and is undecided, so every larger index is
+        // delayed.
+        assert_eq!(table.insert_constraint(99, 1), InsertConstraint::EarlierUndecided);
+        table.decide_insert(99, 0, SwitchState::Legal);
+        assert_eq!(table.insert_constraint(99, 1), InsertConstraint::EarlierLegal);
+        assert_eq!(table.insert_constraint(99, 0), InsertConstraint::None);
+    }
+
+    #[test]
+    fn capacity_scales_with_switch_count() {
+        assert!(DependencyTable::for_switches(1).capacity() >= 8);
+        assert!(DependencyTable::for_switches(1000).capacity() >= 8000);
+    }
+}

@@ -1,0 +1,527 @@
+//! Concurrent open-addressing edge hash set with per-bucket lock bits.
+//!
+//! This is the data structure of Sec. 5.2 of the paper: each bucket is a
+//! single 64-bit word holding a packed edge in its lower 56 bits and an 8-bit
+//! lock/owner field in its upper byte, manipulated exclusively through
+//! compare-and-swap.  The 56-bit edge encoding restricts node ids to 28 bits
+//! (`n ≤ 2^28`), exactly as in the paper; all evaluation graphs fit
+//! comfortably.
+//!
+//! The set serves two distinct clients:
+//!
+//! * the **exact parallel chains** use it as the authoritative edge-existence
+//!   set: concurrent `contains` during a superstep, then batched parallel
+//!   `erase`/`insert` of the decided switches (no locks needed because
+//!   Observation 2 guarantees each edge is erased at most once and inserted by
+//!   at most one legal switch per superstep);
+//! * **`NaiveParES`** uses the ticket semantics — lock an existing edge or
+//!   insert-and-lock a new one — to prevent concurrent updates of the same
+//!   edge while deliberately ignoring switch dependencies.
+//!
+//! Deleted entries become tombstones; the owner rebuilds the table between
+//! supersteps once tombstones start to degrade probe lengths
+//! ([`ConcurrentEdgeSet::needs_rebuild`] / [`ConcurrentEdgeSet::rebuild`]).
+
+use crate::hash_edge;
+use crate::prefetch::prefetch_read_pair;
+use gesmc_graph::Edge;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+const EMPTY: u64 = 0;
+const TOMBSTONE: u64 = 0xFF00_0000_0000_0000;
+const EDGE_MASK: u64 = (1 << 56) - 1;
+
+/// Outcome of a ticket-acquisition operation used by `NaiveParES`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockOutcome {
+    /// The ticket was acquired (edge locked by the caller).
+    Acquired,
+    /// The edge exists but is currently locked by another processing unit.
+    Busy,
+    /// The edge is not in the set.
+    NotFound,
+    /// The edge is already in the set (insert-and-lock only).
+    AlreadyPresent,
+}
+
+/// A concurrent hash set of packed edges with 8-bit lock fields.
+#[derive(Debug)]
+pub struct ConcurrentEdgeSet {
+    buckets: Vec<AtomicU64>,
+    mask: usize,
+    live: AtomicUsize,
+    tombstones: AtomicUsize,
+}
+
+impl ConcurrentEdgeSet {
+    /// Create a set able to hold `capacity_hint` edges at load factor ≤ 1/2.
+    pub fn with_capacity(capacity_hint: usize) -> Self {
+        let buckets = (capacity_hint.max(4) * 2).next_power_of_two();
+        Self {
+            buckets: (0..buckets).map(|_| AtomicU64::new(EMPTY)).collect(),
+            mask: buckets - 1,
+            live: AtomicUsize::new(0),
+            tombstones: AtomicUsize::new(0),
+        }
+    }
+
+    /// Build a set containing the edges of `edges`.
+    pub fn from_edges<'a>(edges: impl IntoIterator<Item = &'a Edge>, capacity_hint: usize) -> Self {
+        let set = Self::with_capacity(capacity_hint);
+        for e in edges {
+            set.insert(*e);
+        }
+        set
+    }
+
+    /// Number of live edges (exact when no operations are in flight).
+    pub fn len(&self) -> usize {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of buckets.
+    pub fn capacity(&self) -> usize {
+        self.buckets.len()
+    }
+
+    #[inline]
+    fn key_of(edge: Edge) -> u64 {
+        edge.pack56()
+    }
+
+    #[inline]
+    fn entry(key: u64, lock: u8) -> u64 {
+        ((lock as u64) << 56) | key
+    }
+
+    #[inline]
+    fn home_bucket(&self, key: u64) -> usize {
+        (hash_edge(key) as usize) & self.mask
+    }
+
+    /// Issue a software prefetch for the buckets `edge` will probe first.
+    #[inline]
+    pub fn prefetch(&self, edge: Edge) {
+        prefetch_read_pair(&self.buckets, self.home_bucket(Self::key_of(edge)));
+    }
+
+    /// Whether `edge` is in the set (locked or not).
+    pub fn contains(&self, edge: Edge) -> bool {
+        let key = Self::key_of(edge);
+        let mut idx = self.home_bucket(key);
+        loop {
+            let slot = self.buckets[idx].load(Ordering::Acquire);
+            if slot == EMPTY {
+                return false;
+            }
+            if slot != TOMBSTONE && (slot & EDGE_MASK) == key {
+                return true;
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    /// Insert `edge` unlocked; returns `false` if it was already present.
+    ///
+    /// Concurrent inserts of the *same* edge are resolved so that exactly one
+    /// caller observes `true`.
+    pub fn insert(&self, edge: Edge) -> bool {
+        assert!(
+            self.live.load(Ordering::Relaxed) + self.tombstones.load(Ordering::Relaxed)
+                < self.buckets.len() - 1,
+            "ConcurrentEdgeSet is overfull: size it for the graph's edge count and rebuild \
+             between supersteps to reclaim tombstones"
+        );
+        let key = Self::key_of(edge);
+        let mut idx = self.home_bucket(key);
+        loop {
+            let slot = self.buckets[idx].load(Ordering::Acquire);
+            if slot == EMPTY {
+                match self.buckets[idx].compare_exchange(
+                    EMPTY,
+                    Self::entry(key, 0),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        self.live.fetch_add(1, Ordering::Relaxed);
+                        return true;
+                    }
+                    Err(_) => continue, // re-examine the same bucket
+                }
+            }
+            if slot != TOMBSTONE && (slot & EDGE_MASK) == key {
+                return false;
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    /// Erase `edge` (regardless of its lock state); returns whether it was
+    /// present.
+    pub fn erase(&self, edge: Edge) -> bool {
+        let key = Self::key_of(edge);
+        let mut idx = self.home_bucket(key);
+        loop {
+            let slot = self.buckets[idx].load(Ordering::Acquire);
+            if slot == EMPTY {
+                return false;
+            }
+            if slot != TOMBSTONE && (slot & EDGE_MASK) == key {
+                match self.buckets[idx].compare_exchange(
+                    slot,
+                    TOMBSTONE,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        self.live.fetch_sub(1, Ordering::Relaxed);
+                        self.tombstones.fetch_add(1, Ordering::Relaxed);
+                        return true;
+                    }
+                    Err(_) => continue,
+                }
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    /// Acquire the ticket of an existing edge by locking it (CAS the owner id
+    /// into the lock byte).  `owner` must be non-zero.
+    pub fn try_lock_existing(&self, edge: Edge, owner: u8) -> LockOutcome {
+        debug_assert!(owner != 0, "owner id 0 denotes the unlocked state");
+        let key = Self::key_of(edge);
+        let mut idx = self.home_bucket(key);
+        loop {
+            let slot = self.buckets[idx].load(Ordering::Acquire);
+            if slot == EMPTY {
+                return LockOutcome::NotFound;
+            }
+            if slot != TOMBSTONE && (slot & EDGE_MASK) == key {
+                if slot >> 56 != 0 {
+                    return LockOutcome::Busy;
+                }
+                return match self.buckets[idx].compare_exchange(
+                    slot,
+                    Self::entry(key, owner),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => LockOutcome::Acquired,
+                    Err(_) => LockOutcome::Busy,
+                };
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    /// Acquire a ticket for a *new* edge by inserting it in locked state.
+    ///
+    /// Returns [`LockOutcome::AlreadyPresent`] if the edge exists (locked or
+    /// not), otherwise inserts it locked by `owner` and returns
+    /// [`LockOutcome::Acquired`].
+    pub fn try_insert_and_lock(&self, edge: Edge, owner: u8) -> LockOutcome {
+        debug_assert!(owner != 0, "owner id 0 denotes the unlocked state");
+        assert!(
+            self.live.load(Ordering::Relaxed) + self.tombstones.load(Ordering::Relaxed)
+                < self.buckets.len() - 1,
+            "ConcurrentEdgeSet is overfull: size it for the graph's edge count and rebuild \
+             between supersteps to reclaim tombstones"
+        );
+        let key = Self::key_of(edge);
+        let mut idx = self.home_bucket(key);
+        loop {
+            let slot = self.buckets[idx].load(Ordering::Acquire);
+            if slot == EMPTY {
+                match self.buckets[idx].compare_exchange(
+                    EMPTY,
+                    Self::entry(key, owner),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        self.live.fetch_add(1, Ordering::Relaxed);
+                        return LockOutcome::Acquired;
+                    }
+                    Err(_) => continue,
+                }
+            }
+            if slot != TOMBSTONE && (slot & EDGE_MASK) == key {
+                return LockOutcome::AlreadyPresent;
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    /// Release the lock on an edge held by `owner` (keeps the edge in the set).
+    ///
+    /// Returns whether the unlock happened (i.e. the edge was present and
+    /// locked by `owner`).
+    pub fn unlock(&self, edge: Edge, owner: u8) -> bool {
+        let key = Self::key_of(edge);
+        let locked = Self::entry(key, owner);
+        let mut idx = self.home_bucket(key);
+        loop {
+            let slot = self.buckets[idx].load(Ordering::Acquire);
+            if slot == EMPTY {
+                return false;
+            }
+            if slot != TOMBSTONE && (slot & EDGE_MASK) == key {
+                return self
+                    .buckets[idx]
+                    .compare_exchange(locked, Self::entry(key, 0), Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok();
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    /// Erase an edge whose ticket is held by `owner`.
+    ///
+    /// Returns whether the erase happened.
+    pub fn erase_locked(&self, edge: Edge, owner: u8) -> bool {
+        let key = Self::key_of(edge);
+        let locked = Self::entry(key, owner);
+        let mut idx = self.home_bucket(key);
+        loop {
+            let slot = self.buckets[idx].load(Ordering::Acquire);
+            if slot == EMPTY {
+                return false;
+            }
+            if slot != TOMBSTONE && (slot & EDGE_MASK) == key {
+                let ok = self
+                    .buckets[idx]
+                    .compare_exchange(locked, TOMBSTONE, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok();
+                if ok {
+                    self.live.fetch_sub(1, Ordering::Relaxed);
+                    self.tombstones.fetch_add(1, Ordering::Relaxed);
+                }
+                return ok;
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    /// Whether accumulated tombstones warrant a rebuild (live + tombstones
+    /// exceed half of the capacity).
+    ///
+    /// The threshold is deliberately conservative: the chains call this
+    /// between supersteps, and a single superstep can add up to `2m` new
+    /// slots (tombstones for erased edges plus freshly inserted ones), so the
+    /// table must never enter a superstep more than half full.
+    pub fn needs_rebuild(&self) -> bool {
+        let used = self.live.load(Ordering::Relaxed) + self.tombstones.load(Ordering::Relaxed);
+        2 * used > self.buckets.len()
+    }
+
+    /// Rebuild the table from its live entries, dropping all tombstones.
+    ///
+    /// Requires exclusive access, which the chains have between supersteps.
+    pub fn rebuild(&mut self) {
+        let live: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .filter(|&slot| slot != EMPTY && slot != TOMBSTONE)
+            .map(|slot| slot & EDGE_MASK)
+            .collect();
+        let cap = self.buckets.len();
+        for b in &mut self.buckets {
+            *b = AtomicU64::new(EMPTY);
+        }
+        self.mask = cap - 1;
+        self.tombstones.store(0, Ordering::Relaxed);
+        self.live.store(live.len(), Ordering::Relaxed);
+        for key in live {
+            let mut idx = self.home_bucket(key);
+            loop {
+                if self.buckets[idx].load(Ordering::Relaxed) == EMPTY {
+                    self.buckets[idx].store(Self::entry(key, 0), Ordering::Relaxed);
+                    break;
+                }
+                idx = (idx + 1) & self.mask;
+            }
+        }
+    }
+
+    /// Iterate over the live edges (arbitrary order).  Intended for
+    /// diagnostics and tests; concurrent modification yields an unspecified
+    /// but memory-safe snapshot.
+    pub fn iter(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.buckets.iter().filter_map(|b| {
+            let slot = b.load(Ordering::Relaxed);
+            if slot == EMPTY || slot == TOMBSTONE {
+                None
+            } else {
+                Some(Edge::unpack56(slot & EDGE_MASK))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn insert_contains_erase() {
+        let set = ConcurrentEdgeSet::with_capacity(16);
+        assert!(set.insert(Edge::new(1, 2)));
+        assert!(!set.insert(Edge::new(2, 1)));
+        assert!(set.contains(Edge::new(1, 2)));
+        assert!(!set.contains(Edge::new(1, 3)));
+        assert_eq!(set.len(), 1);
+        assert!(set.erase(Edge::new(1, 2)));
+        assert!(!set.erase(Edge::new(1, 2)));
+        assert!(!set.contains(Edge::new(1, 2)));
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn lock_semantics() {
+        let set = ConcurrentEdgeSet::with_capacity(16);
+        set.insert(Edge::new(0, 1));
+
+        assert_eq!(set.try_lock_existing(Edge::new(0, 1), 7), LockOutcome::Acquired);
+        assert_eq!(set.try_lock_existing(Edge::new(0, 1), 9), LockOutcome::Busy);
+        assert_eq!(set.try_lock_existing(Edge::new(2, 3), 7), LockOutcome::NotFound);
+        // Still visible while locked.
+        assert!(set.contains(Edge::new(0, 1)));
+
+        // Unlock only succeeds for the owner.
+        assert!(!set.unlock(Edge::new(0, 1), 9));
+        assert!(set.unlock(Edge::new(0, 1), 7));
+        assert_eq!(set.try_lock_existing(Edge::new(0, 1), 9), LockOutcome::Acquired);
+
+        // Erase-locked requires ownership.
+        assert!(!set.erase_locked(Edge::new(0, 1), 7));
+        assert!(set.erase_locked(Edge::new(0, 1), 9));
+        assert!(!set.contains(Edge::new(0, 1)));
+    }
+
+    #[test]
+    fn insert_and_lock_semantics() {
+        let set = ConcurrentEdgeSet::with_capacity(16);
+        assert_eq!(set.try_insert_and_lock(Edge::new(4, 5), 3), LockOutcome::Acquired);
+        assert_eq!(set.try_insert_and_lock(Edge::new(4, 5), 8), LockOutcome::AlreadyPresent);
+        assert!(set.contains(Edge::new(4, 5)));
+        // Rollback: erase the edge we just inserted and locked.
+        assert!(set.erase_locked(Edge::new(4, 5), 3));
+        assert!(!set.contains(Edge::new(4, 5)));
+        // Commit path: insert-and-lock then unlock keeps the edge.
+        assert_eq!(set.try_insert_and_lock(Edge::new(4, 5), 3), LockOutcome::Acquired);
+        assert!(set.unlock(Edge::new(4, 5), 3));
+        assert_eq!(set.try_lock_existing(Edge::new(4, 5), 8), LockOutcome::Acquired);
+    }
+
+    #[test]
+    fn concurrent_inserts_of_distinct_edges() {
+        let n = 50_000u32;
+        let set = ConcurrentEdgeSet::with_capacity(n as usize);
+        (0..n).into_par_iter().for_each(|i| {
+            assert!(set.insert(Edge::new(i, i + 1)));
+        });
+        assert_eq!(set.len(), n as usize);
+        (0..n).into_par_iter().for_each(|i| {
+            assert!(set.contains(Edge::new(i, i + 1)));
+            assert!(!set.contains(Edge::new(i, i + 2)));
+        });
+    }
+
+    #[test]
+    fn concurrent_inserts_of_same_edge_only_one_wins() {
+        let set = ConcurrentEdgeSet::with_capacity(64);
+        let winners: usize = (0..64)
+            .into_par_iter()
+            .map(|_| set.insert(Edge::new(10, 20)) as usize)
+            .sum();
+        assert_eq!(winners, 1);
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_lock_contention_grants_one_ticket() {
+        let set = ConcurrentEdgeSet::with_capacity(16);
+        set.insert(Edge::new(1, 2));
+        let acquired: usize = (1..=64u8)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|tid| (set.try_lock_existing(Edge::new(1, 2), tid) == LockOutcome::Acquired) as usize)
+            .sum();
+        assert_eq!(acquired, 1);
+    }
+
+    #[test]
+    fn rebuild_drops_tombstones_and_keeps_live_edges() {
+        // 256 buckets; erasing converts live entries to tombstones without
+        // freeing slots, so 140 total inserts (> 128 = half the capacity)
+        // trip the rebuild threshold while the table is never full.
+        let mut set = ConcurrentEdgeSet::with_capacity(128);
+        for i in 0..140u32 {
+            set.insert(Edge::new(i, i + 1));
+        }
+        for i in 0..100u32 {
+            set.erase(Edge::new(i, i + 1));
+        }
+        assert!(set.needs_rebuild());
+        set.rebuild();
+        assert!(!set.needs_rebuild());
+        assert_eq!(set.len(), 40);
+        for i in 100..140u32 {
+            assert!(set.contains(Edge::new(i, i + 1)));
+        }
+        for i in 0..100u32 {
+            assert!(!set.contains(Edge::new(i, i + 1)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overfull")]
+    fn overfilling_panics_instead_of_hanging() {
+        let set = ConcurrentEdgeSet::with_capacity(4);
+        for i in 0..64u32 {
+            set.insert(Edge::new(i, i + 1));
+        }
+    }
+
+    #[test]
+    fn iter_snapshot() {
+        let set = ConcurrentEdgeSet::with_capacity(16);
+        set.insert(Edge::new(1, 2));
+        set.insert(Edge::new(3, 4));
+        set.insert(Edge::new(5, 6));
+        set.erase(Edge::new(3, 4));
+        let mut edges: Vec<Edge> = set.iter().collect();
+        edges.sort();
+        assert_eq!(edges, vec![Edge::new(1, 2), Edge::new(5, 6)]);
+    }
+
+    #[test]
+    fn parallel_erase_and_insert_batches() {
+        // Mimics the end-of-superstep update: first erase a batch, then insert
+        // a batch, both in parallel.
+        let n = 20_000u32;
+        let set = ConcurrentEdgeSet::with_capacity(2 * n as usize);
+        (0..n).into_par_iter().for_each(|i| {
+            set.insert(Edge::new(i, i + 1));
+        });
+        (0..n).into_par_iter().for_each(|i| {
+            assert!(set.erase(Edge::new(i, i + 1)));
+        });
+        (0..n).into_par_iter().for_each(|i| {
+            assert!(set.insert(Edge::new(i, i + 2)));
+        });
+        assert_eq!(set.len(), n as usize);
+        (0..n).into_par_iter().for_each(|i| {
+            assert!(!set.contains(Edge::new(i, i + 1)));
+            assert!(set.contains(Edge::new(i, i + 2)));
+        });
+    }
+}

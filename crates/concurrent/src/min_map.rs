@@ -1,0 +1,156 @@
+//! Concurrent `insert_if_min` map used by `ParES` (Algorithm 2).
+//!
+//! To find the longest prefix of requested switches without source
+//! dependencies, every switch inserts its two edge indices into a concurrent
+//! hash map keyed by edge index; the value kept per key is the *minimum*
+//! switch index that mentioned it.  The insert operation returns the previous
+//! minimum (if any), which the caller uses to tighten the superstep boundary
+//! `t`.
+
+use crate::hash_edge;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const KEY_EMPTY: u64 = u64::MAX;
+
+/// A fixed-capacity concurrent map `u64 → u64` with atomic minimum updates.
+#[derive(Debug)]
+pub struct MinIndexMap {
+    keys: Vec<AtomicU64>,
+    values: Vec<AtomicU64>,
+    mask: usize,
+}
+
+impl MinIndexMap {
+    /// Create a map able to hold `capacity_hint` keys at load factor ≤ 1/2.
+    pub fn with_capacity(capacity_hint: usize) -> Self {
+        let buckets = (capacity_hint.max(4) * 2).next_power_of_two();
+        Self {
+            keys: (0..buckets).map(|_| AtomicU64::new(KEY_EMPTY)).collect(),
+            values: (0..buckets).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            mask: buckets - 1,
+        }
+    }
+
+    /// Number of buckets.
+    pub fn capacity(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Reset for reuse.  Requires exclusive access.
+    pub fn clear(&mut self) {
+        for (k, v) in self.keys.iter_mut().zip(self.values.iter_mut()) {
+            *k = AtomicU64::new(KEY_EMPTY);
+            *v = AtomicU64::new(u64::MAX);
+        }
+    }
+
+    /// Insert `(key, value)` keeping the minimum value per key.
+    ///
+    /// Returns the previous minimum for `key` if one existed (which may be
+    /// smaller or larger than `value`), or `None` if the key is new.
+    pub fn insert_if_min(&self, key: u64, value: u64) -> Option<u64> {
+        debug_assert_ne!(key, KEY_EMPTY);
+        let mut idx = (hash_edge(key) as usize) & self.mask;
+        loop {
+            let current = self.keys[idx].load(Ordering::Acquire);
+            if current == key {
+                return Some(self.fetch_min(idx, value));
+            }
+            if current == KEY_EMPTY {
+                match self.keys[idx].compare_exchange(KEY_EMPTY, key, Ordering::AcqRel, Ordering::Acquire) {
+                    Ok(_) => {
+                        let previous = self.fetch_min(idx, value);
+                        // The slot was fresh, but another thread may have
+                        // raced us between the key CAS and the value update;
+                        // report `None` only if we truly were first.
+                        return if previous == u64::MAX { None } else { Some(previous) };
+                    }
+                    Err(actual) if actual == key => return Some(self.fetch_min(idx, value)),
+                    Err(_) => { /* bucket taken by a different key */ }
+                }
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    /// Current minimum recorded for `key`.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        debug_assert_ne!(key, KEY_EMPTY);
+        let mut idx = (hash_edge(key) as usize) & self.mask;
+        loop {
+            let current = self.keys[idx].load(Ordering::Acquire);
+            if current == key {
+                let v = self.values[idx].load(Ordering::Acquire);
+                return if v == u64::MAX { None } else { Some(v) };
+            }
+            if current == KEY_EMPTY {
+                return None;
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    /// Atomically set `values[idx] = min(values[idx], value)`; returns the
+    /// previous value.
+    fn fetch_min(&self, idx: usize, value: u64) -> u64 {
+        let mut current = self.values[idx].load(Ordering::Acquire);
+        loop {
+            if value >= current {
+                return current;
+            }
+            match self.values[idx].compare_exchange_weak(current, value, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(prev) => return prev,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn insert_if_min_keeps_minimum() {
+        let map = MinIndexMap::with_capacity(16);
+        assert_eq!(map.insert_if_min(5, 10), None);
+        assert_eq!(map.get(5), Some(10));
+        assert_eq!(map.insert_if_min(5, 7), Some(10));
+        assert_eq!(map.get(5), Some(7));
+        assert_eq!(map.insert_if_min(5, 9), Some(7));
+        assert_eq!(map.get(5), Some(7));
+        assert_eq!(map.get(6), None);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut map = MinIndexMap::with_capacity(4);
+        map.insert_if_min(1, 1);
+        map.clear();
+        assert_eq!(map.get(1), None);
+    }
+
+    #[test]
+    fn concurrent_min_is_correct() {
+        let map = MinIndexMap::with_capacity(64);
+        (1..=10_000u64).into_par_iter().for_each(|v| {
+            map.insert_if_min(7, v);
+        });
+        assert_eq!(map.get(7), Some(1));
+    }
+
+    #[test]
+    fn many_distinct_keys_in_parallel() {
+        let n = 20_000u64;
+        let map = MinIndexMap::with_capacity(n as usize);
+        (0..n).into_par_iter().for_each(|k| {
+            map.insert_if_min(k + 1, k * 3 + 5);
+            map.insert_if_min(k + 1, k * 3 + 4);
+        });
+        (0..n).into_par_iter().for_each(|k| {
+            assert_eq!(map.get(k + 1), Some(k * 3 + 4));
+        });
+    }
+}

@@ -1,0 +1,278 @@
+//! Sequential open-addressing edge hash set.
+//!
+//! The sequential chains (`SeqES`, `SeqGlobalES`) need a set of packed edges
+//! supporting a roughly balanced mix of insertions, deletions and membership
+//! queries, all in expected constant time (Sec. 5.2).  This is a linear
+//! probing table with power-of-two capacity and a maximum load factor of 1/2,
+//! matching the design the paper settled on after comparing several hash-set
+//! implementations.
+//!
+//! Deletions use tombstones; the table rebuilds itself once tombstones would
+//! degrade probe lengths.  For the prefetching pipeline (Sec. 5.4) every
+//! operation is also available in split form: [`SeqEdgeSet::prefetch`]
+//! computes the home bucket and prefetches it, and the actual operation is
+//! carried out later.
+
+use crate::hash_edge;
+use crate::prefetch::prefetch_read_pair;
+use gesmc_graph::PackedEdge;
+
+const EMPTY: u64 = u64::MAX;
+const TOMBSTONE: u64 = u64::MAX - 1;
+
+/// A sequential hash set of packed edges.
+///
+/// Packed edges `(u << 32) | v` with `u <= v` never collide with the two
+/// sentinels because both sentinels decode to self-loops, which simple graphs
+/// never contain.
+#[derive(Clone, Debug)]
+pub struct SeqEdgeSet {
+    buckets: Vec<u64>,
+    mask: usize,
+    len: usize,
+    tombstones: usize,
+}
+
+impl SeqEdgeSet {
+    /// Create a set able to hold `capacity_hint` edges at load factor ≤ 1/2.
+    pub fn with_capacity(capacity_hint: usize) -> Self {
+        let buckets = (capacity_hint.max(4) * 2).next_power_of_two();
+        Self { buckets: vec![EMPTY; buckets], mask: buckets - 1, len: 0, tombstones: 0 }
+    }
+
+    /// Build a set containing the given edges.
+    pub fn from_edges(edges: impl IntoIterator<Item = PackedEdge>, capacity_hint: usize) -> Self {
+        let mut set = Self::with_capacity(capacity_hint);
+        for e in edges {
+            set.insert(e);
+        }
+        set
+    }
+
+    /// Number of edges stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of buckets (for load-factor diagnostics and benchmarks).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.buckets.len()
+    }
+
+    #[inline]
+    fn home_bucket(&self, key: PackedEdge) -> usize {
+        (hash_edge(key) as usize) & self.mask
+    }
+
+    /// Issue a software prefetch for the buckets `key` will probe first.
+    ///
+    /// Part of the split hash-then-operate API used by the prefetching
+    /// pipeline; calling it is optional and has no semantic effect.
+    #[inline]
+    pub fn prefetch(&self, key: PackedEdge) {
+        prefetch_read_pair(&self.buckets, self.home_bucket(key));
+    }
+
+    /// Whether `key` is in the set.
+    #[inline]
+    pub fn contains(&self, key: PackedEdge) -> bool {
+        debug_assert!(key < TOMBSTONE);
+        let mut idx = self.home_bucket(key);
+        loop {
+            match self.buckets[idx] {
+                EMPTY => return false,
+                slot if slot == key => return true,
+                _ => idx = (idx + 1) & self.mask,
+            }
+        }
+    }
+
+    /// Insert `key`; returns `false` if it was already present.
+    pub fn insert(&mut self, key: PackedEdge) -> bool {
+        debug_assert!(key < TOMBSTONE);
+        self.maybe_grow();
+        let mut idx = self.home_bucket(key);
+        let mut first_tombstone: Option<usize> = None;
+        loop {
+            match self.buckets[idx] {
+                EMPTY => {
+                    let target = first_tombstone.unwrap_or(idx);
+                    if first_tombstone.is_some() {
+                        self.tombstones -= 1;
+                    }
+                    self.buckets[target] = key;
+                    self.len += 1;
+                    return true;
+                }
+                TOMBSTONE => {
+                    if first_tombstone.is_none() {
+                        first_tombstone = Some(idx);
+                    }
+                    idx = (idx + 1) & self.mask;
+                }
+                slot if slot == key => return false,
+                _ => idx = (idx + 1) & self.mask,
+            }
+        }
+    }
+
+    /// Erase `key`; returns whether it was present.
+    pub fn erase(&mut self, key: PackedEdge) -> bool {
+        debug_assert!(key < TOMBSTONE);
+        let mut idx = self.home_bucket(key);
+        loop {
+            match self.buckets[idx] {
+                EMPTY => return false,
+                slot if slot == key => {
+                    self.buckets[idx] = TOMBSTONE;
+                    self.len -= 1;
+                    self.tombstones += 1;
+                    return true;
+                }
+                _ => idx = (idx + 1) & self.mask,
+            }
+        }
+    }
+
+    /// Iterate over the stored edges (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = PackedEdge> + '_ {
+        self.buckets.iter().copied().filter(|&b| b < TOMBSTONE)
+    }
+
+    /// Grow or clean the table when live entries or tombstones exceed the
+    /// load-factor targets (live ≤ 1/2, live + tombstones ≤ 3/4).
+    fn maybe_grow(&mut self) {
+        let cap = self.buckets.len();
+        if (self.len + 1) * 2 > cap || (self.len + self.tombstones + 1) * 4 > cap * 3 {
+            let new_cap = if (self.len + 1) * 2 > cap { cap * 2 } else { cap };
+            let old = std::mem::replace(&mut self.buckets, vec![EMPTY; new_cap]);
+            self.mask = new_cap - 1;
+            self.len = 0;
+            self.tombstones = 0;
+            for key in old.into_iter().filter(|&b| b < TOMBSTONE) {
+                let mut idx = self.home_bucket(key);
+                while self.buckets[idx] != EMPTY {
+                    idx = (idx + 1) & self.mask;
+                }
+                self.buckets[idx] = key;
+                self.len += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gesmc_graph::Edge;
+
+    fn key(u: u32, v: u32) -> PackedEdge {
+        Edge::new(u, v).pack()
+    }
+
+    #[test]
+    fn insert_contains_erase_roundtrip() {
+        let mut set = SeqEdgeSet::with_capacity(8);
+        assert!(set.is_empty());
+        assert!(set.insert(key(1, 2)));
+        assert!(!set.insert(key(2, 1)), "same undirected edge");
+        assert!(set.contains(key(1, 2)));
+        assert!(!set.contains(key(1, 3)));
+        assert_eq!(set.len(), 1);
+        assert!(set.erase(key(1, 2)));
+        assert!(!set.erase(key(1, 2)));
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn tombstones_do_not_hide_entries() {
+        let mut set = SeqEdgeSet::with_capacity(4);
+        // Fill, erase, re-insert repeatedly to exercise tombstone reuse.
+        for round in 0..50u32 {
+            for i in 0..20u32 {
+                set.insert(key(round, i + 1 + round));
+            }
+            for i in 0..10u32 {
+                assert!(set.erase(key(round, i + 1 + round)));
+            }
+            for i in 10..20u32 {
+                assert!(set.contains(key(round, i + 1 + round)), "round {round} lost an edge");
+            }
+        }
+    }
+
+    #[test]
+    fn grows_beyond_initial_capacity() {
+        let mut set = SeqEdgeSet::with_capacity(2);
+        for i in 0..10_000u32 {
+            assert!(set.insert(key(i, i + 1)));
+        }
+        assert_eq!(set.len(), 10_000);
+        for i in 0..10_000u32 {
+            assert!(set.contains(key(i, i + 1)));
+        }
+        // Load factor stays at or below 1/2.
+        assert!(set.capacity() >= 2 * set.len());
+    }
+
+    #[test]
+    fn iter_returns_exactly_the_live_edges() {
+        let mut set = SeqEdgeSet::with_capacity(16);
+        let keys: Vec<u64> = (0..100u32).map(|i| key(i, i + 7)).collect();
+        for &k in &keys {
+            set.insert(k);
+        }
+        for &k in keys.iter().take(30) {
+            set.erase(k);
+        }
+        let mut live: Vec<u64> = set.iter().collect();
+        live.sort_unstable();
+        let mut expected: Vec<u64> = keys[30..].to_vec();
+        expected.sort_unstable();
+        assert_eq!(live, expected);
+    }
+
+    #[test]
+    fn prefetch_has_no_semantic_effect() {
+        let mut set = SeqEdgeSet::with_capacity(8);
+        set.insert(key(3, 9));
+        set.prefetch(key(3, 9));
+        set.prefetch(key(4, 5));
+        assert!(set.contains(key(3, 9)));
+        assert!(!set.contains(key(4, 5)));
+    }
+
+    #[test]
+    fn heavy_mixed_workload_matches_std_hashset() {
+        use std::collections::HashSet;
+        let mut ours = SeqEdgeSet::with_capacity(4);
+        let mut reference: HashSet<u64> = HashSet::new();
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        };
+        for _ in 0..20_000 {
+            let u = (next() % 500) as u32;
+            let v = (next() % 500) as u32;
+            if u == v {
+                continue;
+            }
+            let k = key(u, v);
+            match next() % 3 {
+                0 => assert_eq!(ours.insert(k), reference.insert(k)),
+                1 => assert_eq!(ours.erase(k), reference.remove(&k)),
+                _ => assert_eq!(ours.contains(k), reference.contains(&k)),
+            }
+        }
+        assert_eq!(ours.len(), reference.len());
+    }
+}

@@ -1,0 +1,239 @@
+//! `ParES` (Algorithm 2): the exact shared-memory parallel ES-MC.
+//!
+//! The requested number of uniformly random switches is sampled up front into
+//! an array `R`.  The algorithm then repeatedly extracts the longest prefix of
+//! the remaining switches that contains **no source dependencies** — found by
+//! inserting every switch's two edge indices into a concurrent
+//! `insert_if_min` hash map and tracking the earliest collision — and executes
+//! that prefix with [`parallel_superstep`](crate::superstep::parallel_superstep).
+//!
+//! Because each superstep boundary is placed *before* the first switch that
+//! shares an edge index with an earlier unprocessed switch, executing the
+//! supersteps in order is equivalent to executing `R` strictly sequentially,
+//! making `ParES` an exact parallelisation of ES-MC.  The expected superstep
+//! size is `Θ(√m)` (birthday bound), which the paper identifies as the
+//! scalability limit of this approach and the motivation for G-ES-MC.
+
+use crate::chain::{EdgeSwitching, SwitchingConfig};
+use crate::stats::SuperstepStats;
+use crate::switch::SwitchRequest;
+use gesmc_concurrent::{AtomicEdgeList, ConcurrentEdgeSet, MinIndexMap};
+use gesmc_graph::EdgeListGraph;
+use gesmc_randx::bounded::UniformIndex;
+use gesmc_randx::{rng_from_seed, Rng};
+use rand::Rng as _;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Exact parallel ES-MC chain.
+pub struct ParES {
+    edges: AtomicEdgeList,
+    edge_set: ConcurrentEdgeSet,
+    rng: Rng,
+    #[allow(dead_code)]
+    config: SwitchingConfig,
+}
+
+impl ParES {
+    /// Create a chain randomising `graph`.
+    pub fn new(graph: EdgeListGraph, config: SwitchingConfig) -> Self {
+        let edge_set = ConcurrentEdgeSet::from_edges(graph.edges().iter(), graph.num_edges() * 2);
+        let edges = AtomicEdgeList::from_graph(&graph);
+        Self { edges, edge_set, rng: rng_from_seed(config.seed), config }
+    }
+
+    /// Sample `count` uniformly random switch requests (the array `R` of
+    /// Algorithm 2).
+    pub fn sample_requests(&mut self, count: usize) -> Vec<SwitchRequest> {
+        let m = self.edges.len();
+        if m < 2 {
+            return Vec::new();
+        }
+        let sampler = UniformIndex::new(m as u64);
+        (0..count)
+            .map(|_| {
+                let (i, j) = sampler.sample_distinct_pair(&mut self.rng);
+                let g: bool = self.rng.gen();
+                SwitchRequest::new(i as usize, j as usize, g)
+            })
+            .collect()
+    }
+
+    /// Execute an explicit sequence of switch requests exactly (i.e. with the
+    /// same outcome as executing them in order), splitting it into source
+    /// dependency-free supersteps.  Returns one [`SuperstepStats`] per
+    /// superstep.
+    pub fn run_requests(&mut self, requests: &[SwitchRequest]) -> Vec<SuperstepStats> {
+        let mut all_stats = Vec::new();
+        let mut s = 0usize;
+        // Window of switches examined per boundary search; the expected
+        // dependency-free prefix is Θ(√m), so a few multiples of that keeps
+        // the wasted work low while still allowing large supersteps on sparse
+        // collision patterns.
+        let window_len = ((self.edges.len() as f64).sqrt() as usize * 4 + 64).max(64);
+
+        while s < requests.len() {
+            let window_end = (s + window_len).min(requests.len());
+            let window = &requests[s..window_end];
+
+            // Find the first index t (absolute) at which a source collision
+            // with an earlier switch of the window occurs.
+            let map = MinIndexMap::with_capacity(window.len() * 2);
+            let t_bound = AtomicU64::new(requests.len() as u64 + 1);
+            window.par_iter().enumerate().for_each(|(offset, request)| {
+                let k = (s + offset) as u64;
+                for idx in [request.i as u64, request.j as u64] {
+                    if let Some(previous) = map.insert_if_min(idx + 1, k) {
+                        // Two switches share this edge index; the collision
+                        // becomes effective at the larger of the two.
+                        let collision_at = previous.max(k);
+                        t_bound.fetch_min(collision_at, Ordering::Relaxed);
+                    }
+                }
+            });
+            let t = (t_bound.load(Ordering::Relaxed) as usize).min(window_end);
+            debug_assert!(t > s, "a superstep must contain at least one switch");
+
+            let superstep = &requests[s..t];
+            let stats =
+                crate::superstep::parallel_superstep(&self.edges, &self.edge_set, superstep);
+            all_stats.push(stats);
+            if self.edge_set.needs_rebuild() {
+                self.edge_set.rebuild();
+            }
+            s = t;
+        }
+        all_stats
+    }
+
+    /// Perform `count` uniformly random switches exactly; returns the
+    /// per-superstep statistics.
+    pub fn run_switches(&mut self, count: usize) -> Vec<SuperstepStats> {
+        let requests = self.sample_requests(count);
+        self.run_requests(&requests)
+    }
+}
+
+impl EdgeSwitching for ParES {
+    fn name(&self) -> &'static str {
+        "ParES"
+    }
+
+    fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    fn graph(&self) -> EdgeListGraph {
+        self.edges.to_graph()
+    }
+
+    fn superstep(&mut self) -> SuperstepStats {
+        // One ES-MC superstep = ⌊m/2⌋ uniformly random switches (Sec. 6.1).
+        let start = Instant::now();
+        let requested = self.edges.len() / 2;
+        let parts = self.run_switches(requested);
+        let mut merged = SuperstepStats {
+            requested,
+            legal: parts.iter().map(|p| p.legal).sum(),
+            illegal: parts.iter().map(|p| p.illegal).sum(),
+            rounds: parts.iter().map(|p| p.rounds).sum(),
+            round_durations: parts.iter().flat_map(|p| p.round_durations.clone()).collect(),
+            duration: start.elapsed(),
+        };
+        merged.illegal = merged.requested - merged.legal;
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq_es::SeqES;
+    use gesmc_graph::gen::gnp;
+
+    fn gnp_graph(seed: u64, n: usize, p: f64) -> EdgeListGraph {
+        let mut rng = rng_from_seed(seed);
+        gnp(&mut rng, n, p)
+    }
+
+    /// Oracle: run the same requests strictly sequentially with SeqES.
+    fn sequential_oracle(graph: &EdgeListGraph, requests: &[SwitchRequest]) -> EdgeListGraph {
+        let mut chain = SeqES::new(graph.clone(), SwitchingConfig::with_seed(0));
+        for &r in requests {
+            chain.apply(r);
+        }
+        chain.graph()
+    }
+
+    #[test]
+    fn matches_sequential_es_on_explicit_requests() {
+        let mut rng = rng_from_seed(11);
+        for trial in 0..10 {
+            let graph = gnp(&mut rng, 80, 0.1);
+            let m = graph.num_edges();
+            if m < 4 {
+                continue;
+            }
+            let mut par = ParES::new(graph.clone(), SwitchingConfig::with_seed(trial));
+            let requests = par.sample_requests(3 * m);
+            par.run_requests(&requests);
+            let oracle = sequential_oracle(&graph, &requests);
+            assert_eq!(
+                par.graph().canonical_edges(),
+                oracle.canonical_edges(),
+                "trial {trial} diverged from the sequential execution"
+            );
+        }
+    }
+
+    #[test]
+    fn preserves_degrees_and_simplicity() {
+        let graph = gnp_graph(13, 150, 0.06);
+        let degrees = graph.degrees();
+        let mut chain = ParES::new(graph, SwitchingConfig::with_seed(14));
+        chain.run_supersteps(4);
+        let result = chain.graph();
+        assert_eq!(result.degrees(), degrees);
+        assert!(result.validate().is_ok());
+    }
+
+    #[test]
+    fn superstep_boundaries_have_no_source_dependencies() {
+        // Construct a request list with a deliberate early collision and make
+        // sure the outcome still matches the sequential oracle.
+        let graph = gnp_graph(15, 40, 0.2);
+        let requests = vec![
+            SwitchRequest::new(0, 1, false),
+            SwitchRequest::new(2, 3, true),
+            SwitchRequest::new(1, 4, false), // collides with request 0 (index 1)
+            SwitchRequest::new(5, 6, true),
+            SwitchRequest::new(2, 7, false), // collides with request 1 (index 2)
+        ];
+        let mut par = ParES::new(graph.clone(), SwitchingConfig::with_seed(16));
+        let stats = par.run_requests(&requests);
+        assert!(stats.len() >= 2, "collisions must split the batch into supersteps");
+        assert_eq!(
+            par.graph().canonical_edges(),
+            sequential_oracle(&graph, &requests).canonical_edges()
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let graph = gnp_graph(17, 90, 0.08);
+        let mut a = ParES::new(graph.clone(), SwitchingConfig::with_seed(5));
+        let mut b = ParES::new(graph, SwitchingConfig::with_seed(5));
+        a.run_supersteps(3);
+        b.run_supersteps(3);
+        assert_eq!(a.graph().canonical_edges(), b.graph().canonical_edges());
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        let graph = EdgeListGraph::new(3, vec![]).unwrap();
+        let mut chain = ParES::new(graph, SwitchingConfig::with_seed(18));
+        let stats = chain.superstep();
+        assert_eq!(stats.requested, 0);
+    }
+}

@@ -1,0 +1,188 @@
+//! `SeqGlobalES` — the sequential implementation of G-ES-MC (Def. 3).
+//!
+//! One step of the chain (a *global switch*) draws a uniformly random
+//! permutation `π` of the edge indices and a number of trials
+//! `ℓ ~ Binom(⌊m/2⌋, 1 − P_L)`, then executes the edge switches
+//! `σ_k = (π(2k−1), π(2k), g_k)` with `g_k = 1_{π(2k−1) < π(2k)}` strictly in
+//! sequence.  Because `π` is a uniform permutation the direction bits are
+//! unbiased and independent, and every edge participates in at most one
+//! switch, which is exactly what removes the source dependencies exploited by
+//! the parallel algorithm.
+
+use crate::chain::{EdgeSwitching, SwitchingConfig};
+use crate::stats::SuperstepStats;
+use crate::switch::{switch_targets, SwitchRequest};
+use gesmc_concurrent::SeqEdgeSet;
+use gesmc_graph::{Edge, EdgeListGraph};
+use gesmc_randx::{rng_from_seed, sample_binomial, Rng};
+use gesmc_randx::permutation::random_permutation;
+use std::time::Instant;
+
+/// Sequential G-ES-MC chain.
+pub struct SeqGlobalES {
+    num_nodes: usize,
+    edges: Vec<Edge>,
+    set: SeqEdgeSet,
+    rng: Rng,
+    config: SwitchingConfig,
+}
+
+impl SeqGlobalES {
+    /// Create a chain randomising `graph`.
+    pub fn new(graph: EdgeListGraph, config: SwitchingConfig) -> Self {
+        let set = SeqEdgeSet::from_edges(graph.edges().iter().map(|e| e.pack()), graph.num_edges());
+        let rng = rng_from_seed(config.seed);
+        let num_nodes = graph.num_nodes();
+        Self { num_nodes, edges: graph.into_edges(), set, rng, config }
+    }
+
+    /// Build the switch sequence of one global switch from a permutation and
+    /// the number of executed switches `ℓ`.
+    ///
+    /// Exposed so that the exactness tests can replay the very same global
+    /// switch on the parallel implementation.
+    pub fn switches_from_permutation(perm: &[u64], ell: usize) -> Vec<SwitchRequest> {
+        (0..ell)
+            .map(|k| {
+                let a = perm[2 * k] as usize;
+                let b = perm[2 * k + 1] as usize;
+                SwitchRequest::new(a, b, a < b)
+            })
+            .collect()
+    }
+
+    /// Apply one explicit switch (Def. 1 legality rules); returns whether it
+    /// was legal.
+    pub fn apply(&mut self, request: SwitchRequest) -> bool {
+        let e1 = self.edges[request.i];
+        let e2 = self.edges[request.j];
+        let (e3, e4) = switch_targets(e1, e2, request.g);
+        if e3.is_loop() || e4.is_loop() {
+            return false;
+        }
+        if self.set.contains(e3.pack()) || self.set.contains(e4.pack()) {
+            return false;
+        }
+        self.set.erase(e1.pack());
+        self.set.erase(e2.pack());
+        self.set.insert(e3.pack());
+        self.set.insert(e4.pack());
+        self.edges[request.i] = e3;
+        self.edges[request.j] = e4;
+        true
+    }
+
+    /// Execute one global switch; returns `(requested, legal)`.
+    pub fn global_switch(&mut self) -> (usize, usize) {
+        let m = self.edges.len();
+        if m < 2 {
+            return (0, 0);
+        }
+        let perm = random_permutation(&mut self.rng, m);
+        let ell = sample_binomial(&mut self.rng, (m / 2) as u64, 1.0 - self.config.loop_probability)
+            as usize;
+        let switches = Self::switches_from_permutation(&perm, ell);
+        let mut legal = 0usize;
+        for request in &switches {
+            legal += self.apply(*request) as usize;
+        }
+        (switches.len(), legal)
+    }
+}
+
+impl EdgeSwitching for SeqGlobalES {
+    fn name(&self) -> &'static str {
+        "SeqGlobalES"
+    }
+
+    fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    fn graph(&self) -> EdgeListGraph {
+        EdgeListGraph::from_edges_unchecked(self.num_nodes, self.edges.clone())
+    }
+
+    fn superstep(&mut self) -> SuperstepStats {
+        let start = Instant::now();
+        let (requested, legal) = self.global_switch();
+        SuperstepStats {
+            requested,
+            legal,
+            illegal: requested - legal,
+            rounds: 1,
+            round_durations: vec![start.elapsed()],
+            duration: start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gesmc_graph::gen::gnp;
+
+    fn test_graph(seed: u64) -> EdgeListGraph {
+        let mut rng = rng_from_seed(seed);
+        gnp(&mut rng, 120, 0.07)
+    }
+
+    #[test]
+    fn preserves_degrees_and_simplicity() {
+        let graph = test_graph(1);
+        let degrees = graph.degrees();
+        let mut chain = SeqGlobalES::new(graph, SwitchingConfig::with_seed(2));
+        chain.run_supersteps(5);
+        let result = chain.graph();
+        assert_eq!(result.degrees(), degrees);
+        assert!(result.validate().is_ok());
+    }
+
+    #[test]
+    fn each_edge_index_used_at_most_once_per_global_switch() {
+        let perm: Vec<u64> = vec![4, 1, 0, 3, 2, 5];
+        let switches = SeqGlobalES::switches_from_permutation(&perm, 3);
+        let mut seen = std::collections::HashSet::new();
+        for s in &switches {
+            assert!(seen.insert(s.i));
+            assert!(seen.insert(s.j));
+        }
+        // Direction bits follow g_k = 1 iff first index < second index.
+        assert_eq!(switches[0], SwitchRequest::new(4, 1, false));
+        assert_eq!(switches[1], SwitchRequest::new(0, 3, true));
+        assert_eq!(switches[2], SwitchRequest::new(2, 5, true));
+    }
+
+    #[test]
+    fn loop_probability_one_half_reduces_executed_switches() {
+        let graph = test_graph(3);
+        let m = graph.num_edges();
+        let mut chain =
+            SeqGlobalES::new(graph, SwitchingConfig::with_seed(4).loop_probability(0.5));
+        let stats = chain.run_supersteps(20);
+        let mean_requested = stats.total_requested() as f64 / 20.0;
+        // E[ℓ] = (m/2) * 0.5.
+        let expected = (m / 2) as f64 * 0.5;
+        assert!(
+            (mean_requested - expected).abs() < 0.25 * expected,
+            "mean {mean_requested} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn randomises_the_graph() {
+        let graph = test_graph(5);
+        let before = graph.canonical_edges();
+        let mut chain = SeqGlobalES::new(graph, SwitchingConfig::with_seed(6));
+        chain.run_supersteps(3);
+        assert_ne!(chain.graph().canonical_edges(), before);
+    }
+
+    #[test]
+    fn tiny_graphs_do_not_panic() {
+        let graph = EdgeListGraph::new(2, vec![Edge::new(0, 1)]).unwrap();
+        let mut chain = SeqGlobalES::new(graph, SwitchingConfig::with_seed(7));
+        let stats = chain.superstep();
+        assert_eq!(stats.requested, 0);
+    }
+}

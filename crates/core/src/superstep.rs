@@ -1,0 +1,401 @@
+//! `ParallelSuperstep` (Algorithm 1): execute a batch of source-dependency
+//! free edge switches in parallel while preserving the sequential outcome.
+//!
+//! The batch is processed in two phases.  **Registration** records, for every
+//! switch, an *erase* record per source edge and an *insert* record per target
+//! edge in the concurrent [`DependencyTable`].  **Decision rounds** then
+//! repeatedly try to decide every still-undecided switch in parallel:
+//!
+//! * a switch is **illegal** if a target edge is a self-loop, is one of its
+//!   own source edges (Def. 1 tests existence before removing the sources),
+//!   is present in the graph and not erased by any switch of the batch, is
+//!   erased only by a *later* switch, is erased by a switch that itself turned
+//!   out illegal, or has already been inserted by an earlier *legal* switch;
+//! * a switch is **delayed** if it depends on a switch (erasing or inserting
+//!   one of its targets, with a smaller index) that is still undecided;
+//! * otherwise it is **legal**: its slots in the shared edge array are rewired
+//!   immediately.
+//!
+//! Dependencies always point towards smaller switch indices, so every round
+//! decides at least the smallest undecided switch and the loop terminates.
+//! The edge *set* is only updated after all switches are decided (first all
+//! erases, then all inserts, both in parallel); during the rounds it serves as
+//! the immutable snapshot of the graph at the start of the superstep, which is
+//! exactly the semantics the decision rules above require.
+
+use crate::stats::SuperstepStats;
+use crate::switch::{switch_targets, SwitchRequest};
+use gesmc_concurrent::{
+    AtomicEdgeList, ConcurrentEdgeSet, DependencyTable, EraseLookup, InsertConstraint, SwitchState,
+};
+use gesmc_graph::Edge;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Pre-resolved data of one switch within a superstep.
+#[derive(Debug, Clone, Copy)]
+struct SwitchWork {
+    request: SwitchRequest,
+    e1: Edge,
+    e2: Edge,
+    e3: Edge,
+    e4: Edge,
+}
+
+/// Execute a superstep of switches without source dependencies.
+///
+/// `edges` is the shared indexed edge array, `edge_set` the authoritative set
+/// of edges of the current graph (updated in place), and `switches` the batch
+/// to execute, ordered by their position in the original (sequential) switch
+/// sequence.
+///
+/// # Panics
+/// Debug builds assert that the batch really is free of source dependencies;
+/// violating that precondition is a caller bug.
+pub fn parallel_superstep(
+    edges: &AtomicEdgeList,
+    edge_set: &ConcurrentEdgeSet,
+    switches: &[SwitchRequest],
+) -> SuperstepStats {
+    let start = Instant::now();
+    let requested = switches.len();
+    if requested == 0 {
+        return SuperstepStats {
+            requested: 0,
+            legal: 0,
+            illegal: 0,
+            rounds: 0,
+            round_durations: Vec::new(),
+            duration: start.elapsed(),
+        };
+    }
+
+    // Phase 1: resolve sources/targets and register all dependency records.
+    let table = DependencyTable::for_switches(requested);
+    let work: Vec<SwitchWork> = switches
+        .par_iter()
+        .enumerate()
+        .map(|(k, &request)| {
+            let e1 = edges.get(request.i);
+            let e2 = edges.get(request.j);
+            let (e3, e4) = switch_targets(e1, e2, request.g);
+            let k = k as u32;
+            table.register_erase(e1.pack(), k);
+            table.register_erase(e2.pack(), k);
+            table.register_insert(e3.pack(), k);
+            table.register_insert(e4.pack(), k);
+            SwitchWork { request, e1, e2, e3, e4 }
+        })
+        .collect();
+
+    // Phase 2: decision rounds.
+    let legal_count = AtomicUsize::new(0);
+    let mut undecided: Vec<u32> = (0..requested as u32).collect();
+    let mut round_durations = Vec::new();
+    let mut rounds = 0usize;
+
+    while !undecided.is_empty() {
+        let round_start = Instant::now();
+        rounds += 1;
+        let delayed: Vec<u32> = undecided
+            .par_iter()
+            .copied()
+            .filter_map(|k| {
+                let w = &work[k as usize];
+                match decide(&table, edge_set, w, k) {
+                    Decision::Delay => Some(k),
+                    Decision::Decide(state) => {
+                        if state == SwitchState::Legal {
+                            edges.set(w.request.i, w.e3);
+                            edges.set(w.request.j, w.e4);
+                            legal_count.fetch_add(1, Ordering::Relaxed);
+                        }
+                        table.decide_erase(w.e1.pack(), k, state);
+                        table.decide_erase(w.e2.pack(), k, state);
+                        table.decide_insert(w.e3.pack(), k, state);
+                        table.decide_insert(w.e4.pack(), k, state);
+                        None
+                    }
+                }
+            })
+            .collect();
+        debug_assert!(
+            delayed.len() < undecided.len(),
+            "a decision round must decide at least one switch"
+        );
+        undecided = delayed;
+        round_durations.push(round_start.elapsed());
+    }
+
+    // Phase 3: apply the decided switches to the edge set.  All erases first
+    // (each edge is erased at most once per superstep), then all inserts (each
+    // edge is inserted by at most one legal switch), so the two parallel
+    // passes cannot conflict.
+    work.par_iter().enumerate().for_each(|(k, w)| {
+        if is_legal(&table, w, k as u32) {
+            let erased1 = edge_set.erase(w.e1);
+            let erased2 = edge_set.erase(w.e2);
+            debug_assert!(erased1 && erased2, "legal switch must erase existing edges");
+        }
+    });
+    work.par_iter().enumerate().for_each(|(k, w)| {
+        if is_legal(&table, w, k as u32) {
+            let inserted1 = edge_set.insert(w.e3);
+            let inserted2 = edge_set.insert(w.e4);
+            debug_assert!(inserted1 && inserted2, "legal switch must insert fresh edges");
+        }
+    });
+
+    let legal = legal_count.load(Ordering::Relaxed);
+    SuperstepStats {
+        requested,
+        legal,
+        illegal: requested - legal,
+        rounds,
+        round_durations,
+        duration: start.elapsed(),
+    }
+}
+
+/// Whether switch `k` was decided legal (read back from its erase record).
+fn is_legal(table: &DependencyTable, w: &SwitchWork, k: u32) -> bool {
+    match table.erase_lookup(w.e1.pack()) {
+        EraseLookup::By { index, state } if index == k => state == SwitchState::Legal,
+        _ => false,
+    }
+}
+
+enum Decision {
+    Decide(SwitchState),
+    Delay,
+}
+
+/// Apply the decision rules of Algorithm 1 to switch `k`.
+fn decide(
+    table: &DependencyTable,
+    edge_set: &ConcurrentEdgeSet,
+    w: &SwitchWork,
+    k: u32,
+) -> Decision {
+    let targets = [w.e3, w.e4];
+
+    // Definitive illegality checks first: they hold regardless of how the
+    // still-undecided switches turn out.
+    for &target in &targets {
+        if target.is_loop() {
+            return Decision::Decide(SwitchState::Illegal);
+        }
+        match table.erase_lookup(target.pack()) {
+            EraseLookup::None => {
+                // Nobody in this superstep erases the target; it is illegal to
+                // insert it iff it already exists in the graph.
+                if edge_set.contains(target) {
+                    return Decision::Decide(SwitchState::Illegal);
+                }
+            }
+            EraseLookup::By { index: p, state: sp } => {
+                // `p == k` means the target equals one of this switch's own
+                // source edges; Def. 1 tests existence *before* removing the
+                // sources, so such a switch is rejected.  (Algorithm 1 as
+                // printed would label it legal and rewire the two slots to the
+                // same pair of edges — the graph is identical either way, but
+                // rejecting keeps the edge array bitwise equal to a sequential
+                // Def. 1 execution, which is what our exactness tests demand.)
+                if k < p || p == k || sp == SwitchState::Illegal {
+                    return Decision::Decide(SwitchState::Illegal);
+                }
+            }
+        }
+        if table.insert_constraint(target.pack(), k) == InsertConstraint::EarlierLegal {
+            return Decision::Decide(SwitchState::Illegal);
+        }
+    }
+
+    // No definitive reason to reject; check whether we must wait for an
+    // earlier, still-undecided switch.
+    for &target in &targets {
+        if let EraseLookup::By { index: p, state: SwitchState::Undecided } =
+            table.erase_lookup(target.pack())
+        {
+            if k > p {
+                return Decision::Delay;
+            }
+        }
+        if table.insert_constraint(target.pack(), k) == InsertConstraint::EarlierUndecided {
+            return Decision::Delay;
+        }
+    }
+
+    Decision::Decide(SwitchState::Legal)
+}
+
+/// Convenience wrapper: run a superstep on a plain graph and return the new
+/// graph (used by tests and by callers that do not keep persistent state).
+pub fn run_superstep_on_graph(
+    graph: &gesmc_graph::EdgeListGraph,
+    switches: &[SwitchRequest],
+) -> (gesmc_graph::EdgeListGraph, SuperstepStats) {
+    let edges = AtomicEdgeList::from_graph(graph);
+    let edge_set = ConcurrentEdgeSet::from_edges(graph.edges().iter(), graph.num_edges() * 2);
+    let stats = parallel_superstep(&edges, &edge_set, switches);
+    (edges.to_graph(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::{EdgeSwitching, SwitchingConfig};
+    use crate::seq_global::SeqGlobalES;
+    use gesmc_graph::gen::gnp;
+    use gesmc_graph::EdgeListGraph;
+    use gesmc_randx::permutation::random_permutation;
+    use gesmc_randx::rng_from_seed;
+
+    /// Sequential oracle: apply the switches strictly in order with Def. 1.
+    fn sequential_oracle(graph: &EdgeListGraph, switches: &[SwitchRequest]) -> EdgeListGraph {
+        let mut chain = SeqGlobalES::new(graph.clone(), SwitchingConfig::with_seed(0));
+        for &s in switches {
+            chain.apply(s);
+        }
+        chain.graph()
+    }
+
+    /// Build a random global switch (source-dependency free by construction).
+    fn random_global_switch(rng: &mut gesmc_randx::Rng, m: usize, ell: usize) -> Vec<SwitchRequest> {
+        let perm = random_permutation(rng, m);
+        SeqGlobalES::switches_from_permutation(&perm, ell.min(m / 2))
+    }
+
+    #[test]
+    fn empty_superstep() {
+        let graph = EdgeListGraph::new(3, vec![Edge::new(0, 1)]).unwrap();
+        let (out, stats) = run_superstep_on_graph(&graph, &[]);
+        assert_eq!(out.canonical_edges(), graph.canonical_edges());
+        assert_eq!(stats.rounds, 0);
+    }
+
+    #[test]
+    fn single_switch_matches_sequential() {
+        let graph =
+            EdgeListGraph::new(4, vec![Edge::new(0, 1), Edge::new(2, 3)]).unwrap();
+        let switches = vec![SwitchRequest::new(0, 1, false)];
+        let (out, stats) = run_superstep_on_graph(&graph, &switches);
+        assert_eq!(out.canonical_edges(), sequential_oracle(&graph, &switches).canonical_edges());
+        assert_eq!(stats.legal, 1);
+    }
+
+    #[test]
+    fn rejects_loop_and_duplicate_targets() {
+        // Triangle plus an extra edge; switching (0-1, 1-2) with g = 1 creates
+        // a loop at 1, and with g = 0 the targets equal the sources (which by
+        // Def. 1 "already exist in E").  Both must be rejected and leave the
+        // graph untouched.
+        let graph = EdgeListGraph::new(
+            4,
+            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2), Edge::new(2, 3)],
+        )
+        .unwrap();
+        for g in [false, true] {
+            let switches = vec![SwitchRequest::new(0, 1, g)];
+            let (out, stats) = run_superstep_on_graph(&graph, &switches);
+            assert_eq!(stats.legal, 0, "g = {g}");
+            assert_eq!(out.canonical_edges(), graph.canonical_edges());
+        }
+    }
+
+    #[test]
+    fn erase_dependency_is_respected() {
+        // Switch 0 frees the edge {0,1}; switch 1 wants to create {0,1} and is
+        // only legal because switch 0 comes first.
+        let graph = EdgeListGraph::new(
+            6,
+            vec![Edge::new(0, 1), Edge::new(2, 3), Edge::new(0, 4), Edge::new(1, 5)],
+        )
+        .unwrap();
+        // Switch 0: indices (0, 1) with g=0: {0,1},{2,3} -> {0,2},{1,3}
+        // Switch 1: indices (2, 3) with g=0: {0,4},{1,5} -> {0,1},{4,5}
+        let switches = vec![SwitchRequest::new(0, 1, false), SwitchRequest::new(2, 3, false)];
+        let (out, stats) = run_superstep_on_graph(&graph, &switches);
+        let oracle = sequential_oracle(&graph, &switches);
+        assert_eq!(out.canonical_edges(), oracle.canonical_edges());
+        assert_eq!(stats.legal, 2);
+        assert!(out.has_edge_slow(0, 1), "edge {{0,1}} re-created by switch 1");
+        assert!(out.has_edge_slow(4, 5));
+    }
+
+    #[test]
+    fn erase_dependency_in_wrong_order_is_illegal() {
+        // Same as above but the creating switch comes first: it must be
+        // rejected because {0,1} still exists at its (sequential) time.
+        let graph = EdgeListGraph::new(
+            6,
+            vec![Edge::new(0, 1), Edge::new(2, 3), Edge::new(0, 4), Edge::new(1, 5)],
+        )
+        .unwrap();
+        let switches = vec![SwitchRequest::new(2, 3, false), SwitchRequest::new(0, 1, false)];
+        let (out, stats) = run_superstep_on_graph(&graph, &switches);
+        let oracle = sequential_oracle(&graph, &switches);
+        assert_eq!(out.canonical_edges(), oracle.canonical_edges());
+        // The first (in sequence) switch is rejected, the second is fine.
+        assert_eq!(stats.legal, 1);
+    }
+
+    #[test]
+    fn insert_dependency_only_first_switch_wins() {
+        // Two switches both want to create the edge {0,2}; only the one with
+        // the smaller index may succeed.
+        let graph = EdgeListGraph::new(
+            8,
+            vec![Edge::new(0, 1), Edge::new(2, 3), Edge::new(0, 4), Edge::new(2, 5)],
+        )
+        .unwrap();
+        // Switch 0: ({0,1},{2,3}) g=0 -> {0,2},{1,3}
+        // Switch 1: ({0,4},{2,5}) g=0 -> {0,2},{4,5}
+        let switches = vec![SwitchRequest::new(0, 1, false), SwitchRequest::new(2, 3, false)];
+        let (out, stats) = run_superstep_on_graph(&graph, &switches);
+        let oracle = sequential_oracle(&graph, &switches);
+        assert_eq!(out.canonical_edges(), oracle.canonical_edges());
+        assert_eq!(stats.legal, 1);
+        assert!(out.has_edge_slow(0, 2));
+        assert!(out.has_edge_slow(1, 3));
+        // Switch 1 was rejected: its sources remain.
+        assert!(out.has_edge_slow(0, 4));
+        assert!(out.has_edge_slow(2, 5));
+    }
+
+    #[test]
+    fn matches_sequential_oracle_on_random_global_switches() {
+        let mut rng = rng_from_seed(42);
+        for trial in 0..30 {
+            let graph = gnp(&mut rng, 60, 0.12);
+            let m = graph.num_edges();
+            if m < 4 {
+                continue;
+            }
+            let switches = random_global_switch(&mut rng, m, m / 2);
+            let (out, _) = run_superstep_on_graph(&graph, &switches);
+            let oracle = sequential_oracle(&graph, &switches);
+            assert_eq!(
+                out.canonical_edges(),
+                oracle.canonical_edges(),
+                "mismatch on trial {trial}"
+            );
+            assert_eq!(out.degrees(), graph.degrees());
+            assert!(out.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn rounds_stay_small_on_random_graphs() {
+        let mut rng = rng_from_seed(7);
+        let graph = gnp(&mut rng, 300, 0.05);
+        let m = graph.num_edges();
+        let switches = random_global_switch(&mut rng, m, m / 2);
+        let (_, stats) = run_superstep_on_graph(&graph, &switches);
+        // Theorem 2: for nearly-regular graphs the expected number of rounds
+        // is below 4; allow generous slack for this single sample.
+        assert!(stats.rounds <= 8, "unexpectedly many rounds: {}", stats.rounds);
+        assert!(stats.requested == m / 2);
+    }
+}

@@ -1,0 +1,27 @@
+//! Dataset families used in the paper's evaluation (Sec. 6).
+//!
+//! * [`syn_gnp`] — *SynGnp*: Gilbert `G(n, p)` graphs for varying node counts
+//!   and edge probabilities (used by Fig. 7 to study the influence of the
+//!   average degree at a fixed edge budget).
+//! * [`syn_pld`] — *SynPld*: power-law degree sequences `Pld([1..Δ], γ)` with
+//!   `Δ = n^{1/(γ−1)}`, materialised with Havel–Hakimi (used by Figs. 2 and 8
+//!   to study the influence of the degree exponent).
+//! * [`netrep_like`] — a synthetic stand-in for the *NetRep* corpus of
+//!   real-world graphs.  The original evaluation downloads ~600 graphs from
+//!   the network repository; since no external data can be shipped here, we
+//!   generate a deterministic corpus that spans the same ranges of size,
+//!   density, maximum degree and degree skew (road-like near-regular graphs,
+//!   power-law graphs with hubs, small dense graphs, …).  The figures that
+//!   iterate over NetRep (Figs. 3–6, 9) iterate over this corpus instead;
+//!   DESIGN.md documents why this preserves the qualitative behaviour.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod netrep_like;
+pub mod syn_gnp;
+pub mod syn_pld;
+
+pub use netrep_like::{netrep_corpus, netrep_sample, CorpusGraph, GraphFamily};
+pub use syn_gnp::{syn_gnp_graph, syn_gnp_sweep, GnpInstance};
+pub use syn_pld::{syn_pld_graph, syn_pld_sweep, PldInstance};

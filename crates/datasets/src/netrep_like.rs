@@ -1,0 +1,204 @@
+//! A synthetic stand-in for the NetRep corpus of real-world graphs.
+//!
+//! The paper's Figs. 3–6 and 9 iterate over hundreds of graphs from the
+//! network repository, whose role in the evaluation is purely structural: they
+//! cover a wide range of sizes (10³–10⁹ edges), densities, maximum degrees
+//! and degree skews.  This module generates a deterministic corpus covering
+//! the same axes with four structural families:
+//!
+//! * **RoadLike** — near-regular, very sparse graphs (average degree ≈ 2–3,
+//!   tiny maximum degree), standing in for road networks such as
+//!   `inf-road-usa`;
+//! * **PowerLaw** — heavy-tailed degree sequences with large hubs, standing in
+//!   for social/web graphs such as `soc-twitter` or `web-wikipedia`;
+//! * **Dense** — small graphs with high average degree, standing in for
+//!   biological matrices such as `bio-human-gene1`;
+//! * **Mesh** — moderate-degree `G(n, p)` graphs, standing in for
+//!   collaboration and communication networks.
+//!
+//! Every corpus entry records its family and the seed used, so experiments are
+//! reproducible and results can be grouped by family.
+
+use gesmc_graph::gen::{gnp, havel_hakimi, powerlaw_degree_sequence, PowerlawConfig};
+use gesmc_graph::{DegreeSequence, EdgeListGraph};
+use gesmc_randx::rng_from_seed;
+
+/// Structural family of a corpus graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphFamily {
+    /// Near-regular, very sparse (road-network-like).
+    RoadLike,
+    /// Heavy-tailed power-law degrees (social/web-like).
+    PowerLaw,
+    /// Small but dense (biological-matrix-like).
+    Dense,
+    /// Moderate-degree Erdős–Rényi (collaboration-like).
+    Mesh,
+}
+
+impl GraphFamily {
+    /// All families, in a fixed order.
+    pub const ALL: [GraphFamily; 4] =
+        [GraphFamily::RoadLike, GraphFamily::PowerLaw, GraphFamily::Dense, GraphFamily::Mesh];
+
+    /// Short label used in benchmark CSV output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GraphFamily::RoadLike => "road-like",
+            GraphFamily::PowerLaw => "power-law",
+            GraphFamily::Dense => "dense",
+            GraphFamily::Mesh => "mesh",
+        }
+    }
+}
+
+/// A graph of the synthetic corpus together with its provenance.
+#[derive(Debug, Clone)]
+pub struct CorpusGraph {
+    /// Descriptive name (family + size), e.g. `power-law-16384`.
+    pub name: String,
+    /// Structural family.
+    pub family: GraphFamily,
+    /// The graph itself.
+    pub graph: EdgeListGraph,
+}
+
+impl CorpusGraph {
+    /// Number of edges (convenience).
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+}
+
+/// Generate one corpus graph of the given family with roughly `target_edges`
+/// edges.
+pub fn family_graph(seed: u64, family: GraphFamily, target_edges: usize) -> CorpusGraph {
+    let mut rng = rng_from_seed(seed ^ 0xC0FF_EE00);
+    let graph = match family {
+        GraphFamily::RoadLike => {
+            // Average degree ~2.4 (paths plus occasional intersections):
+            // realised as a near-regular degree sequence of 2s and 3s.
+            let n = (target_edges as f64 / 1.2).round().max(8.0) as usize;
+            let mut degrees: Vec<u32> = (0..n).map(|i| if i % 5 == 0 { 3 } else { 2 }).collect();
+            if degrees.iter().map(|&d| d as u64).sum::<u64>() % 2 == 1 {
+                degrees[0] += 1;
+            }
+            let seq = DegreeSequence::new(degrees);
+            havel_hakimi(&seq).expect("near-regular sequence is graphical")
+        }
+        GraphFamily::PowerLaw => {
+            // γ = 2.1 gives average degree ≈ 3–5 and large hubs.
+            let gamma = 2.1;
+            let n = (target_edges as f64 / 2.2).round().max(16.0) as usize;
+            let seq = powerlaw_degree_sequence(&mut rng, &PowerlawConfig::paper(n, gamma));
+            havel_hakimi(&seq).expect("sampled sequence is graphical")
+        }
+        GraphFamily::Dense => {
+            // Density ≈ 0.3 on a small node count.
+            let n = ((2.0 * target_edges as f64 / 0.3).sqrt().round() as usize).max(8);
+            gnp(&mut rng, n, 0.3)
+        }
+        GraphFamily::Mesh => {
+            // Average degree ≈ 16.
+            let n = (target_edges as f64 / 8.0).round().max(16.0) as usize;
+            let p = (16.0 / (n as f64 - 1.0)).min(1.0);
+            gnp(&mut rng, n, p)
+        }
+    };
+    CorpusGraph { name: format!("{}-{}", family.label(), target_edges), family, graph }
+}
+
+/// Generate the full corpus: every family crossed with a geometric ladder of
+/// edge-count targets from `min_edges` to `max_edges` (both rounded to powers
+/// of two).
+pub fn netrep_corpus(seed: u64, min_edges: usize, max_edges: usize) -> Vec<CorpusGraph> {
+    let mut out = Vec::new();
+    let mut target = min_edges.next_power_of_two().max(64);
+    while target <= max_edges {
+        for (i, &family) in GraphFamily::ALL.iter().enumerate() {
+            out.push(family_graph(seed.wrapping_add(i as u64) ^ target as u64, family, target));
+        }
+        target *= 4;
+    }
+    out
+}
+
+/// A small sample of the corpus, one graph per family, mirroring the
+/// hand-picked sample of graphs in the paper's Fig. 4 table.
+pub fn netrep_sample(seed: u64, target_edges: usize) -> Vec<CorpusGraph> {
+    GraphFamily::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &family)| family_graph(seed.wrapping_add(i as u64), family, target_edges))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_graphs_have_expected_shape() {
+        let road = family_graph(1, GraphFamily::RoadLike, 4096);
+        assert!(road.graph.validate().is_ok());
+        assert!(road.graph.average_degree() < 4.0);
+        assert!(road.graph.max_degree() <= 4);
+
+        let pl = family_graph(1, GraphFamily::PowerLaw, 4096);
+        assert!(pl.graph.validate().is_ok());
+        assert!(
+            pl.graph.max_degree() as f64 > 4.0 * pl.graph.average_degree(),
+            "power-law family should have hubs: max {} avg {}",
+            pl.graph.max_degree(),
+            pl.graph.average_degree()
+        );
+
+        let dense = family_graph(1, GraphFamily::Dense, 4096);
+        assert!(dense.graph.validate().is_ok());
+        assert!(dense.graph.density() > 0.15, "density {}", dense.graph.density());
+
+        let mesh = family_graph(1, GraphFamily::Mesh, 4096);
+        assert!(mesh.graph.validate().is_ok());
+        let d = mesh.graph.average_degree();
+        assert!(d > 8.0 && d < 32.0, "mesh average degree {d}");
+    }
+
+    #[test]
+    fn edge_counts_are_roughly_on_target() {
+        for family in GraphFamily::ALL {
+            let g = family_graph(2, family, 8192);
+            let m = g.num_edges() as f64;
+            assert!(
+                m > 0.4 * 8192.0 && m < 2.5 * 8192.0,
+                "{:?}: m = {m} too far from target",
+                family
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_spans_the_requested_range() {
+        let corpus = netrep_corpus(3, 1000, 20_000);
+        assert!(corpus.len() >= 8, "corpus has {} graphs", corpus.len());
+        let families: std::collections::HashSet<_> = corpus.iter().map(|c| c.family).collect();
+        assert_eq!(families.len(), 4);
+        for c in &corpus {
+            assert!(c.graph.validate().is_ok(), "{} invalid", c.name);
+        }
+    }
+
+    #[test]
+    fn sample_has_one_graph_per_family() {
+        let sample = netrep_sample(4, 2048);
+        assert_eq!(sample.len(), 4);
+        let families: std::collections::HashSet<_> = sample.iter().map(|c| c.family).collect();
+        assert_eq!(families.len(), 4);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = family_graph(9, GraphFamily::Mesh, 2048);
+        let b = family_graph(9, GraphFamily::Mesh, 2048);
+        assert_eq!(a.graph.canonical_edges(), b.graph.canonical_edges());
+    }
+}

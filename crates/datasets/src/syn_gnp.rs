@@ -1,0 +1,81 @@
+//! The *SynGnp* dataset: `G(n, p)` graphs for varying `n` and `p`.
+
+use gesmc_graph::gen::gnp_with_expected_edges;
+use gesmc_graph::EdgeListGraph;
+use gesmc_randx::rng_from_seed;
+
+/// One instance of the SynGnp sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GnpInstance {
+    /// Number of nodes.
+    pub n: usize,
+    /// Expected number of edges.
+    pub m: usize,
+    /// Resulting expected average degree `2m / n`.
+    pub avg_degree: f64,
+}
+
+/// Generate one SynGnp graph with roughly `m` edges on `n` nodes.
+pub fn syn_gnp_graph(seed: u64, n: usize, m: usize) -> EdgeListGraph {
+    let mut rng = rng_from_seed(seed ^ 0x5919_6e70);
+    gnp_with_expected_edges(&mut rng, n, m)
+}
+
+/// The parameter sweep of Fig. 7: for each edge budget `m ∈ {2^k}` the average
+/// degree is varied by shrinking the node count, stopping once the graph would
+/// be denser than a complete graph.
+pub fn syn_gnp_sweep(edge_budgets: &[usize], avg_degrees: &[f64]) -> Vec<GnpInstance> {
+    let mut out = Vec::new();
+    for &m in edge_budgets {
+        for &d in avg_degrees {
+            if d <= 0.0 {
+                continue;
+            }
+            let n = ((2.0 * m as f64) / d).round() as usize;
+            if n < 2 {
+                continue;
+            }
+            // Skip configurations denser than a complete graph.
+            let max_edges = n * (n - 1) / 2;
+            if m > max_edges {
+                continue;
+            }
+            out.push(GnpInstance { n, m, avg_degree: d });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graphs_are_simple_and_close_to_target_size() {
+        let g = syn_gnp_graph(1, 2000, 8000);
+        assert!(g.validate().is_ok());
+        let m = g.num_edges() as f64;
+        assert!(m > 7000.0 && m < 9000.0, "m = {m}");
+    }
+
+    #[test]
+    fn sweep_respects_density_limit() {
+        let sweep = syn_gnp_sweep(&[1 << 10, 1 << 12], &[4.0, 16.0, 64.0, 1024.0]);
+        assert!(!sweep.is_empty());
+        for inst in &sweep {
+            let max_edges = inst.n * (inst.n - 1) / 2;
+            assert!(inst.m <= max_edges, "{inst:?} denser than complete graph");
+            let implied = 2.0 * inst.m as f64 / inst.n as f64;
+            assert!((implied - inst.avg_degree).abs() / inst.avg_degree < 0.2);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let a = syn_gnp_graph(7, 500, 2000);
+        let b = syn_gnp_graph(7, 500, 2000);
+        assert_eq!(a.canonical_edges(), b.canonical_edges());
+        let c = syn_gnp_graph(8, 500, 2000);
+        assert_ne!(a.canonical_edges(), c.canonical_edges());
+    }
+}

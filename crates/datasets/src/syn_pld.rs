@@ -1,0 +1,74 @@
+//! The *SynPld* dataset: power-law degree sequences materialised with
+//! Havel–Hakimi.
+
+use gesmc_graph::gen::{havel_hakimi, powerlaw_degree_sequence, PowerlawConfig};
+use gesmc_graph::EdgeListGraph;
+use gesmc_randx::rng_from_seed;
+
+/// One instance of the SynPld sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PldInstance {
+    /// Number of nodes.
+    pub n: usize,
+    /// Degree exponent γ.
+    pub gamma: f64,
+}
+
+/// Generate one SynPld graph: sample `Pld([1..Δ], γ)` with `Δ = n^{1/(γ−1)}`
+/// and realise it with Havel–Hakimi (the paper's construction, Sec. 6).
+pub fn syn_pld_graph(seed: u64, n: usize, gamma: f64) -> EdgeListGraph {
+    let mut rng = rng_from_seed(seed ^ 0x9d1d);
+    let seq = powerlaw_degree_sequence(&mut rng, &PowerlawConfig::paper(n, gamma));
+    havel_hakimi(&seq).expect("sampled sequence is graphical by construction")
+}
+
+/// The cross product of node counts and degree exponents (Figs. 2 and 8 use
+/// `n ∈ {2^7, 2^10, 2^13}` × `γ ∈ {2.01, 2.1, 2.2, 2.5}` and
+/// `n ∈ {2^24, …}` × `γ ∈ [2.01, 3.0]` respectively).
+pub fn syn_pld_sweep(node_counts: &[usize], gammas: &[f64]) -> Vec<PldInstance> {
+    let mut out = Vec::new();
+    for &n in node_counts {
+        for &gamma in gammas {
+            out.push(PldInstance { n, gamma });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graphs_realise_power_law_sequences() {
+        for &(n, gamma) in &[(128usize, 2.01f64), (1024, 2.2), (512, 2.9)] {
+            let g = syn_pld_graph(3, n, gamma);
+            assert!(g.validate().is_ok());
+            assert_eq!(g.num_nodes(), n);
+            let deg = g.degrees();
+            assert!(deg.min_degree() >= 1);
+            assert!(deg.max_degree() as usize <= n - 1);
+        }
+    }
+
+    #[test]
+    fn smaller_gamma_gives_larger_hubs() {
+        let heavy = syn_pld_graph(5, 4096, 2.01);
+        let light = syn_pld_graph(5, 4096, 2.9);
+        assert!(heavy.max_degree() > light.max_degree());
+    }
+
+    #[test]
+    fn sweep_is_the_cross_product() {
+        let sweep = syn_pld_sweep(&[128, 1024], &[2.01, 2.5]);
+        assert_eq!(sweep.len(), 4);
+        assert!(sweep.contains(&PldInstance { n: 1024, gamma: 2.5 }));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = syn_pld_graph(11, 256, 2.3);
+        let b = syn_pld_graph(11, 256, 2.3);
+        assert_eq!(a.canonical_edges(), b.canonical_edges());
+    }
+}

@@ -1,0 +1,232 @@
+//! Adjacency-based graph views.
+//!
+//! The switching chains themselves operate on the edge list + hash set
+//! combination, but two other parts of the reproduction need neighbourhood
+//! access:
+//!
+//! * the *baseline* implementations (`gesmc-baselines`) deliberately use an
+//!   adjacency list, mirroring the NetworKit/Gengraph designs the paper
+//!   compares against (Sec. 5.2 discusses why this is slower), and
+//! * the structural metrics (triangles, clustering, components) in
+//!   [`crate::metrics`].
+//!
+//! [`AdjacencyList`] is mutable and supports edge rewiring; [`Csr`] is a
+//! compact immutable view optimised for traversals.
+
+use crate::edge::{Edge, Node};
+use crate::edge_list::EdgeListGraph;
+
+/// Mutable adjacency-list representation.
+#[derive(Clone, Debug)]
+pub struct AdjacencyList {
+    neighbors: Vec<Vec<Node>>,
+    num_edges: usize,
+}
+
+impl AdjacencyList {
+    /// Build from an edge-list graph.
+    pub fn from_graph(g: &EdgeListGraph) -> Self {
+        let mut neighbors = vec![Vec::new(); g.num_nodes()];
+        for e in g.edges() {
+            neighbors[e.u() as usize].push(e.v());
+            neighbors[e.v() as usize].push(e.u());
+        }
+        Self { neighbors, num_edges: g.num_edges() }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Number of (undirected) edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Neighbourhood of `v`.
+    pub fn neighbors(&self, v: Node) -> &[Node] {
+        &self.neighbors[v as usize]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: Node) -> usize {
+        self.neighbors[v as usize].len()
+    }
+
+    /// Whether the edge `{u, v}` exists (linear scan of the smaller
+    /// neighbourhood — the operation the paper calls out as the weakness of
+    /// adjacency lists).
+    pub fn has_edge(&self, u: Node, v: Node) -> bool {
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.neighbors[a as usize].contains(&b)
+    }
+
+    /// Insert the edge `{u, v}`.  Does not check for duplicates.
+    pub fn insert_edge(&mut self, u: Node, v: Node) {
+        self.neighbors[u as usize].push(v);
+        self.neighbors[v as usize].push(u);
+        self.num_edges += 1;
+    }
+
+    /// Remove the edge `{u, v}`.  Returns whether it was present.
+    pub fn remove_edge(&mut self, u: Node, v: Node) -> bool {
+        let removed_uv = Self::remove_from(&mut self.neighbors[u as usize], v);
+        if !removed_uv {
+            return false;
+        }
+        let removed_vu = Self::remove_from(&mut self.neighbors[v as usize], u);
+        debug_assert!(removed_vu, "adjacency lists out of sync");
+        self.num_edges -= 1;
+        true
+    }
+
+    fn remove_from(list: &mut Vec<Node>, x: Node) -> bool {
+        if let Some(pos) = list.iter().position(|&y| y == x) {
+            list.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Convert back to an edge-list graph (each edge emitted once).
+    pub fn to_graph(&self) -> EdgeListGraph {
+        let mut edges = Vec::with_capacity(self.num_edges);
+        for (u, nbrs) in self.neighbors.iter().enumerate() {
+            let u = u as Node;
+            for &v in nbrs {
+                if u < v {
+                    edges.push(Edge::new(u, v));
+                }
+            }
+        }
+        EdgeListGraph::from_edges_unchecked(self.neighbors.len(), edges)
+    }
+}
+
+/// Immutable compressed sparse row (CSR) view; neighbourhoods are sorted so
+/// membership queries are `O(log deg)` and triangle counting can merge-scan.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<Node>,
+}
+
+impl Csr {
+    /// Build from an edge-list graph.
+    pub fn from_graph(g: &EdgeListGraph) -> Self {
+        let n = g.num_nodes();
+        let mut deg = vec![0usize; n];
+        for e in g.edges() {
+            deg[e.u() as usize] += 1;
+            deg[e.v() as usize] += 1;
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + deg[v];
+        }
+        let mut targets = vec![0 as Node; offsets[n]];
+        let mut cursor = offsets.clone();
+        for e in g.edges() {
+            targets[cursor[e.u() as usize]] = e.v();
+            cursor[e.u() as usize] += 1;
+            targets[cursor[e.v() as usize]] = e.u();
+            cursor[e.v() as usize] += 1;
+        }
+        // Sort each neighbourhood for binary search / merge operations.
+        for v in 0..n {
+            targets[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Self { offsets, targets }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Sorted neighbourhood of `v`.
+    pub fn neighbors(&self, v: Node) -> &[Node] {
+        &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: Node) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Whether the edge `{u, v}` exists (binary search).
+    pub fn has_edge(&self, u: Node, v: Node) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_graph() -> EdgeListGraph {
+        // Square with one diagonal: 0-1, 1-2, 2-3, 3-0, 0-2
+        EdgeListGraph::new(
+            4,
+            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3), Edge::new(3, 0), Edge::new(0, 2)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn adjacency_list_roundtrip() {
+        let g = sample_graph();
+        let adj = AdjacencyList::from_graph(&g);
+        assert_eq!(adj.num_nodes(), 4);
+        assert_eq!(adj.num_edges(), 5);
+        assert_eq!(adj.degree(0), 3);
+        assert!(adj.has_edge(0, 2));
+        assert!(!adj.has_edge(1, 3));
+        let back = adj.to_graph();
+        assert_eq!(back.canonical_edges(), g.canonical_edges());
+    }
+
+    #[test]
+    fn adjacency_insert_remove() {
+        let g = sample_graph();
+        let mut adj = AdjacencyList::from_graph(&g);
+        assert!(adj.remove_edge(0, 2));
+        assert!(!adj.has_edge(0, 2));
+        assert_eq!(adj.num_edges(), 4);
+        assert!(!adj.remove_edge(0, 2));
+        adj.insert_edge(1, 3);
+        assert!(adj.has_edge(3, 1));
+        assert_eq!(adj.num_edges(), 5);
+        // Degrees are preserved by this switch-like rewiring.
+        let before = g.degrees();
+        let after = adj.to_graph().degrees();
+        assert_eq!(before.degree_sum(), after.degree_sum());
+    }
+
+    #[test]
+    fn csr_matches_adjacency() {
+        let g = sample_graph();
+        let csr = Csr::from_graph(&g);
+        assert_eq!(csr.num_nodes(), 4);
+        assert_eq!(csr.num_edges(), 5);
+        assert_eq!(csr.degree(0), 3);
+        assert_eq!(csr.neighbors(0), &[1, 2, 3]);
+        assert!(csr.has_edge(2, 0));
+        assert!(!csr.has_edge(1, 3));
+    }
+
+    #[test]
+    fn csr_empty_and_isolated_nodes() {
+        let g = EdgeListGraph::new(3, vec![Edge::new(0, 1)]).unwrap();
+        let csr = Csr::from_graph(&g);
+        assert_eq!(csr.degree(2), 0);
+        assert_eq!(csr.neighbors(2), &[] as &[Node]);
+    }
+}

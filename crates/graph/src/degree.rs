@@ -1,0 +1,291 @@
+//! Degree sequences, graphicality, and degree-derived statistics.
+//!
+//! A degree sequence `d = (d_1, …, d_n)` is *graphical* if some simple graph
+//! realises it.  The Erdős–Gallai theorem characterises graphical sequences,
+//! and the Havel–Hakimi algorithm (in [`crate::gen::havel_hakimi`])
+//! constructs a realisation.  The analysis of `ParGlobalES` (Theorems 2 and 3
+//! of the paper) depends on the maximum degree `Δ` and on the collision
+//! statistic `P2 = Σ_{u<v} (d_u d_v / m(m−1))²`; both are exposed here.
+
+use crate::edge::Node;
+
+/// A prescribed degree sequence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DegreeSequence {
+    degrees: Vec<u32>,
+}
+
+impl DegreeSequence {
+    /// Wrap a vector of degrees.
+    pub fn new(degrees: Vec<u32>) -> Self {
+        Self { degrees }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.degrees.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.degrees.is_empty()
+    }
+
+    /// Access the raw degrees.
+    pub fn degrees(&self) -> &[u32] {
+        &self.degrees
+    }
+
+    /// Degree of node `v`.
+    pub fn degree(&self, v: Node) -> u32 {
+        self.degrees[v as usize]
+    }
+
+    /// Sum of all degrees (twice the number of edges of any realisation).
+    pub fn degree_sum(&self) -> u64 {
+        self.degrees.iter().map(|&d| d as u64).sum()
+    }
+
+    /// Number of edges `m = (Σ d_i) / 2` of any realisation.
+    ///
+    /// Returns `None` if the degree sum is odd (no realisation exists).
+    pub fn num_edges(&self) -> Option<u64> {
+        let s = self.degree_sum();
+        if s % 2 == 0 {
+            Some(s / 2)
+        } else {
+            None
+        }
+    }
+
+    /// Maximum degree `Δ`.
+    pub fn max_degree(&self) -> u32 {
+        self.degrees.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Minimum degree.
+    pub fn min_degree(&self) -> u32 {
+        self.degrees.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Average degree `2m / n`.
+    pub fn average_degree(&self) -> f64 {
+        if self.degrees.is_empty() {
+            0.0
+        } else {
+            self.degree_sum() as f64 / self.degrees.len() as f64
+        }
+    }
+
+    /// Erdős–Gallai test: is this sequence realisable by a simple graph?
+    ///
+    /// The sequence is graphical iff the degree sum is even and for every
+    /// `k ∈ [n]` (with degrees sorted non-increasingly)
+    /// `Σ_{i≤k} d_i ≤ k(k−1) + Σ_{i>k} min(d_i, k)`.
+    ///
+    /// Runs in `O(n log n)` (dominated by sorting).
+    pub fn is_graphical(&self) -> bool {
+        let n = self.degrees.len();
+        if n == 0 {
+            return true;
+        }
+        // A simple graph on n nodes has maximum degree n - 1.
+        if self.degrees.iter().any(|&d| d as usize > n - 1) {
+            return false;
+        }
+        let sum = self.degree_sum();
+        if sum % 2 != 0 {
+            return false;
+        }
+
+        let mut sorted: Vec<u64> = self.degrees.iter().map(|&d| d as u64).collect();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+
+        // Prefix sums of the sorted degrees.
+        let mut prefix = vec![0u64; n + 1];
+        for i in 0..n {
+            prefix[i + 1] = prefix[i] + sorted[i];
+        }
+
+        // For the right-hand side we need, for each k, Σ_{i>k} min(d_i, k).
+        // Since the sequence is sorted non-increasingly we can locate the
+        // first index where d_i <= k by binary search.
+        for k in 1..=n {
+            let lhs = prefix[k];
+            let kk = k as u64;
+            // Find the first index >= k where sorted[i] <= k.
+            let tail = &sorted[k..];
+            // Elements > k contribute k each; elements <= k contribute themselves.
+            let split = tail.partition_point(|&d| d > kk);
+            let big = split as u64 * kk;
+            let small = prefix[n] - prefix[k + split]; // sum of tail[split..]
+            let rhs = kk * (kk - 1) + big + small;
+            if lhs > rhs {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The `P2` collision statistic of Theorem 3:
+    /// `P2 = Σ_{e={u,v}, u≠v} (d_u d_v / (m (m−1)))²`.
+    ///
+    /// The expected number of rounds of a global switch is `O(P2 · m)`.
+    /// Computed in `O(D²)` over the *distinct* degree values `D`, which is
+    /// fast even for large graphs because real degree sequences have few
+    /// distinct values relative to `n`.
+    pub fn p2_statistic(&self) -> f64 {
+        let m = match self.num_edges() {
+            Some(m) if m >= 2 => m as f64,
+            _ => return 0.0,
+        };
+        let denom = m * (m - 1.0);
+
+        // Group nodes by degree value.
+        let mut counts: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        for &d in &self.degrees {
+            *counts.entry(d).or_insert(0) += 1;
+        }
+        let groups: Vec<(f64, f64)> =
+            counts.into_iter().map(|(d, c)| (d as f64, c as f64)).collect();
+
+        let mut p2 = 0.0;
+        for (i, &(di, ci)) in groups.iter().enumerate() {
+            for &(dj, cj) in groups.iter().skip(i) {
+                let (d_i, d_j) = (di, dj);
+                let term = (d_i * d_j / denom).powi(2);
+                let pairs = if (d_i - d_j).abs() < f64::EPSILON {
+                    ci * (ci - 1.0) / 2.0
+                } else {
+                    ci * cj
+                };
+                p2 += term * pairs;
+            }
+        }
+        p2
+    }
+
+    /// Sorted copy (non-increasing), useful for comparisons irrespective of
+    /// node labelling.
+    pub fn sorted_desc(&self) -> Vec<u32> {
+        let mut s = self.degrees.clone();
+        s.sort_unstable_by(|a, b| b.cmp(a));
+        s
+    }
+}
+
+impl From<Vec<u32>> for DegreeSequence {
+    fn from(v: Vec<u32>) -> Self {
+        Self::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let d = DegreeSequence::new(vec![3, 2, 2, 1]);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.degree_sum(), 8);
+        assert_eq!(d.num_edges(), Some(4));
+        assert_eq!(d.max_degree(), 3);
+        assert_eq!(d.min_degree(), 1);
+        assert!((d.average_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn odd_sum_is_not_graphical() {
+        let d = DegreeSequence::new(vec![3, 2, 2]);
+        assert_eq!(d.num_edges(), None);
+        assert!(!d.is_graphical());
+    }
+
+    #[test]
+    fn classic_graphical_examples() {
+        // Triangle.
+        assert!(DegreeSequence::new(vec![2, 2, 2]).is_graphical());
+        // Star K_{1,3}.
+        assert!(DegreeSequence::new(vec![3, 1, 1, 1]).is_graphical());
+        // Path of length 3.
+        assert!(DegreeSequence::new(vec![1, 2, 2, 1]).is_graphical());
+        // Complete graph K_5.
+        assert!(DegreeSequence::new(vec![4; 5]).is_graphical());
+        // Empty graph.
+        assert!(DegreeSequence::new(vec![0; 7]).is_graphical());
+        assert!(DegreeSequence::new(vec![]).is_graphical());
+    }
+
+    #[test]
+    fn classic_non_graphical_examples() {
+        // A degree larger than n-1 is impossible.
+        assert!(!DegreeSequence::new(vec![4, 1, 1, 1]).is_graphical());
+        // (3,3,1,1): sum even but Erdős–Gallai fails at k = 2.
+        assert!(!DegreeSequence::new(vec![3, 3, 1, 1]).is_graphical());
+        // Single node with a positive degree.
+        assert!(!DegreeSequence::new(vec![2]).is_graphical());
+    }
+
+    #[test]
+    fn p2_statistic_regular_graph() {
+        // d-regular graph on n nodes: P2 = C(n,2) * (d^2 / (m(m-1)))^2.
+        let n = 10u64;
+        let d = 4u64;
+        let m = n * d / 2;
+        let seq = DegreeSequence::new(vec![d as u32; n as usize]);
+        let expected = (n * (n - 1) / 2) as f64
+            * ((d * d) as f64 / (m as f64 * (m as f64 - 1.0))).powi(2);
+        let got = seq.p2_statistic();
+        assert!((got - expected).abs() < 1e-12, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn p2_statistic_small_cases() {
+        assert_eq!(DegreeSequence::new(vec![]).p2_statistic(), 0.0);
+        assert_eq!(DegreeSequence::new(vec![1, 1]).p2_statistic(), 0.0); // m < 2
+    }
+
+    #[test]
+    fn sorted_desc_sorts() {
+        let d = DegreeSequence::new(vec![1, 5, 3]);
+        assert_eq!(d.sorted_desc(), vec![5, 3, 1]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Brute-force Erdős–Gallai via the textbook inequality with an O(n^2) loop.
+    fn erdos_gallai_naive(degrees: &[u32]) -> bool {
+        let n = degrees.len();
+        if degrees.iter().map(|&d| d as u64).sum::<u64>() % 2 != 0 {
+            return false;
+        }
+        if degrees.iter().any(|&d| d as usize >= n && d > 0) {
+            return false;
+        }
+        let mut d: Vec<u64> = degrees.iter().map(|&x| x as u64).collect();
+        d.sort_unstable_by(|a, b| b.cmp(a));
+        for k in 1..=n {
+            let lhs: u64 = d[..k].iter().sum();
+            let rhs: u64 =
+                (k as u64) * (k as u64 - 1) + d[k..].iter().map(|&x| x.min(k as u64)).sum::<u64>();
+            if lhs > rhs {
+                return false;
+            }
+        }
+        true
+    }
+
+    proptest! {
+        #[test]
+        fn erdos_gallai_matches_naive(degrees in proptest::collection::vec(0u32..12, 0..24)) {
+            let fast = DegreeSequence::new(degrees.clone()).is_graphical();
+            let slow = erdos_gallai_naive(&degrees);
+            prop_assert_eq!(fast, slow);
+        }
+    }
+}

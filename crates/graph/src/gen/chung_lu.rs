@@ -1,0 +1,121 @@
+//! Chung–Lu random graphs with given *expected* degrees.
+//!
+//! The Chung–Lu model (reference [12] in the paper) connects nodes `u, v`
+//! independently with probability `min(1, w_u w_v / Σw)`.  It matches the
+//! prescribed degrees only in expectation and therefore serves in the paper's
+//! introduction as a contrast to exact-degree sampling; we include it both as
+//! an example workload and as an alternative (non-exact) seed graph.
+
+use crate::edge::{Edge, Node};
+use crate::edge_list::EdgeListGraph;
+use rand::Rng as _;
+use rand::RngCore;
+
+/// Sample a Chung–Lu graph for the given expected-degree weights.
+///
+/// Runs in `O(n + m)` expected time using the standard per-node geometric
+/// skipping over candidate partners sorted by weight.
+pub fn chung_lu<R: RngCore + ?Sized>(rng: &mut R, weights: &[f64]) -> EdgeListGraph {
+    let n = weights.len();
+    assert!(weights.iter().all(|&w| w >= 0.0 && w.is_finite()), "weights must be non-negative");
+    if n < 2 {
+        return EdgeListGraph::from_edges_unchecked(n, Vec::new());
+    }
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return EdgeListGraph::from_edges_unchecked(n, Vec::new());
+    }
+
+    // Sort nodes by non-increasing weight; the skipping argument requires the
+    // per-partner probabilities to be non-increasing along the scan.
+    let mut order: Vec<Node> = (0..n as Node).collect();
+    order.sort_unstable_by(|&a, &b| {
+        weights[b as usize].partial_cmp(&weights[a as usize]).unwrap().then(a.cmp(&b))
+    });
+
+    let mut edges = Vec::new();
+    for i in 0..n {
+        let u = order[i];
+        let wu = weights[u as usize];
+        if wu == 0.0 {
+            break;
+        }
+        let mut j = i + 1;
+        // Upper bound on the connection probability for the remaining scan.
+        let mut p_bound = (wu * weights[order[j.min(n - 1)] as usize] / total).min(1.0);
+        while j < n && p_bound > 0.0 {
+            // Geometric skip with probability p_bound, then accept with the
+            // exact probability ratio.
+            if p_bound < 1.0 {
+                let r: f64 = rng.gen::<f64>();
+                let skip = ((1.0 - r).ln() / (1.0 - p_bound).ln()).floor();
+                if !skip.is_finite() || skip >= (n - j) as f64 {
+                    break;
+                }
+                j += skip as usize;
+            }
+            if j >= n {
+                break;
+            }
+            let v = order[j];
+            let p_exact = (wu * weights[v as usize] / total).min(1.0);
+            if rng.gen::<f64>() < p_exact / p_bound {
+                edges.push(Edge::new(u, v));
+            }
+            p_bound = p_exact;
+            j += 1;
+        }
+    }
+    EdgeListGraph::from_edges_unchecked(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gesmc_randx::rng_from_seed;
+
+    #[test]
+    fn trivial_inputs() {
+        let mut rng = rng_from_seed(0);
+        assert_eq!(chung_lu(&mut rng, &[]).num_edges(), 0);
+        assert_eq!(chung_lu(&mut rng, &[3.0]).num_edges(), 0);
+        assert_eq!(chung_lu(&mut rng, &[0.0; 10]).num_edges(), 0);
+    }
+
+    #[test]
+    fn output_is_simple() {
+        let mut rng = rng_from_seed(1);
+        let weights: Vec<f64> = (1..200).map(|i| (i % 17) as f64 + 1.0).collect();
+        let g = chung_lu(&mut rng, &weights);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.num_nodes(), weights.len());
+    }
+
+    #[test]
+    fn expected_degrees_are_roughly_matched() {
+        // Uniform weights w: expected degree of each node ≈ w (for w ≪ √Σw).
+        let mut rng = rng_from_seed(2);
+        let n = 2000usize;
+        let w = 8.0f64;
+        let weights = vec![w; n];
+        let reps = 5;
+        let mut total_deg = 0.0;
+        for _ in 0..reps {
+            let g = chung_lu(&mut rng, &weights);
+            total_deg += g.average_degree();
+        }
+        let avg = total_deg / reps as f64;
+        assert!((avg - w).abs() < 0.8, "average degree {avg} should be close to {w}");
+    }
+
+    #[test]
+    fn heavier_nodes_get_more_edges() {
+        let mut rng = rng_from_seed(3);
+        let n = 1000usize;
+        let mut weights = vec![2.0; n];
+        weights[0] = 50.0;
+        let g = chung_lu(&mut rng, &weights);
+        let deg = g.degrees();
+        assert!(deg.degree(0) as f64 > 20.0, "hub degree {}", deg.degree(0));
+    }
+}

@@ -1,0 +1,124 @@
+//! Erdős–Rényi / Gilbert `G(n, p)` generator.
+//!
+//! Each of the `C(n, 2)` possible edges is present independently with
+//! probability `p`.  For the sparse regime we use the standard geometric
+//! skipping technique (Batagelj–Brandes), which runs in `O(n + m)` expected
+//! time instead of `O(n²)`, so the *SynGnp* dataset with `m` up to `2^26`
+//! edges can be produced quickly.
+
+use crate::edge::{Edge, Node};
+use crate::edge_list::EdgeListGraph;
+use rand::Rng as _;
+use rand::RngCore;
+
+/// Sample a `G(n, p)` graph.
+///
+/// # Panics
+/// Panics if `p` is not in `[0, 1]`.
+pub fn gnp<R: RngCore + ?Sized>(rng: &mut R, n: usize, p: f64) -> EdgeListGraph {
+    assert!((0.0..=1.0).contains(&p) && p.is_finite(), "p must be in [0, 1]");
+    if n < 2 || p == 0.0 {
+        return EdgeListGraph::from_edges_unchecked(n, Vec::new());
+    }
+    if p >= 1.0 {
+        let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+        for u in 0..n as Node {
+            for v in (u + 1)..n as Node {
+                edges.push(Edge::new(u, v));
+            }
+        }
+        return EdgeListGraph::from_edges_unchecked(n, edges);
+    }
+
+    // Geometric skipping over the implicit enumeration of all C(n,2) pairs.
+    let mut edges = Vec::with_capacity((p * (n as f64) * (n as f64 - 1.0) / 2.0) as usize + 16);
+    let log1p = (1.0 - p).ln();
+    let mut v: i64 = 1;
+    let mut w: i64 = -1;
+    let n_i = n as i64;
+    while v < n_i {
+        let r: f64 = rng.gen::<f64>();
+        // Skip a geometrically distributed number of candidate pairs.
+        let skip = ((1.0 - r).ln() / log1p).floor() as i64;
+        w += 1 + skip;
+        while w >= v && v < n_i {
+            w -= v;
+            v += 1;
+        }
+        if v < n_i {
+            edges.push(Edge::new(w as Node, v as Node));
+        }
+    }
+    EdgeListGraph::from_edges_unchecked(n, edges)
+}
+
+/// Sample a `G(n, p)` graph where `p` is chosen so the *expected* number of
+/// edges is `m_expected`.  Used by the Fig. 7 benchmark, which sweeps the
+/// average degree at a fixed edge budget.
+pub fn gnp_with_expected_edges<R: RngCore + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    m_expected: usize,
+) -> EdgeListGraph {
+    if n < 2 {
+        return EdgeListGraph::from_edges_unchecked(n, Vec::new());
+    }
+    let possible = n as f64 * (n as f64 - 1.0) / 2.0;
+    let p = (m_expected as f64 / possible).min(1.0);
+    gnp(rng, n, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gesmc_randx::rng_from_seed;
+
+    #[test]
+    fn trivial_cases() {
+        let mut rng = rng_from_seed(0);
+        assert_eq!(gnp(&mut rng, 0, 0.5).num_edges(), 0);
+        assert_eq!(gnp(&mut rng, 1, 0.5).num_edges(), 0);
+        assert_eq!(gnp(&mut rng, 10, 0.0).num_edges(), 0);
+        let complete = gnp(&mut rng, 6, 1.0);
+        assert_eq!(complete.num_edges(), 15);
+    }
+
+    #[test]
+    fn output_is_simple() {
+        let mut rng = rng_from_seed(1);
+        for &(n, p) in &[(50usize, 0.1f64), (100, 0.5), (200, 0.02), (10, 0.9)] {
+            let g = gnp(&mut rng, n, p);
+            assert!(g.validate().is_ok(), "n={n} p={p}");
+            assert_eq!(g.num_nodes(), n);
+        }
+    }
+
+    #[test]
+    fn edge_count_matches_expectation() {
+        // E[m] = p * C(n,2); with n = 400, p = 0.1: mean 7980, sd ≈ 84.7.
+        let mut rng = rng_from_seed(2);
+        let n = 400;
+        let p = 0.1;
+        let reps = 20;
+        let total: usize = (0..reps).map(|_| gnp(&mut rng, n, p).num_edges()).sum();
+        let mean = total as f64 / reps as f64;
+        let expected = p * (n * (n - 1) / 2) as f64;
+        assert!((mean - expected).abs() < 0.05 * expected, "mean {mean} vs expected {expected}");
+    }
+
+    #[test]
+    fn expected_edges_helper_hits_target() {
+        let mut rng = rng_from_seed(3);
+        let g = gnp_with_expected_edges(&mut rng, 1000, 5000);
+        let m = g.num_edges() as f64;
+        assert!(m > 4000.0 && m < 6000.0, "m = {m}");
+    }
+
+    #[test]
+    fn dense_p_close_to_one() {
+        let mut rng = rng_from_seed(4);
+        let g = gnp(&mut rng, 40, 0.97);
+        assert!(g.validate().is_ok());
+        assert!(g.num_edges() as f64 > 0.9 * 780.0);
+    }
+}

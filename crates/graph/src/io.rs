@@ -1,0 +1,140 @@
+//! Plain-text edge-list I/O.
+//!
+//! The CLI and the benchmark harness exchange graphs as whitespace-separated
+//! edge lists (`u v` per line, `#`-prefixed comments ignored), the de-facto
+//! format of the network repository the paper draws its real-world graphs
+//! from.  Reading applies the same clean-up the paper describes: directed
+//! duplicates, self-loops and multi-edges are dropped.
+
+use crate::edge::Node;
+use crate::edge_list::EdgeListGraph;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors raised while parsing an edge list.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line could not be parsed as two node ids.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Parse { line, content } => write!(f, "cannot parse line {line}: {content:?}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Parse an edge list from a reader.
+///
+/// Node ids may be arbitrary `u32` values; the graph's node count is
+/// `max id + 1`.  Self-loops and duplicate edges are silently dropped
+/// (mirroring the paper's NetRep preprocessing).
+pub fn read_edge_list<R: Read>(reader: R) -> Result<EdgeListGraph, IoError> {
+    let reader = BufReader::new(reader);
+    let mut pairs: Vec<(Node, Node)> = Vec::new();
+    let mut max_node: Node = 0;
+    let mut saw_any = false;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> Option<Node> { tok.and_then(|t| t.parse().ok()) };
+        match (parse(it.next()), parse(it.next())) {
+            (Some(a), Some(b)) => {
+                max_node = max_node.max(a).max(b);
+                saw_any = true;
+                pairs.push((a, b));
+            }
+            _ => {
+                return Err(IoError::Parse { line: idx + 1, content: trimmed.to_string() });
+            }
+        }
+    }
+    let n = if saw_any { max_node as usize + 1 } else { 0 };
+    Ok(EdgeListGraph::from_pairs_dedup(n, pairs))
+}
+
+/// Read an edge list from a file path.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<EdgeListGraph, IoError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(file)
+}
+
+/// Write a graph as a plain edge list (`u v` per line).
+pub fn write_edge_list<W: Write>(writer: W, graph: &EdgeListGraph) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# nodes {} edges {}", graph.num_nodes(), graph.num_edges())?;
+    for e in graph.edges() {
+        writeln!(w, "{} {}", e.u(), e.v())?;
+    }
+    w.flush()
+}
+
+/// Write a graph to a file path.
+pub fn write_edge_list_file<P: AsRef<Path>>(path: P, graph: &EdgeListGraph) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(file, graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Edge;
+
+    #[test]
+    fn roundtrip() {
+        let g = EdgeListGraph::new(5, vec![Edge::new(0, 1), Edge::new(1, 4), Edge::new(2, 3)]).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&mut buf, &g).unwrap();
+        let parsed = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(parsed.canonical_edges(), g.canonical_edges());
+        assert_eq!(parsed.num_nodes(), 5);
+    }
+
+    #[test]
+    fn parses_comments_loops_and_duplicates() {
+        let input = "# a comment\n% another\n0 1\n1 0\n2 2\n\n1 3\n";
+        let g = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_nodes(), 4);
+        assert!(g.has_edge_slow(0, 1));
+        assert!(g.has_edge_slow(1, 3));
+    }
+
+    #[test]
+    fn reports_parse_errors_with_line_numbers() {
+        let input = "0 1\nnot an edge\n";
+        match read_edge_list(input.as_bytes()) {
+            Err(IoError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_edge_list("".as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Graph substrate for the edge-switching workspace.
+//!
+//! The paper treats a graph as an *indexed edge list* `E[1..m]` of undirected
+//! edges over nodes `v_1 … v_n`, backed by a hash set for existence queries.
+//! This crate provides that representation ([`EdgeListGraph`]) together with
+//! everything needed to *produce* the input graphs of the evaluation:
+//!
+//! * canonical undirected edges and their packed 64-bit encoding ([`edge`]),
+//! * degree sequences, the Erdős–Gallai graphicality test and the
+//!   Havel–Hakimi realisation algorithm ([`degree`], [`gen::havel_hakimi`]),
+//! * random graph generators: `G(n,p)`, power-law degree sequences
+//!   (`Pld([a..b], γ)`), Chung–Lu and the configuration model ([`gen`]),
+//! * adjacency-based views (adjacency list and CSR) used by the baselines and
+//!   metrics ([`adjacency`]),
+//! * structural metrics used by the examples and the mixing-time analysis
+//!   (triangles, clustering, assortativity, connected components)
+//!   ([`metrics`]),
+//! * plain-text edge-list I/O ([`io`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adjacency;
+pub mod degree;
+pub mod edge;
+pub mod edge_list;
+pub mod gen;
+pub mod io;
+pub mod metrics;
+
+pub use adjacency::{AdjacencyList, Csr};
+pub use degree::DegreeSequence;
+pub use edge::{Edge, Node, PackedEdge};
+pub use edge_list::EdgeListGraph;

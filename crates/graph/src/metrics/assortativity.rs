@@ -1,0 +1,72 @@
+//! Degree assortativity (Pearson correlation of endpoint degrees).
+
+use crate::edge_list::EdgeListGraph;
+
+/// Newman's degree assortativity coefficient.
+///
+/// Computed as the Pearson correlation of the degrees at the two ends of every
+/// edge (each edge contributes both orientations).  Returns `None` for graphs
+/// where the correlation is undefined (fewer than two edges or zero variance,
+/// e.g. regular graphs).
+pub fn degree_assortativity(g: &EdgeListGraph) -> Option<f64> {
+    if g.num_edges() < 2 {
+        return None;
+    }
+    let deg = g.degrees();
+    let mut sum_x = 0.0f64;
+    let mut sum_x2 = 0.0f64;
+    let mut sum_xy = 0.0f64;
+    let count = (2 * g.num_edges()) as f64;
+    for e in g.edges() {
+        let du = deg.degree(e.u()) as f64;
+        let dv = deg.degree(e.v()) as f64;
+        // Both orientations (u,v) and (v,u).
+        sum_x += du + dv;
+        sum_x2 += du * du + dv * dv;
+        sum_xy += 2.0 * du * dv;
+    }
+    let mean = sum_x / count;
+    let var = sum_x2 / count - mean * mean;
+    if var <= 1e-12 {
+        return None;
+    }
+    let cov = sum_xy / count - mean * mean;
+    Some(cov / var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Edge;
+
+    fn graph(n: usize, edges: &[(u32, u32)]) -> EdgeListGraph {
+        EdgeListGraph::new(n, edges.iter().map(|&(a, b)| Edge::new(a, b)).collect()).unwrap()
+    }
+
+    #[test]
+    fn regular_graph_is_undefined() {
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(degree_assortativity(&g), None);
+    }
+
+    #[test]
+    fn star_graph_is_maximally_disassortative() {
+        let g = graph(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let r = degree_assortativity(&g).unwrap();
+        assert!((r + 1.0).abs() < 1e-9, "star should give -1, got {r}");
+    }
+
+    #[test]
+    fn path_graph_value() {
+        // Path on 4 nodes: known assortativity -1/2.
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3)]);
+        let r = degree_assortativity(&g).unwrap();
+        assert!((r + 0.5).abs() < 1e-9, "expected -0.5, got {r}");
+    }
+
+    #[test]
+    fn too_small_graphs() {
+        assert_eq!(degree_assortativity(&graph(2, &[(0, 1)])), None);
+        assert_eq!(degree_assortativity(&graph(2, &[])), None);
+    }
+}

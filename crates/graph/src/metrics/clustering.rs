@@ -1,0 +1,78 @@
+//! Clustering coefficients (convergence proxies).
+
+use crate::adjacency::Csr;
+use crate::edge_list::EdgeListGraph;
+use crate::metrics::triangles::{count_triangles, count_wedges};
+
+/// Global clustering coefficient (transitivity): `3 · #triangles / #wedges`.
+///
+/// Returns 0 for graphs without wedges.
+pub fn global_clustering_coefficient(g: &EdgeListGraph) -> f64 {
+    let wedges = count_wedges(g);
+    if wedges == 0 {
+        return 0.0;
+    }
+    3.0 * count_triangles(g) as f64 / wedges as f64
+}
+
+/// Local clustering coefficient of every node: the fraction of pairs of
+/// neighbours that are themselves connected (0 for degree < 2).
+pub fn local_clustering_coefficients(g: &EdgeListGraph) -> Vec<f64> {
+    let csr = Csr::from_graph(g);
+    let n = csr.num_nodes();
+    (0..n)
+        .map(|u| {
+            let u = u as u32;
+            let nbrs = csr.neighbors(u);
+            let d = nbrs.len();
+            if d < 2 {
+                return 0.0;
+            }
+            let mut closed = 0u64;
+            for (i, &v) in nbrs.iter().enumerate() {
+                for &w in &nbrs[i + 1..] {
+                    if csr.has_edge(v, w) {
+                        closed += 1;
+                    }
+                }
+            }
+            closed as f64 / (d * (d - 1) / 2) as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Edge;
+
+    fn graph(n: usize, edges: &[(u32, u32)]) -> EdgeListGraph {
+        EdgeListGraph::new(n, edges.iter().map(|&(a, b)| Edge::new(a, b)).collect()).unwrap()
+    }
+
+    #[test]
+    fn triangle_is_fully_clustered() {
+        let g = graph(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert!((global_clustering_coefficient(&g) - 1.0).abs() < 1e-12);
+        assert_eq!(local_clustering_coefficients(&g), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn path_has_zero_clustering() {
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(global_clustering_coefficient(&g), 0.0);
+        assert!(local_clustering_coefficients(&g).iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn paw_graph_values() {
+        // Triangle 0-1-2 plus pendant 3 attached to 0.
+        let g = graph(4, &[(0, 1), (1, 2), (2, 0), (0, 3)]);
+        // Wedges: node0 has deg 3 -> 3 wedges, node1: 1, node2: 1, node3: 0 => 5.
+        // Triangles: 1. Transitivity = 3/5.
+        assert!((global_clustering_coefficient(&g) - 0.6).abs() < 1e-12);
+        let local = local_clustering_coefficients(&g);
+        assert!((local[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(local[3], 0.0);
+    }
+}

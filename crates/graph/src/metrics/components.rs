@@ -1,0 +1,87 @@
+//! Connected components via breadth-first search.
+
+use crate::adjacency::Csr;
+use crate::edge_list::EdgeListGraph;
+use std::collections::VecDeque;
+
+/// Component label of every node (labels are consecutive integers starting at 0,
+/// in order of discovery).
+pub fn connected_components(g: &EdgeListGraph) -> Vec<u32> {
+    let csr = Csr::from_graph(g);
+    let n = csr.num_nodes();
+    let mut label = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if label[start] != u32::MAX {
+            continue;
+        }
+        label[start] = next;
+        queue.push_back(start as u32);
+        while let Some(v) = queue.pop_front() {
+            for &w in csr.neighbors(v) {
+                if label[w as usize] == u32::MAX {
+                    label[w as usize] = next;
+                    queue.push_back(w);
+                }
+            }
+        }
+        next += 1;
+    }
+    label
+}
+
+/// Number of connected components.
+pub fn num_connected_components(g: &EdgeListGraph) -> usize {
+    connected_components(g).iter().copied().max().map_or(0, |m| m as usize + 1)
+}
+
+/// Size of the largest connected component (0 for the empty graph).
+pub fn largest_component_size(g: &EdgeListGraph) -> usize {
+    let labels = connected_components(g);
+    if labels.is_empty() {
+        return 0;
+    }
+    let k = labels.iter().copied().max().unwrap() as usize + 1;
+    let mut sizes = vec![0usize; k];
+    for &l in &labels {
+        sizes[l as usize] += 1;
+    }
+    sizes.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Edge;
+
+    fn graph(n: usize, edges: &[(u32, u32)]) -> EdgeListGraph {
+        EdgeListGraph::new(n, edges.iter().map(|&(a, b)| Edge::new(a, b)).collect()).unwrap()
+    }
+
+    #[test]
+    fn single_component() {
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(num_connected_components(&g), 1);
+        assert_eq!(largest_component_size(&g), 4);
+    }
+
+    #[test]
+    fn multiple_components_and_isolated_nodes() {
+        let g = graph(6, &[(0, 1), (2, 3)]);
+        assert_eq!(num_connected_components(&g), 4);
+        assert_eq!(largest_component_size(&g), 2);
+        let labels = connected_components(&g);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+        assert_ne!(labels[4], labels[5]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = graph(0, &[]);
+        assert_eq!(num_connected_components(&g), 0);
+        assert_eq!(largest_component_size(&g), 0);
+    }
+}

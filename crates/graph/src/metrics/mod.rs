@@ -1,0 +1,18 @@
+//! Structural graph metrics.
+//!
+//! The mixing-time literature the paper builds on uses a handful of scalar
+//! "proxies" (triangle count, global clustering coefficient, degree
+//! assortativity, component structure) to monitor the convergence of switching
+//! chains.  The paper's own evaluation favours the autocorrelation analysis
+//! (implemented in `gesmc-analysis`), but the proxies remain useful for
+//! examples and sanity checks, so they live here on top of the CSR view.
+
+pub mod assortativity;
+pub mod clustering;
+pub mod components;
+pub mod triangles;
+
+pub use assortativity::degree_assortativity;
+pub use clustering::{global_clustering_coefficient, local_clustering_coefficients};
+pub use components::{connected_components, largest_component_size, num_connected_components};
+pub use triangles::{count_triangles, count_wedges};

@@ -1,0 +1,107 @@
+//! Binomial sampling for the number of executed switches per global switch.
+//!
+//! Def. 3 of the paper draws `ℓ ~ Binom(⌊m/2⌋, 1 − P_L)` where `P_L` is a
+//! small per-switch rejection probability that guarantees aperiodicity of the
+//! Markov chain.  Since `⌊m/2⌋` can be hundreds of millions, the sampler must
+//! be sub-linear in the number of trials; we delegate to `rand_distr`'s BTPE
+//! based implementation and add an exact inversion sampler for tiny trial
+//! counts (used in tests as an oracle).
+
+use rand::Rng as _;
+use rand::RngCore;
+use rand_distr::{Binomial, Distribution};
+
+/// Sample from `Binom(n, p)`.
+///
+/// # Panics
+/// Panics if `p` is not in `[0, 1]` or is not finite.
+pub fn sample_binomial<R: RngCore + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    assert!(p.is_finite() && (0.0..=1.0).contains(&p), "p must be in [0,1]");
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if (p - 1.0).abs() < f64::EPSILON {
+        return n;
+    }
+    let dist = Binomial::new(n, p).expect("validated parameters");
+    dist.sample(rng)
+}
+
+/// Exact inversion sampler (O(n) worst case); reference oracle for tests and
+/// tiny `n`.
+pub fn sample_binomial_naive<R: RngCore + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    assert!(p.is_finite() && (0.0..=1.0).contains(&p), "p must be in [0,1]");
+    let mut successes = 0u64;
+    for _ in 0..n {
+        if rng.gen::<f64>() < p {
+            successes += 1;
+        }
+    }
+    successes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_from_seed;
+
+    #[test]
+    fn edge_cases() {
+        let mut rng = rng_from_seed(0);
+        assert_eq!(sample_binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(sample_binomial(&mut rng, 100, 0.0), 0);
+        assert_eq!(sample_binomial(&mut rng, 100, 1.0), 100);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_probability_panics() {
+        let mut rng = rng_from_seed(0);
+        sample_binomial(&mut rng, 10, 1.5);
+    }
+
+    #[test]
+    fn mean_and_variance_are_plausible() {
+        let mut rng = rng_from_seed(17);
+        let n = 10_000u64;
+        let p = 0.99; // the paper's setting: P_L small, success probability 1 - P_L
+        let reps = 2000;
+        let samples: Vec<u64> = (0..reps).map(|_| sample_binomial(&mut rng, n, p)).collect();
+        let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / reps as f64;
+        let expected_mean = n as f64 * p;
+        assert!(
+            (mean - expected_mean).abs() < 5.0 * (n as f64 * p * (1.0 - p)).sqrt(),
+            "mean {mean} too far from {expected_mean}"
+        );
+        let var = samples
+            .iter()
+            .map(|&x| {
+                let d = x as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / reps as f64;
+        let expected_var = n as f64 * p * (1.0 - p);
+        assert!(var > 0.5 * expected_var && var < 2.0 * expected_var, "variance {var} vs {expected_var}");
+    }
+
+    #[test]
+    fn fast_and_naive_agree_in_distribution() {
+        // Compare empirical means of the two samplers for a small n.
+        let mut rng = rng_from_seed(5);
+        let (n, p, reps) = (50u64, 0.3, 20_000);
+        let fast: f64 =
+            (0..reps).map(|_| sample_binomial(&mut rng, n, p) as f64).sum::<f64>() / reps as f64;
+        let naive: f64 = (0..reps).map(|_| sample_binomial_naive(&mut rng, n, p) as f64).sum::<f64>()
+            / reps as f64;
+        assert!((fast - naive).abs() < 0.3, "fast {fast} vs naive {naive}");
+    }
+
+    #[test]
+    fn samples_never_exceed_trials() {
+        let mut rng = rng_from_seed(6);
+        for _ in 0..1000 {
+            assert!(sample_binomial(&mut rng, 37, 0.7) <= 37);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Unbiased bounded random integers (Lemire's method).
+//!
+//! Sampling an edge index `i ∈ [0, m)` is the innermost operation of the
+//! ES-MC loop, so it must be both fast and free of modulo bias.  The paper
+//! uses Lemire's multiply-shift technique (reference [58] in the paper); we
+//! implement the same algorithm here on top of any [`rand::RngCore`].
+
+use rand::RngCore;
+
+/// Draw a uniform integer in `[0, bound)` using Lemire's rejection method.
+///
+/// `bound` must be non-zero.  The expected number of 64-bit words consumed is
+/// `1 + O(bound / 2^64)`, i.e. essentially one.
+///
+/// # Panics
+/// Panics if `bound == 0`.
+#[inline]
+pub fn gen_range_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    assert!(bound > 0, "bound must be positive");
+    // Fast path for powers of two: a mask is exact and unbiased.
+    if bound.is_power_of_two() {
+        return rng.next_u64() & (bound - 1);
+    }
+    let mut x = rng.next_u64();
+    let mut m = (x as u128) * (bound as u128);
+    let mut low = m as u64;
+    if low < bound {
+        // Rejection threshold: 2^64 mod bound.
+        let threshold = bound.wrapping_neg() % bound;
+        while low < threshold {
+            x = rng.next_u64();
+            m = (x as u128) * (bound as u128);
+            low = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// Draw a uniform index in `[0, len)` as `usize`.
+///
+/// # Panics
+/// Panics if `len == 0`.
+#[inline]
+pub fn gen_index<R: RngCore + ?Sized>(rng: &mut R, len: usize) -> usize {
+    gen_range_u64(rng, len as u64) as usize
+}
+
+/// A reusable sampler for a fixed bound.
+///
+/// Precomputes the rejection threshold so the hot loop performs a single
+/// multiplication and comparison per draw.  Used by the edge-sampling pipeline
+/// where millions of indices with the same bound `m` are required.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformIndex {
+    bound: u64,
+    threshold: u64,
+    mask: Option<u64>,
+}
+
+impl UniformIndex {
+    /// Create a sampler for `[0, bound)`.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    pub fn new(bound: u64) -> Self {
+        assert!(bound > 0, "bound must be positive");
+        if bound.is_power_of_two() {
+            Self { bound, threshold: 0, mask: Some(bound - 1) }
+        } else {
+            Self { bound, threshold: bound.wrapping_neg() % bound, mask: None }
+        }
+    }
+
+    /// The exclusive upper bound of this sampler.
+    #[inline]
+    pub fn bound(&self) -> u64 {
+        self.bound
+    }
+
+    /// Draw a sample.
+    #[inline]
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        if let Some(mask) = self.mask {
+            return rng.next_u64() & mask;
+        }
+        loop {
+            let x = rng.next_u64();
+            let m = (x as u128) * (self.bound as u128);
+            if (m as u64) >= self.threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Draw a sample as `usize`.
+    #[inline]
+    pub fn sample_index<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        self.sample(rng) as usize
+    }
+
+    /// Draw an ordered pair of *distinct* samples `(a, b)` with `a != b`.
+    ///
+    /// This is the primitive used by ES-MC to select two distinct edge
+    /// indices.  Requires `bound >= 2`.
+    #[inline]
+    pub fn sample_distinct_pair<R: RngCore + ?Sized>(&self, rng: &mut R) -> (u64, u64) {
+        debug_assert!(self.bound >= 2);
+        let a = self.sample(rng);
+        loop {
+            let b = self.sample(rng);
+            if b != a {
+                return (a, b);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_from_seed;
+
+    #[test]
+    #[should_panic]
+    fn zero_bound_panics() {
+        let mut rng = rng_from_seed(0);
+        gen_range_u64(&mut rng, 0);
+    }
+
+    #[test]
+    fn respects_bound() {
+        let mut rng = rng_from_seed(1);
+        for bound in [1u64, 2, 3, 7, 10, 100, 1 << 20, u64::MAX] {
+            for _ in 0..200 {
+                assert!(gen_range_u64(&mut rng, bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_index_matches_free_function_distribution() {
+        // Both must stay within bound and produce all residues for tiny bounds.
+        let mut rng = rng_from_seed(3);
+        let sampler = UniformIndex::new(5);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[sampler.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        // Chi-square check over 16 cells with 160k samples; threshold is very
+        // generous (the 99.9% quantile of chi2 with 15 dof is ~37.7).
+        let mut rng = rng_from_seed(7);
+        let bound = 16u64 + 1; // deliberately not a power of two? 17
+        let sampler = UniformIndex::new(bound);
+        let n = 170_000u64;
+        let mut counts = vec![0u64; bound as usize];
+        for _ in 0..n {
+            counts[sampler.sample(&mut rng) as usize] += 1;
+        }
+        let expected = n as f64 / bound as f64;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        assert!(chi2 < 60.0, "chi2 = {chi2}");
+    }
+
+    #[test]
+    fn distinct_pair_never_equal() {
+        let mut rng = rng_from_seed(11);
+        let sampler = UniformIndex::new(2);
+        for _ in 0..100 {
+            let (a, b) = sampler.sample_distinct_pair(&mut rng);
+            assert_ne!(a, b);
+            assert!(a < 2 && b < 2);
+        }
+    }
+
+    #[test]
+    fn power_of_two_fast_path() {
+        let mut rng = rng_from_seed(13);
+        let sampler = UniformIndex::new(64);
+        for _ in 0..1000 {
+            assert!(sampler.sample(&mut rng) < 64);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Small sampling helpers: reservoir sampling and sampling without
+//! replacement.
+//!
+//! These are not on the critical path of the Markov chains themselves but are
+//! used by the analysis crate (choosing which edges to track in the
+//! autocorrelation study) and by the dataset generators (selecting graph
+//! subsets for the NetRep-like corpus).
+
+use crate::bounded::gen_index;
+use rand::RngCore;
+
+/// Sample `k` items uniformly without replacement from `0..n` (Algorithm R).
+///
+/// Returns fewer than `k` items iff `n < k`.  The output is not sorted.
+pub fn sample_indices_without_replacement<R: RngCore + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    k: usize,
+) -> Vec<usize> {
+    if k >= n {
+        return (0..n).collect();
+    }
+    let mut reservoir: Vec<usize> = (0..k).collect();
+    for i in k..n {
+        let j = gen_index(rng, i + 1);
+        if j < k {
+            reservoir[j] = i;
+        }
+    }
+    reservoir
+}
+
+/// Reservoir-sample `k` items from an iterator of unknown length.
+pub fn reservoir_sample<T, I, R>(rng: &mut R, iter: I, k: usize) -> Vec<T>
+where
+    I: IntoIterator<Item = T>,
+    R: RngCore + ?Sized,
+{
+    let mut reservoir: Vec<T> = Vec::with_capacity(k);
+    for (i, item) in iter.into_iter().enumerate() {
+        if i < k {
+            reservoir.push(item);
+        } else {
+            let j = gen_index(rng, i + 1);
+            if j < k {
+                reservoir[j] = item;
+            }
+        }
+    }
+    reservoir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_from_seed;
+    use std::collections::HashSet;
+
+    #[test]
+    fn without_replacement_has_no_duplicates() {
+        let mut rng = rng_from_seed(3);
+        for (n, k) in [(10, 3), (100, 50), (5, 5), (5, 10), (0, 3)] {
+            let sample = sample_indices_without_replacement(&mut rng, n, k);
+            let unique: HashSet<_> = sample.iter().collect();
+            assert_eq!(unique.len(), sample.len());
+            assert_eq!(sample.len(), k.min(n));
+            assert!(sample.iter().all(|&x| x < n.max(1)));
+        }
+    }
+
+    #[test]
+    fn reservoir_matches_requested_size() {
+        let mut rng = rng_from_seed(4);
+        let sample = reservoir_sample(&mut rng, 0..1000, 10);
+        assert_eq!(sample.len(), 10);
+        let sample = reservoir_sample(&mut rng, 0..5, 10);
+        assert_eq!(sample.len(), 5);
+    }
+
+    #[test]
+    fn each_item_roughly_equally_likely() {
+        // Inclusion probability of each of 10 items when sampling 5 is 1/2.
+        let mut rng = rng_from_seed(9);
+        let mut counts = vec![0u32; 10];
+        let trials = 20_000;
+        for _ in 0..trials {
+            for idx in sample_indices_without_replacement(&mut rng, 10, 5) {
+                counts[idx] += 1;
+            }
+        }
+        for &c in &counts {
+            let p = c as f64 / trials as f64;
+            assert!((p - 0.5).abs() < 0.03, "inclusion probability {p}");
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Null-model significance of a motif count.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example motif_null_model
+//! ```
+//!
+//! The use case motivating the paper's introduction: given an observed graph,
+//! quantify whether a structural property (here: the triangle count) is
+//! surprising compared to the null model of *uniform simple graphs with the
+//! same degrees*.  We approximate the null distribution by drawing independent
+//! samples with G-ES-MC and report a z-score.
+
+use gesmc::graph::metrics::count_triangles;
+use gesmc::graph::Edge;
+use gesmc::prelude::*;
+
+/// Build an "observed" graph with planted clustering: a union of many small
+/// cliques plus a sparse random background.
+fn observed_graph() -> EdgeListGraph {
+    let cliques = 120usize;
+    let clique_size = 5usize;
+    let n = cliques * clique_size;
+    let mut edges = Vec::new();
+    for c in 0..cliques {
+        let base = (c * clique_size) as u32;
+        for a in 0..clique_size as u32 {
+            for b in (a + 1)..clique_size as u32 {
+                edges.push(Edge::new(base + a, base + b));
+            }
+        }
+    }
+    // Sparse background ring so the graph is connected.
+    for v in 0..n as u32 {
+        let w = (v + clique_size as u32) % n as u32;
+        let e = Edge::new(v, w);
+        if !edges.contains(&e) {
+            edges.push(e);
+        }
+    }
+    EdgeListGraph::new(n, edges).expect("constructed graph is simple")
+}
+
+fn main() {
+    let observed = observed_graph();
+    let observed_triangles = count_triangles(&observed);
+    println!(
+        "observed graph: n = {}, m = {}, triangles = {}",
+        observed.num_nodes(),
+        observed.num_edges(),
+        observed_triangles
+    );
+
+    // Draw independent null-model samples: each sample starts from the
+    // observed graph and is randomised with its own seed.
+    let samples = 25usize;
+    let supersteps = 15usize;
+    let mut null_counts = Vec::with_capacity(samples);
+    for s in 0..samples as u64 {
+        let mut chain = ParGlobalES::new(observed.clone(), SwitchingConfig::with_seed(1000 + s));
+        chain.run_supersteps(supersteps);
+        null_counts.push(count_triangles(&chain.graph()) as f64);
+    }
+
+    let mean = null_counts.iter().sum::<f64>() / samples as f64;
+    let var = null_counts.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (samples - 1) as f64;
+    let std = var.sqrt().max(1e-9);
+    let z = (observed_triangles as f64 - mean) / std;
+
+    println!("null model ({} samples, {} supersteps each):", samples, supersteps);
+    println!("  triangles: mean = {mean:.1}, std = {std:.1}");
+    println!("  z-score of the observed count: {z:.1}");
+    if z > 3.0 {
+        println!("  -> the observed clustering is highly significant under the fixed-degree null model");
+    } else {
+        println!("  -> the observed count is compatible with the fixed-degree null model");
+    }
+    assert!(
+        z > 3.0,
+        "planted cliques should be detected as significant (z = {z:.1})"
+    );
+}

@@ -1,0 +1,86 @@
+//! Integration tests: every chain preserves the fundamental invariants on
+//! every dataset family.
+
+use gesmc::prelude::*;
+use gesmc::datasets::{netrep_sample, syn_gnp_graph, syn_pld_graph};
+
+/// All chains under a common constructor so the same checks run for each.
+fn all_chains(graph: &EdgeListGraph, seed: u64) -> Vec<Box<dyn EdgeSwitching>> {
+    let cfg = SwitchingConfig::with_seed(seed);
+    vec![
+        Box::new(SeqES::new(graph.clone(), cfg)),
+        Box::new(SeqGlobalES::new(graph.clone(), cfg)),
+        Box::new(ParES::new(graph.clone(), cfg)),
+        Box::new(ParGlobalES::new(graph.clone(), cfg)),
+        Box::new(NaiveParES::new(graph.clone(), cfg)),
+        Box::new(AdjacencyListES::new(graph.clone(), cfg)),
+        Box::new(SortedAdjacencyES::new(graph.clone(), cfg)),
+        Box::new(GlobalCurveball::new(graph.clone(), cfg)),
+    ]
+}
+
+fn check_invariants(graph: EdgeListGraph, supersteps: usize, seed: u64) {
+    let degrees = graph.degrees();
+    for mut chain in all_chains(&graph, seed) {
+        let stats = chain.run_supersteps(supersteps);
+        let result = chain.graph();
+        assert_eq!(
+            result.degrees(),
+            degrees,
+            "{} does not preserve the degree sequence",
+            chain.name()
+        );
+        assert!(result.validate().is_ok(), "{} produced a non-simple graph", chain.name());
+        assert_eq!(result.num_edges(), graph.num_edges(), "{} changed m", chain.name());
+        assert_eq!(stats.num_supersteps(), supersteps);
+    }
+}
+
+#[test]
+fn invariants_on_gnp() {
+    check_invariants(syn_gnp_graph(1, 300, 1500), 4, 11);
+}
+
+#[test]
+fn invariants_on_power_law() {
+    check_invariants(syn_pld_graph(2, 400, 2.1), 4, 12);
+}
+
+#[test]
+fn invariants_on_netrep_like_corpus() {
+    for corpus_graph in netrep_sample(3, 2000) {
+        check_invariants(corpus_graph.graph, 3, 13);
+    }
+}
+
+#[test]
+fn switching_chains_change_the_graph_but_curveball_and_co_keep_degrees() {
+    let graph = syn_gnp_graph(4, 400, 2500);
+    for mut chain in all_chains(&graph, 21) {
+        chain.run_supersteps(5);
+        let result = chain.graph();
+        assert_ne!(
+            result.canonical_edges(),
+            graph.canonical_edges(),
+            "{} did not randomise a graph with plenty of legal switches",
+            chain.name()
+        );
+    }
+}
+
+#[test]
+fn chains_are_reproducible_for_equal_seeds() {
+    let graph = syn_pld_graph(5, 300, 2.4);
+    for (a, b) in all_chains(&graph, 77).into_iter().zip(all_chains(&graph, 77)) {
+        let mut a = a;
+        let mut b = b;
+        a.run_supersteps(3);
+        b.run_supersteps(3);
+        assert_eq!(
+            a.graph().canonical_edges(),
+            b.graph().canonical_edges(),
+            "{} is not reproducible",
+            a.name()
+        );
+    }
+}

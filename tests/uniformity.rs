@@ -1,0 +1,86 @@
+//! Statistical integration tests: on a tiny state space the chains produce
+//! every simple graph with the prescribed degrees approximately equally often
+//! (Theorem 1: G-ES-MC converges to the uniform distribution).
+
+use gesmc::graph::Edge;
+use gesmc::prelude::*;
+use std::collections::HashMap;
+
+/// Degree sequence (1, 1, 1, 1, 2, 2) on 6 nodes has a small number of
+/// realisations; enumerate them by sampling and check the empirical
+/// distribution is close to uniform.
+fn initial_graph() -> EdgeListGraph {
+    // Degrees: node 4 and 5 have degree 2, nodes 0-3 degree 1.
+    EdgeListGraph::new(
+        6,
+        vec![Edge::new(0, 4), Edge::new(1, 4), Edge::new(2, 5), Edge::new(3, 5)],
+    )
+    .unwrap()
+}
+
+fn run_uniformity<C, F>(make_chain: F, samples: usize, supersteps: usize) -> HashMap<Vec<u64>, usize>
+where
+    C: EdgeSwitching,
+    F: Fn(EdgeListGraph, u64) -> C,
+{
+    let graph = initial_graph();
+    let mut counts: HashMap<Vec<u64>, usize> = HashMap::new();
+    for s in 0..samples {
+        let mut chain = make_chain(graph.clone(), s as u64);
+        chain.run_supersteps(supersteps);
+        let key = chain.graph().canonical_edges();
+        *counts.entry(key).or_insert(0) += 1;
+    }
+    counts
+}
+
+fn assert_roughly_uniform(counts: &HashMap<Vec<u64>, usize>, samples: usize, chain: &str) {
+    // All observed states must have the correct degree sequence (guaranteed),
+    // and the frequencies must be within a generous band around uniform.
+    let states = counts.len();
+    assert!(
+        states >= 6,
+        "{chain}: expected to discover most realisations, found only {states}"
+    );
+    let expected = samples as f64 / states as f64;
+    for (state, &count) in counts {
+        let ratio = count as f64 / expected;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "{chain}: state {state:?} frequency {count} deviates from uniform (expected ≈ {expected:.1})"
+        );
+    }
+}
+
+#[test]
+fn seq_global_es_samples_roughly_uniformly() {
+    let samples = 600;
+    let counts = run_uniformity(
+        |g, seed| SeqGlobalES::new(g, SwitchingConfig::with_seed(seed)),
+        samples,
+        12,
+    );
+    assert_roughly_uniform(&counts, samples, "SeqGlobalES");
+}
+
+#[test]
+fn par_global_es_samples_roughly_uniformly() {
+    let samples = 600;
+    let counts = run_uniformity(
+        |g, seed| ParGlobalES::new(g, SwitchingConfig::with_seed(seed)),
+        samples,
+        12,
+    );
+    assert_roughly_uniform(&counts, samples, "ParGlobalES");
+}
+
+#[test]
+fn seq_es_samples_roughly_uniformly() {
+    let samples = 600;
+    let counts = run_uniformity(
+        |g, seed| SeqES::new(g, SwitchingConfig::with_seed(seed)),
+        samples,
+        12,
+    );
+    assert_roughly_uniform(&counts, samples, "SeqES");
+}
