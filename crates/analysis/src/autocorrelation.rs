@@ -109,8 +109,7 @@ impl ThinnedAutocorrelation {
                 if edges.is_empty() {
                     return 0.0;
                 }
-                let dependent =
-                    edges.iter().filter(|(_, counts)| !counts.is_independent()).count();
+                let dependent = edges.iter().filter(|(_, counts)| !counts.is_independent()).count();
                 dependent as f64 / edges.len() as f64
             })
             .collect()
@@ -155,12 +154,7 @@ pub fn mixing_profile<C: EdgeSwitching>(
     }
     MixingProfile {
         chain: chain.name().to_string(),
-        points: acc
-            .thinnings()
-            .iter()
-            .copied()
-            .zip(acc.non_independent_fractions())
-            .collect(),
+        points: acc.thinnings().iter().copied().zip(acc.non_independent_fractions()).collect(),
     }
 }
 

@@ -53,13 +53,13 @@ impl TransitionCounts {
         let row = [self.counts[0] + self.counts[1], self.counts[2] + self.counts[3]];
         let col = [self.counts[0] + self.counts[2], self.counts[1] + self.counts[3]];
         let mut g2 = 0.0;
-        for i in 0..2 {
-            for j in 0..2 {
+        for (i, &row_total) in row.iter().enumerate() {
+            for (j, &col_total) in col.iter().enumerate() {
                 let observed = self.counts[i * 2 + j] as f64;
                 if observed == 0.0 {
                     continue;
                 }
-                let expected = row[i] as f64 * col[j] as f64 / n;
+                let expected = row_total as f64 * col_total as f64 / n;
                 g2 += 2.0 * observed * (observed / expected).ln();
             }
         }

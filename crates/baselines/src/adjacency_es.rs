@@ -38,7 +38,13 @@ impl AdjacencyChain {
                 list.sort_unstable();
             }
         }
-        Self { num_nodes, edges: graph.into_edges(), neighbors, sorted, rng: rng_from_seed(config.seed) }
+        Self {
+            num_nodes,
+            edges: graph.into_edges(),
+            neighbors,
+            sorted,
+            rng: rng_from_seed(config.seed),
+        }
     }
 
     fn has_edge(&self, u: Node, v: Node) -> bool {

@@ -13,20 +13,16 @@ fn bench_prefetch_ablation(c: &mut Criterion) {
     group.sample_size(10);
     for prefetch in [false, true] {
         let cfg = SwitchingConfig::with_seed(3).prefetch(prefetch);
-        group.bench_with_input(
-            BenchmarkId::new("SeqES_superstep", prefetch),
-            &graph,
-            |b, g| {
-                b.iter_batched(
-                    || SeqES::new(g.clone(), cfg),
-                    |mut chain| {
-                        chain.superstep();
-                        chain
-                    },
-                    criterion::BatchSize::LargeInput,
-                );
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("SeqES_superstep", prefetch), &graph, |b, g| {
+            b.iter_batched(
+                || SeqES::new(g.clone(), cfg),
+                |mut chain| {
+                    chain.superstep();
+                    chain
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
     }
     group.finish();
 }

@@ -3,12 +3,18 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gesmc_baselines::{AdjacencyListES, GlobalCurveball, SortedAdjacencyES};
-use gesmc_core::{EdgeSwitching, NaiveParES, ParES, ParGlobalES, SeqES, SeqGlobalES, SwitchingConfig};
+use gesmc_core::{
+    EdgeSwitching, NaiveParES, ParES, ParGlobalES, SeqES, SeqGlobalES, SwitchingConfig,
+};
 use gesmc_datasets::{netrep_like::family_graph, GraphFamily};
 use gesmc_graph::EdgeListGraph;
 
-fn bench_one<C, F>(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>, name: &str, graph: &EdgeListGraph, make: F)
-where
+fn bench_one<C, F>(
+    group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    name: &str,
+    graph: &EdgeListGraph,
+    make: F,
+) where
     C: EdgeSwitching,
     F: Fn(EdgeListGraph) -> C,
 {

@@ -64,9 +64,13 @@ fn bench_hashsets(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("seq", n_nodes), &n_nodes, |b, &n| {
             b.iter(|| mixed_workload_seq(n));
         });
-        group.bench_with_input(BenchmarkId::new("concurrent_single_thread", n_nodes), &n_nodes, |b, &n| {
-            b.iter(|| mixed_workload_concurrent(n));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("concurrent_single_thread", n_nodes),
+            &n_nodes,
+            |b, &n| {
+                b.iter(|| mixed_workload_concurrent(n));
+            },
+        );
     }
     group.finish();
 }

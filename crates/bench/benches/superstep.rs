@@ -20,9 +20,13 @@ fn bench_superstep(c: &mut Criterion) {
         let switches = SeqGlobalES::switches_from_permutation(&perm, m / 2);
 
         group.throughput(Throughput::Elements(switches.len() as u64));
-        group.bench_with_input(BenchmarkId::new("global_switch", family.label()), &graph, |b, g| {
-            b.iter(|| run_superstep_on_graph(g, &switches));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("global_switch", family.label()),
+            &graph,
+            |b, g| {
+                b.iter(|| run_superstep_on_graph(g, &switches));
+            },
+        );
     }
     group.finish();
 }

@@ -12,8 +12,7 @@ use gesmc_datasets::netrep_corpus;
 
 fn main() {
     let args = BenchArgs::parse();
-    let (min_edges, max_edges) =
-        args.scale.pick((1_000, 4_000), (1_000, 32_000), (1_000, 800_000));
+    let (min_edges, max_edges) = args.scale.pick((1_000, 4_000), (1_000, 32_000), (1_000, 800_000));
     let supersteps = args.scale.pick(16, 32, 64);
     let thinnings: Vec<usize> = (1..=supersteps).collect();
     let thresholds = [1e-2f64, 1e-3];

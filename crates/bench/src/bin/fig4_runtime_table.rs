@@ -29,8 +29,11 @@ fn run_in_pool<F: FnOnce() -> (Duration, gesmc_core::ChainStats) + Send>(
 fn main() {
     let args = BenchArgs::parse();
     let supersteps = 20usize;
-    let sizes: Vec<usize> =
-        args.scale.pick(vec![2_000, 8_000], vec![8_000, 32_000, 128_000], vec![32_000, 256_000, 2_000_000]);
+    let sizes: Vec<usize> = args.scale.pick(
+        vec![2_000, 8_000],
+        vec![8_000, 32_000, 128_000],
+        vec![32_000, 256_000, 2_000_000],
+    );
     let max_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     let seed = args.seed;
 

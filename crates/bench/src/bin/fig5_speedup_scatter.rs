@@ -13,11 +13,7 @@ use gesmc_datasets::netrep_corpus;
 use std::time::Duration;
 
 fn in_pool<F: FnOnce() -> Duration + Send>(threads: usize, f: F) -> Duration {
-    rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("thread pool")
-        .install(f)
+    rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("thread pool").install(f)
 }
 
 fn main() {
@@ -29,7 +25,15 @@ fn main() {
 
     let mut writer = BenchWriter::new(
         "fig5_speedup_scatter",
-        &["graph", "edges", "prefetch", "seq_es_s", "seq_global_es_s", "par_global_es_s", "speedup"],
+        &[
+            "graph",
+            "edges",
+            "prefetch",
+            "seq_es_s",
+            "seq_global_es_s",
+            "par_global_es_s",
+            "speedup",
+        ],
     );
     writer.print_header();
 

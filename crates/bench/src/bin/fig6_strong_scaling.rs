@@ -11,11 +11,7 @@ use gesmc_datasets::netrep_sample;
 use std::time::Duration;
 
 fn in_pool<F: FnOnce() -> Duration + Send>(threads: usize, f: F) -> Duration {
-    rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("thread pool")
-        .install(f)
+    rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("thread pool").install(f)
 }
 
 fn main() {

@@ -16,10 +16,16 @@ use gesmc_datasets::{syn_gnp_graph, syn_gnp_sweep};
 fn main() {
     let args = BenchArgs::parse();
     let supersteps = args.scale.pick(3, 10, 20);
-    let edge_budgets: Vec<usize> =
-        args.scale.pick(vec![1 << 14], vec![1 << 16, 1 << 18], vec![1 << 18, 1 << 20, 1 << 22, 1 << 24, 1 << 26]);
-    let avg_degrees: Vec<f64> =
-        args.scale.pick(vec![8.0, 64.0, 512.0], vec![8.0, 32.0, 128.0, 512.0, 2048.0], vec![8.0, 32.0, 128.0, 512.0, 2048.0, 8192.0]);
+    let edge_budgets: Vec<usize> = args.scale.pick(
+        vec![1 << 14],
+        vec![1 << 16, 1 << 18],
+        vec![1 << 18, 1 << 20, 1 << 22, 1 << 24, 1 << 26],
+    );
+    let avg_degrees: Vec<f64> = args.scale.pick(
+        vec![8.0, 64.0, 512.0],
+        vec![8.0, 32.0, 128.0, 512.0, 2048.0],
+        vec![8.0, 32.0, 128.0, 512.0, 2048.0, 8192.0],
+    );
 
     let mut writer = BenchWriter::new(
         "fig7_gnp_density",

@@ -22,7 +22,16 @@ fn main() {
 
     let mut writer = BenchWriter::new(
         "fig8_pld_exponent",
-        &["nodes", "gamma", "edges", "max_degree", "threads", "seconds", "seconds_per_edge", "mean_rounds"],
+        &[
+            "nodes",
+            "gamma",
+            "edges",
+            "max_degree",
+            "threads",
+            "seconds",
+            "seconds_per_edge",
+            "mean_rounds",
+        ],
     );
     writer.print_header();
 

@@ -14,7 +14,6 @@
 #![warn(missing_docs)]
 
 use gesmc_core::{ChainStats, EdgeSwitching};
-use serde::Serialize;
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -100,7 +99,7 @@ impl BenchArgs {
 
 /// One emitted result row (generic key/value payload serialised to JSON, plus
 /// a flat CSV line).
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Row {
     /// Column names (CSV header).
     pub columns: Vec<String>,
@@ -171,7 +170,10 @@ impl BenchWriter {
 /// initialisation happening inside the chain constructor is the caller's
 /// business, mirroring Sec. 6.2's methodology of measuring init + 20
 /// supersteps together).
-pub fn time_supersteps<C: EdgeSwitching>(chain: &mut C, supersteps: usize) -> (Duration, ChainStats) {
+pub fn time_supersteps<C: EdgeSwitching>(
+    chain: &mut C,
+    supersteps: usize,
+) -> (Duration, ChainStats) {
     let start = Instant::now();
     let stats = chain.run_supersteps(supersteps);
     (start.elapsed(), stats)

@@ -16,7 +16,9 @@
 
 use gesmc_analysis::mixing_profile;
 use gesmc_baselines::{AdjacencyListES, GlobalCurveball, SortedAdjacencyES};
-use gesmc_core::{EdgeSwitching, NaiveParES, ParES, ParGlobalES, SeqES, SeqGlobalES, SwitchingConfig};
+use gesmc_core::{
+    EdgeSwitching, NaiveParES, ParES, ParGlobalES, SeqES, SeqGlobalES, SwitchingConfig,
+};
 use gesmc_datasets::{netrep_like::family_graph, syn_gnp_graph, syn_pld_graph, GraphFamily};
 use gesmc_graph::io::{read_edge_list_file, write_edge_list_file};
 use gesmc_graph::EdgeListGraph;
@@ -72,8 +74,12 @@ fn cmd_randomize(flags: &HashMap<String, String>) -> Result<(), String> {
     let input = flags.get("input").ok_or("missing --input")?;
     let output = flags.get("output").ok_or("missing --output")?;
     let algo = flags.get("algo").map(String::as_str).unwrap_or("par-global-es");
-    let supersteps: usize =
-        flags.get("supersteps").map(|s| s.parse()).transpose().map_err(|e| format!("{e}"))?.unwrap_or(20);
+    let supersteps: usize = flags
+        .get("supersteps")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("{e}"))?
+        .unwrap_or(20);
     let seed: u64 =
         flags.get("seed").map(|s| s.parse()).transpose().map_err(|e| format!("{e}"))?.unwrap_or(1);
     if let Some(threads) = flags.get("threads") {
@@ -119,8 +125,12 @@ fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
         flags.get("edges").ok_or("missing --edges")?.parse().map_err(|e| format!("{e}"))?;
     let seed: u64 =
         flags.get("seed").map(|s| s.parse()).transpose().map_err(|e| format!("{e}"))?.unwrap_or(1);
-    let gamma: f64 =
-        flags.get("gamma").map(|s| s.parse()).transpose().map_err(|e| format!("{e}"))?.unwrap_or(2.5);
+    let gamma: f64 = flags
+        .get("gamma")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("{e}"))?
+        .unwrap_or(2.5);
     let nodes: Option<usize> =
         flags.get("nodes").map(|s| s.parse()).transpose().map_err(|e| format!("{e}"))?;
 
@@ -145,16 +155,18 @@ fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
     let input = flags.get("input").ok_or("missing --input")?;
     let algo = flags.get("algo").map(String::as_str).unwrap_or("seq-global-es");
-    let supersteps: usize =
-        flags.get("supersteps").map(|s| s.parse()).transpose().map_err(|e| format!("{e}"))?.unwrap_or(30);
+    let supersteps: usize = flags
+        .get("supersteps")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("{e}"))?
+        .unwrap_or(30);
     let seed: u64 =
         flags.get("seed").map(|s| s.parse()).transpose().map_err(|e| format!("{e}"))?.unwrap_or(1);
 
     let graph = read_edge_list_file(input).map_err(|e| format!("{e}"))?;
-    let thinnings: Vec<usize> = (0..)
-        .map(|i| 1usize << i)
-        .take_while(|&k| k <= supersteps.max(1))
-        .collect();
+    let thinnings: Vec<usize> =
+        (0..).map(|i| 1usize << i).take_while(|&k| k <= supersteps.max(1)).collect();
 
     // The generic harness needs a concrete type, so dispatch manually.
     let profile = match algo {
@@ -170,7 +182,11 @@ fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
             let mut c = ParGlobalES::new(graph.clone(), SwitchingConfig::with_seed(seed));
             mixing_profile(&mut c, &graph, supersteps, &thinnings)
         }
-        other => return Err(format!("analyze supports seq-es, seq-global-es, par-global-es; got {other:?}")),
+        other => {
+            return Err(format!(
+                "analyze supports seq-es, seq-global-es, par-global-es; got {other:?}"
+            ))
+        }
     };
 
     println!("algorithm,thinning,non_independent_fraction");

@@ -111,7 +111,7 @@ mod tests {
         let list = AtomicEdgeList::from_graph(&g);
         (0..n).into_par_iter().for_each(|i| {
             let e = list.get(i);
-            list.set(i, Edge::new(e.u(), e.v() + 0)); // identity rewire
+            list.set(i, Edge::new(e.u(), e.v())); // identity rewire
             list.set(i, Edge::new(0, (i + 1) as u32));
         });
         for i in 0..n {

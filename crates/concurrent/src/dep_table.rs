@@ -97,7 +97,10 @@ impl DependencyTable {
         let buckets = (num_switches.max(1) * 8).next_power_of_two();
         Self {
             buckets: (0..buckets)
-                .map(|_| Bucket { key: AtomicU64::new(KEY_EMPTY), records: Mutex::new(Records::default()) })
+                .map(|_| Bucket {
+                    key: AtomicU64::new(KEY_EMPTY),
+                    records: Mutex::new(Records::default()),
+                })
                 .collect(),
             mask: buckets - 1,
         }
@@ -130,7 +133,12 @@ impl DependencyTable {
                 return bucket;
             }
             if current == KEY_EMPTY {
-                match bucket.key.compare_exchange(KEY_EMPTY, key, Ordering::AcqRel, Ordering::Acquire) {
+                match bucket.key.compare_exchange(
+                    KEY_EMPTY,
+                    key,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
                     Ok(_) => return bucket,
                     Err(actual) if actual == key => return bucket,
                     Err(_) => { /* someone claimed it for a different key */ }
@@ -257,7 +265,10 @@ mod tests {
         let table = DependencyTable::for_switches(4);
         assert_eq!(table.erase_lookup(42), EraseLookup::None);
         table.register_erase(42, 3);
-        assert_eq!(table.erase_lookup(42), EraseLookup::By { index: 3, state: SwitchState::Undecided });
+        assert_eq!(
+            table.erase_lookup(42),
+            EraseLookup::By { index: 3, state: SwitchState::Undecided }
+        );
         table.decide_erase(42, 3, SwitchState::Legal);
         assert_eq!(table.erase_lookup(42), EraseLookup::By { index: 3, state: SwitchState::Legal });
         // Deciding with the wrong index is a no-op.

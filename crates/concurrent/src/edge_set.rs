@@ -272,9 +272,13 @@ impl ConcurrentEdgeSet {
                 return false;
             }
             if slot != TOMBSTONE && (slot & EDGE_MASK) == key {
-                return self
-                    .buckets[idx]
-                    .compare_exchange(locked, Self::entry(key, 0), Ordering::AcqRel, Ordering::Acquire)
+                return self.buckets[idx]
+                    .compare_exchange(
+                        locked,
+                        Self::entry(key, 0),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
                     .is_ok();
             }
             idx = (idx + 1) & self.mask;
@@ -294,8 +298,7 @@ impl ConcurrentEdgeSet {
                 return false;
             }
             if slot != TOMBSTONE && (slot & EDGE_MASK) == key {
-                let ok = self
-                    .buckets[idx]
+                let ok = self.buckets[idx]
                     .compare_exchange(locked, TOMBSTONE, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok();
                 if ok {
@@ -438,10 +441,8 @@ mod tests {
     #[test]
     fn concurrent_inserts_of_same_edge_only_one_wins() {
         let set = ConcurrentEdgeSet::with_capacity(64);
-        let winners: usize = (0..64)
-            .into_par_iter()
-            .map(|_| set.insert(Edge::new(10, 20)) as usize)
-            .sum();
+        let winners: usize =
+            (0..64).into_par_iter().map(|_| set.insert(Edge::new(10, 20)) as usize).sum();
         assert_eq!(winners, 1);
         assert_eq!(set.len(), 1);
     }
@@ -453,7 +454,9 @@ mod tests {
         let acquired: usize = (1..=64u8)
             .collect::<Vec<_>>()
             .into_par_iter()
-            .map(|tid| (set.try_lock_existing(Edge::new(1, 2), tid) == LockOutcome::Acquired) as usize)
+            .map(|tid| {
+                (set.try_lock_existing(Edge::new(1, 2), tid) == LockOutcome::Acquired) as usize
+            })
             .sum();
         assert_eq!(acquired, 1);
     }

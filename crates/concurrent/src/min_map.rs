@@ -57,7 +57,12 @@ impl MinIndexMap {
                 return Some(self.fetch_min(idx, value));
             }
             if current == KEY_EMPTY {
-                match self.keys[idx].compare_exchange(KEY_EMPTY, key, Ordering::AcqRel, Ordering::Acquire) {
+                match self.keys[idx].compare_exchange(
+                    KEY_EMPTY,
+                    key,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
                     Ok(_) => {
                         let previous = self.fetch_min(idx, value);
                         // The slot was fresh, but another thread may have
@@ -98,8 +103,12 @@ impl MinIndexMap {
             if value >= current {
                 return current;
             }
-            match self.values[idx].compare_exchange_weak(current, value, Ordering::AcqRel, Ordering::Acquire)
-            {
+            match self.values[idx].compare_exchange_weak(
+                current,
+                value,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
                 Ok(prev) => return prev,
                 Err(actual) => current = actual,
             }

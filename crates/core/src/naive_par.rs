@@ -40,13 +40,7 @@ impl NaiveParES {
     pub fn new(graph: EdgeListGraph, config: SwitchingConfig) -> Self {
         let edge_set = ConcurrentEdgeSet::from_edges(graph.edges().iter(), graph.num_edges() * 2);
         let edges = AtomicEdgeList::from_graph(&graph);
-        Self {
-            edges,
-            edge_set,
-            seeds: SeedSequence::new(config.seed),
-            supersteps_done: 0,
-            config,
-        }
+        Self { edges, edge_set, seeds: SeedSequence::new(config.seed), supersteps_done: 0, config }
     }
 
     /// Attempt `count` switches distributed over all rayon worker threads;

@@ -199,11 +199,8 @@ mod tests {
     #[test]
     fn rejects_switches_that_would_create_loops_or_duplicates() {
         // Triangle: every switch is rejected, graph must stay identical.
-        let graph = EdgeListGraph::new(
-            3,
-            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)],
-        )
-        .unwrap();
+        let graph =
+            EdgeListGraph::new(3, vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)]).unwrap();
         let before = graph.canonical_edges();
         let mut chain = SeqES::new(graph, SwitchingConfig::with_seed(7));
         let stats = chain.run_supersteps(10);
@@ -214,8 +211,7 @@ mod tests {
     #[test]
     fn explicit_request_application() {
         // Two disjoint edges can always be switched.
-        let graph =
-            EdgeListGraph::new(4, vec![Edge::new(0, 1), Edge::new(2, 3)]).unwrap();
+        let graph = EdgeListGraph::new(4, vec![Edge::new(0, 1), Edge::new(2, 3)]).unwrap();
         let mut chain = SeqES::new(graph, SwitchingConfig::with_seed(8));
         assert!(chain.apply(SwitchRequest::new(0, 1, false)));
         let result = chain.graph();

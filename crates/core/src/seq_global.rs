@@ -14,8 +14,8 @@ use crate::stats::SuperstepStats;
 use crate::switch::{switch_targets, SwitchRequest};
 use gesmc_concurrent::SeqEdgeSet;
 use gesmc_graph::{Edge, EdgeListGraph};
-use gesmc_randx::{rng_from_seed, sample_binomial, Rng};
 use gesmc_randx::permutation::random_permutation;
+use gesmc_randx::{rng_from_seed, sample_binomial, Rng};
 use std::time::Instant;
 
 /// Sequential G-ES-MC chain.

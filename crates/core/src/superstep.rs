@@ -262,7 +262,11 @@ mod tests {
     }
 
     /// Build a random global switch (source-dependency free by construction).
-    fn random_global_switch(rng: &mut gesmc_randx::Rng, m: usize, ell: usize) -> Vec<SwitchRequest> {
+    fn random_global_switch(
+        rng: &mut gesmc_randx::Rng,
+        m: usize,
+        ell: usize,
+    ) -> Vec<SwitchRequest> {
         let perm = random_permutation(rng, m);
         SeqGlobalES::switches_from_permutation(&perm, ell.min(m / 2))
     }
@@ -277,8 +281,7 @@ mod tests {
 
     #[test]
     fn single_switch_matches_sequential() {
-        let graph =
-            EdgeListGraph::new(4, vec![Edge::new(0, 1), Edge::new(2, 3)]).unwrap();
+        let graph = EdgeListGraph::new(4, vec![Edge::new(0, 1), Edge::new(2, 3)]).unwrap();
         let switches = vec![SwitchRequest::new(0, 1, false)];
         let (out, stats) = run_superstep_on_graph(&graph, &switches);
         assert_eq!(out.canonical_edges(), sequential_oracle(&graph, &switches).canonical_edges());

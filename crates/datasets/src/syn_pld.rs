@@ -47,7 +47,7 @@ mod tests {
             assert_eq!(g.num_nodes(), n);
             let deg = g.degrees();
             assert!(deg.min_degree() >= 1);
-            assert!(deg.max_degree() as usize <= n - 1);
+            assert!((deg.max_degree() as usize) < n);
         }
     }
 

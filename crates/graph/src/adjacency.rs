@@ -175,7 +175,13 @@ mod tests {
         // Square with one diagonal: 0-1, 1-2, 2-3, 3-0, 0-2
         EdgeListGraph::new(
             4,
-            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3), Edge::new(3, 0), Edge::new(0, 2)],
+            vec![
+                Edge::new(0, 1),
+                Edge::new(1, 2),
+                Edge::new(2, 3),
+                Edge::new(3, 0),
+                Edge::new(0, 2),
+            ],
         )
         .unwrap()
     }

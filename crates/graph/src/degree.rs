@@ -154,11 +154,8 @@ impl DegreeSequence {
             for &(dj, cj) in groups.iter().skip(i) {
                 let (d_i, d_j) = (di, dj);
                 let term = (d_i * d_j / denom).powi(2);
-                let pairs = if (d_i - d_j).abs() < f64::EPSILON {
-                    ci * (ci - 1.0) / 2.0
-                } else {
-                    ci * cj
-                };
+                let pairs =
+                    if (d_i - d_j).abs() < f64::EPSILON { ci * (ci - 1.0) / 2.0 } else { ci * cj };
                 p2 += term * pairs;
             }
         }
@@ -234,8 +231,8 @@ mod tests {
         let d = 4u64;
         let m = n * d / 2;
         let seq = DegreeSequence::new(vec![d as u32; n as usize]);
-        let expected = (n * (n - 1) / 2) as f64
-            * ((d * d) as f64 / (m as f64 * (m as f64 - 1.0))).powi(2);
+        let expected =
+            (n * (n - 1) / 2) as f64 * ((d * d) as f64 / (m as f64 * (m as f64 - 1.0))).powi(2);
         let got = seq.p2_statistic();
         assert!((got - expected).abs() < 1e-12, "{got} vs {expected}");
     }

@@ -90,7 +90,10 @@ impl EdgeListGraph {
     /// This mirrors the clean-up the paper applies to the NetRep graphs:
     /// directed edges become undirected, self-loops and multi-edges are
     /// removed.
-    pub fn from_pairs_dedup(num_nodes: usize, pairs: impl IntoIterator<Item = (Node, Node)>) -> Self {
+    pub fn from_pairs_dedup(
+        num_nodes: usize,
+        pairs: impl IntoIterator<Item = (Node, Node)>,
+    ) -> Self {
         let mut seen: HashSet<PackedEdge> = HashSet::new();
         let mut edges = Vec::new();
         for (a, b) in pairs {
@@ -282,7 +285,8 @@ mod tests {
     #[test]
     fn same_degrees_detects_mismatch() {
         let g1 = path_graph();
-        let g2 = EdgeListGraph::new(4, vec![Edge::new(0, 1), Edge::new(2, 3), Edge::new(0, 2)]).unwrap();
+        let g2 =
+            EdgeListGraph::new(4, vec![Edge::new(0, 1), Edge::new(2, 3), Edge::new(0, 2)]).unwrap();
         assert!(!g1.same_degrees(&g2));
         assert!(g1.same_degrees(&g1.clone()));
     }

@@ -116,13 +116,13 @@ mod tests {
     #[test]
     fn realises_simple_sequences() {
         for degrees in [
-            vec![2u32, 2, 2],          // triangle
-            vec![1, 1],                // single edge
-            vec![3, 1, 1, 1],          // star
-            vec![2, 2, 2, 2],          // cycle
-            vec![4, 4, 4, 4, 4],       // K5
-            vec![0, 0, 0],             // empty
-            vec![3, 3, 2, 2, 2],       // mixed
+            vec![2u32, 2, 2],    // triangle
+            vec![1, 1],          // single edge
+            vec![3, 1, 1, 1],    // star
+            vec![2, 2, 2, 2],    // cycle
+            vec![4, 4, 4, 4, 4], // K5
+            vec![0, 0, 0],       // empty
+            vec![3, 3, 2, 2, 2], // mixed
         ] {
             let seq = DegreeSequence::new(degrees.clone());
             let g = havel_hakimi(&seq).expect("graphical");

@@ -104,7 +104,8 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let g = EdgeListGraph::new(5, vec![Edge::new(0, 1), Edge::new(1, 4), Edge::new(2, 3)]).unwrap();
+        let g =
+            EdgeListGraph::new(5, vec![Edge::new(0, 1), Edge::new(1, 4), Edge::new(2, 3)]).unwrap();
         let mut buf = Vec::new();
         write_edge_list(&mut buf, &g).unwrap();
         let parsed = read_edge_list(&buf[..]).unwrap();

@@ -82,7 +82,10 @@ mod tests {
             .sum::<f64>()
             / reps as f64;
         let expected_var = n as f64 * p * (1.0 - p);
-        assert!(var > 0.5 * expected_var && var < 2.0 * expected_var, "variance {var} vs {expected_var}");
+        assert!(
+            var > 0.5 * expected_var && var < 2.0 * expected_var,
+            "variance {var} vs {expected_var}"
+        );
     }
 
     #[test]
@@ -92,8 +95,9 @@ mod tests {
         let (n, p, reps) = (50u64, 0.3, 20_000);
         let fast: f64 =
             (0..reps).map(|_| sample_binomial(&mut rng, n, p) as f64).sum::<f64>() / reps as f64;
-        let naive: f64 = (0..reps).map(|_| sample_binomial_naive(&mut rng, n, p) as f64).sum::<f64>()
-            / reps as f64;
+        let naive: f64 =
+            (0..reps).map(|_| sample_binomial_naive(&mut rng, n, p) as f64).sum::<f64>()
+                / reps as f64;
         assert!((fast - naive).abs() < 0.3, "fast {fast} vs naive {naive}");
     }
 

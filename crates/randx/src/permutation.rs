@@ -76,9 +76,7 @@ pub fn parallel_permutation(seed: u64, n: usize) -> Vec<u64> {
         .flat_map_iter(|(c, items)| {
             let mut rng = seq.child_rng(0x5EED_0000 + c as u64);
             let buckets = buckets as u64;
-            items
-                .into_iter()
-                .map(move |_| crate::bounded::gen_range_u64(&mut rng, buckets) as u32)
+            items.into_iter().map(move |_| crate::bounded::gen_range_u64(&mut rng, buckets) as u32)
         })
         .collect();
 
@@ -110,8 +108,8 @@ pub fn parallel_permutation(seed: u64, n: usize) -> Vec<u64> {
         // Split the vector into per-bucket slices.
         let mut slices: Vec<&mut [u64]> = Vec::with_capacity(buckets);
         let mut rest: &mut [u64] = &mut result;
-        for b in 0..buckets {
-            let (head, tail) = rest.split_at_mut(counts[b]);
+        for &count in counts.iter() {
+            let (head, tail) = rest.split_at_mut(count);
             slices.push(head);
             rest = tail;
         }

@@ -19,12 +19,7 @@ fn main() {
     let thinnings = [1usize, 2, 4, 8, 16, 32];
 
     let graph = gesmc::datasets::syn_pld_graph(7, n, gamma);
-    println!(
-        "SynPld graph: n = {}, γ = {}, m = {}",
-        n,
-        gamma,
-        graph.num_edges()
-    );
+    println!("SynPld graph: n = {}, γ = {}, m = {}", n, gamma, graph.num_edges());
 
     let mut es = SeqES::new(graph.clone(), SwitchingConfig::with_seed(11));
     let es_profile = mixing_profile(&mut es, &graph, supersteps, &thinnings);
@@ -35,10 +30,7 @@ fn main() {
     println!("\nfraction of non-independent edges (lower is better):");
     println!("{:>10} {:>12} {:>12}", "thinning", "ES-MC", "G-ES-MC");
     for (i, &k) in thinnings.iter().enumerate() {
-        println!(
-            "{:>10} {:>12.4} {:>12.4}",
-            k, es_profile.points[i].1, ges_profile.points[i].1
-        );
+        println!("{:>10} {:>12.4} {:>12.4}", k, es_profile.points[i].1, ges_profile.points[i].1);
     }
 
     let threshold = 0.05;

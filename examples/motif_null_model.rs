@@ -71,12 +71,11 @@ fn main() {
     println!("  triangles: mean = {mean:.1}, std = {std:.1}");
     println!("  z-score of the observed count: {z:.1}");
     if z > 3.0 {
-        println!("  -> the observed clustering is highly significant under the fixed-degree null model");
+        println!(
+            "  -> the observed clustering is highly significant under the fixed-degree null model"
+        );
     } else {
         println!("  -> the observed count is compatible with the fixed-degree null model");
     }
-    assert!(
-        z > 3.0,
-        "planted cliques should be detected as significant (z = {z:.1})"
-    );
+    assert!(z > 3.0, "planted cliques should be detected as significant (z = {z:.1})");
 }

@@ -18,11 +18,8 @@ fn main() {
     let edges: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(200_000);
     let supersteps: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
 
-    let corpus = gesmc::datasets::netrep_like::family_graph(
-        3,
-        gesmc::datasets::GraphFamily::Mesh,
-        edges,
-    );
+    let corpus =
+        gesmc::datasets::netrep_like::family_graph(3, gesmc::datasets::GraphFamily::Mesh, edges);
     let graph = corpus.graph;
     println!(
         "graph: n = {}, m = {}, avg degree = {:.1}; {} rayon threads",

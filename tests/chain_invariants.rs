@@ -1,8 +1,8 @@
 //! Integration tests: every chain preserves the fundamental invariants on
 //! every dataset family.
 
-use gesmc::prelude::*;
 use gesmc::datasets::{netrep_sample, syn_gnp_graph, syn_pld_graph};
+use gesmc::prelude::*;
 
 /// All chains under a common constructor so the same checks run for each.
 fn all_chains(graph: &EdgeListGraph, seed: u64) -> Vec<Box<dyn EdgeSwitching>> {

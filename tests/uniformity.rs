@@ -11,14 +11,15 @@ use std::collections::HashMap;
 /// distribution is close to uniform.
 fn initial_graph() -> EdgeListGraph {
     // Degrees: node 4 and 5 have degree 2, nodes 0-3 degree 1.
-    EdgeListGraph::new(
-        6,
-        vec![Edge::new(0, 4), Edge::new(1, 4), Edge::new(2, 5), Edge::new(3, 5)],
-    )
-    .unwrap()
+    EdgeListGraph::new(6, vec![Edge::new(0, 4), Edge::new(1, 4), Edge::new(2, 5), Edge::new(3, 5)])
+        .unwrap()
 }
 
-fn run_uniformity<C, F>(make_chain: F, samples: usize, supersteps: usize) -> HashMap<Vec<u64>, usize>
+fn run_uniformity<C, F>(
+    make_chain: F,
+    samples: usize,
+    supersteps: usize,
+) -> HashMap<Vec<u64>, usize>
 where
     C: EdgeSwitching,
     F: Fn(EdgeListGraph, u64) -> C,
@@ -38,10 +39,7 @@ fn assert_roughly_uniform(counts: &HashMap<Vec<u64>, usize>, samples: usize, cha
     // All observed states must have the correct degree sequence (guaranteed),
     // and the frequencies must be within a generous band around uniform.
     let states = counts.len();
-    assert!(
-        states >= 6,
-        "{chain}: expected to discover most realisations, found only {states}"
-    );
+    assert!(states >= 6, "{chain}: expected to discover most realisations, found only {states}");
     let expected = samples as f64 / states as f64;
     for (state, &count) in counts {
         let ratio = count as f64 / expected;
@@ -77,10 +75,7 @@ fn par_global_es_samples_roughly_uniformly() {
 #[test]
 fn seq_es_samples_roughly_uniformly() {
     let samples = 600;
-    let counts = run_uniformity(
-        |g, seed| SeqES::new(g, SwitchingConfig::with_seed(seed)),
-        samples,
-        12,
-    );
+    let counts =
+        run_uniformity(|g, seed| SeqES::new(g, SwitchingConfig::with_seed(seed)), samples, 12);
     assert_roughly_uniform(&counts, samples, "SeqES");
 }

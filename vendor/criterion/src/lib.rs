@@ -1,0 +1,280 @@
+//! Offline stand-in for the subset of `criterion` used by this workspace.
+//!
+//! Implements the group/bench API (`benchmark_group`, `bench_with_input`,
+//! `iter`, `iter_batched`, `criterion_group!`, `criterion_main!`) as a small
+//! wall-clock harness: every benchmark runs `sample_size` timed samples and
+//! reports min / mean / max to stdout.  There is no warm-up, outlier
+//! rejection, or statistical analysis — the goal is that `cargo bench`
+//! compiles, runs, and produces usable relative numbers offline.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement types (mirrors `criterion::measurement`).
+pub mod measurement {
+    /// Wall-clock time, the only measurement the shim supports.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// How `iter_batched` amortises setup cost; the shim always runs one batch
+/// per sample, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (one batch per sample).
+    LargeInput,
+    /// Fresh input for every routine call.
+    PerIteration,
+}
+
+/// Throughput annotation attached to a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `function_name/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayed parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Build an id from the parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// Passed to every benchmark closure; runs and times the routine.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, called once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.durations.push(start.elapsed());
+        }
+    }
+
+    /// Time `routine` on inputs produced by `setup`; setup is not timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate the group's throughput (reported per sample).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark `f` with a fixed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher { samples: self.effective_samples(), durations: Vec::new() };
+        f(&mut bencher, input);
+        self.report(&id.id, &bencher.durations);
+        self
+    }
+
+    /// Benchmark `f` without an input parameter.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { samples: self.effective_samples(), durations: Vec::new() };
+        f(&mut bencher);
+        self.report(&id.id, &bencher.durations);
+        self
+    }
+
+    /// Finish the group (stdout reporting happens per benchmark).
+    pub fn finish(&mut self) {}
+
+    fn effective_samples(&self) -> usize {
+        self.sample_size.min(self.criterion.max_samples)
+    }
+
+    fn report(&self, id: &str, durations: &[Duration]) {
+        if durations.is_empty() {
+            return;
+        }
+        let total: Duration = durations.iter().sum();
+        let mean = total / durations.len() as u32;
+        let min = durations.iter().min().copied().unwrap_or_default();
+        let max = durations.iter().max().copied().unwrap_or_default();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+                format!("  {:.0} elem/s", n as f64 / mean.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+                format!("  {:.0} B/s", n as f64 / mean.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{}: mean {:?}  (min {:?}, max {:?}, {} samples){}",
+            self.name,
+            id,
+            mean,
+            min,
+            max,
+            durations.len(),
+            rate
+        );
+    }
+}
+
+/// Benchmark driver mirroring `criterion::Criterion`.
+pub struct Criterion {
+    max_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep offline bench runs short; CRITERION_MAX_SAMPLES overrides.
+        let max_samples =
+            std::env::var("CRITERION_MAX_SAMPLES").ok().and_then(|v| v.parse().ok()).unwrap_or(10);
+        Self { max_samples }
+    }
+}
+
+impl Criterion {
+    /// Accept (and ignore) criterion CLI arguments such as `--bench`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.max_samples,
+            throughput: None,
+            criterion: self,
+            _measurement: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmark a single function outside a group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name).bench_function(BenchmarkId::from_parameter("run"), f);
+        self
+    }
+}
+
+/// Declare a benchmark group function (mirrors `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the benchmark `main` (mirrors `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion { max_samples: 3 };
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5).throughput(Throughput::Elements(100));
+        let mut runs = 0;
+        group.bench_with_input(BenchmarkId::new("count", 7), &7u64, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        // sample_size(5) clamped by max_samples = 3.
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup() {
+        let mut c = Criterion { max_samples: 2 };
+        let mut group = c.benchmark_group("batched");
+        let mut setups = 0;
+        group.bench_function(BenchmarkId::from_parameter("b"), |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 8]
+                },
+                |v| v.len(),
+                BatchSize::LargeInput,
+            )
+        });
+        assert_eq!(setups, 2);
+    }
+}

@@ -1,0 +1,162 @@
+//! Offline stand-in for the subset of `rand_distr` used by this workspace:
+//! the [`Binomial`] distribution.
+//!
+//! Sampling strategy: exact inversion (the classic BINV algorithm) whenever
+//! `n * min(p, 1-p)` is small enough for `(1-p)^n` not to underflow, and a
+//! clamped normal approximation otherwise.  The chains draw
+//! `Binom(⌊m/2⌋, 1 − P_L)` with tiny `P_L`, which lands in the exact branch
+//! for every test-scale instance; the approximation only kicks in at
+//! benchmark scale, where the relative error of the normal regime is far
+//! below measurement noise.
+
+#![forbid(unsafe_code)]
+
+use rand::{Rng as _, RngCore};
+
+pub use rand::distributions::Distribution;
+
+/// Error returned by [`Binomial::new`] for invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinomialError;
+
+impl core::fmt::Display for BinomialError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "binomial parameters invalid: p must be finite and in [0, 1]")
+    }
+}
+
+impl std::error::Error for BinomialError {}
+
+/// The binomial distribution `Binom(n, p)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Construct `Binom(n, p)`; fails if `p` is not a probability.
+    pub fn new(n: u64, p: f64) -> Result<Self, BinomialError> {
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(BinomialError);
+        }
+        Ok(Self { n, p })
+    }
+}
+
+/// Largest `n * min(p, q)` for which the exact inversion sampler is used;
+/// beyond it `q^n` risks underflow and the walk gets long.
+const INVERSION_LIMIT: f64 = 500.0;
+
+impl Distribution<u64> for Binomial {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.n == 0 || self.p == 0.0 {
+            return 0;
+        }
+        if self.p >= 1.0 {
+            return self.n;
+        }
+        // Sample the rarer outcome for a short inversion walk.
+        let flipped = self.p > 0.5;
+        let p = if flipped { 1.0 - self.p } else { self.p };
+        let successes = if self.n as f64 * p <= INVERSION_LIMIT {
+            sample_inversion(rng, self.n, p)
+        } else {
+            sample_normal_approx(rng, self.n, p)
+        };
+        if flipped {
+            self.n - successes
+        } else {
+            successes
+        }
+    }
+}
+
+/// Exact BINV inversion: walk the CDF from 0 upward.  Expected work is
+/// `O(n p)`; requires `(1-p)^n` to be representable.
+fn sample_inversion<R: RngCore + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    let q = 1.0 - p;
+    let s = p / q;
+    let base = q.powf(n as f64);
+    debug_assert!(base > 0.0, "inversion branch requires (1-p)^n > 0");
+    'redraw: loop {
+        let mut pmf = base;
+        let mut cdf = pmf;
+        let u: f64 = rng.gen();
+        let mut k = 0u64;
+        while u > cdf {
+            k += 1;
+            if k > n {
+                // `u` landed in the numerical tail lost to rounding; redraw.
+                continue 'redraw;
+            }
+            pmf *= s * (n - k + 1) as f64 / k as f64;
+            cdf += pmf;
+        }
+        return k;
+    }
+}
+
+/// Normal approximation with continuity correction, clamped to `[0, n]`.
+fn sample_normal_approx<R: RngCore + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    let mean = n as f64 * p;
+    let sd = (n as f64 * p * (1.0 - p)).sqrt();
+    // Box-Muller transform.
+    let u1: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > 0.0 {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos();
+    let x = (mean + sd * z + 0.5).floor();
+    x.clamp(0.0, n as f64) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Binomial::new(10, 1.5).is_err());
+        assert!(Binomial::new(10, f64::NAN).is_err());
+        assert!(Binomial::new(10, 0.3).is_ok());
+    }
+
+    #[test]
+    fn inversion_matches_moments() {
+        let mut rng = Lcg(3);
+        let dist = Binomial::new(40, 0.25).unwrap();
+        let reps = 40_000;
+        let samples: Vec<u64> = (0..reps).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / reps as f64;
+        assert!((mean - 10.0).abs() < 0.2, "mean {mean}");
+        let var = samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / reps as f64;
+        assert!((var - 7.5).abs() < 0.8, "variance {var}");
+        assert!(samples.iter().all(|&x| x <= 40));
+    }
+
+    #[test]
+    fn normal_branch_matches_moments() {
+        let mut rng = Lcg(9);
+        // n * p well beyond the inversion limit.
+        let dist = Binomial::new(1_000_000, 0.5).unwrap();
+        let reps = 4_000;
+        let samples: Vec<u64> = (0..reps).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / reps as f64;
+        assert!((mean - 500_000.0).abs() < 100.0, "mean {mean}");
+    }
+}

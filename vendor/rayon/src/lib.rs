@@ -1,0 +1,431 @@
+//! Offline stand-in for the subset of `rayon` used by this workspace.
+//!
+//! The build environment cannot reach crates.io, so this crate implements the
+//! parallel-iterator surface the workspace needs on top of plain
+//! `std::thread::scope`: each terminal operation splits its input into one
+//! contiguous chunk per worker, spawns scoped threads, and reassembles the
+//! results in order.  That preserves rayon's observable semantics for this
+//! codebase — ordered `collect`, concurrent `for_each`, per-worker
+//! `current_thread_index` — without work stealing.
+//!
+//! Differences from real rayon, by design:
+//!
+//! * adapters (`map`, `filter_map`, …) evaluate eagerly, each as its own
+//!   parallel pass, instead of fusing into one;
+//! * `ThreadPool` is only a thread-count override (`install` runs its closure
+//!   on the calling thread with the override active);
+//! * `build_global` always succeeds and simply stores the requested count.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global worker-count default, 0 = uninitialised (use hardware parallelism).
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Worker index inside a parallel region, `None` outside.
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Per-thread override installed by [`ThreadPool::install`].
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(|c| c.get()) {
+        return n;
+    }
+    match GLOBAL_THREADS.load(Ordering::Relaxed) {
+        0 => hardware_threads(),
+        n => n,
+    }
+}
+
+/// Index of the current worker within its parallel region, if any.
+pub fn current_thread_index() -> Option<usize> {
+    WORKER_INDEX.with(|c| c.get())
+}
+
+/// Error type of [`ThreadPoolBuilder`]; never actually produced.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool construction failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request `num` worker threads; 0 means "hardware default".
+    pub fn num_threads(mut self, num: usize) -> Self {
+        self.num_threads = num;
+        self
+    }
+
+    /// Install the requested count as the global default.
+    ///
+    /// Unlike rayon this may be called repeatedly; the last call wins.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Build a scoped pool handle.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 { hardware_threads() } else { self.num_threads };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A thread-count scope mirroring `rayon::ThreadPool`.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread count as the ambient parallelism.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let previous = THREAD_OVERRIDE.with(|c| c.replace(Some(self.num_threads)));
+        let result = op();
+        THREAD_OVERRIDE.with(|c| c.set(previous));
+        result
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Split `items` into at most `parts` contiguous chunks of near-equal size.
+fn split_chunks<T>(mut items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let n = items.len();
+    let parts = parts.clamp(1, n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut chunks = Vec::with_capacity(parts);
+    // Take from the back to avoid shifting; reverse afterwards.
+    for i in (0..parts).rev() {
+        let size = base + usize::from(i < extra);
+        chunks.push(items.split_off(items.len() - size));
+    }
+    chunks.reverse();
+    chunks
+}
+
+/// Run `f` over per-worker chunks of `items`, in parallel, returning the
+/// per-chunk results in chunk order.
+fn run_chunked<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(Vec<T>) -> U + Sync,
+{
+    let workers = current_num_threads();
+    if workers <= 1 || items.len() <= 1 {
+        return vec![f(items)];
+    }
+    let chunks = split_chunks(items, workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .enumerate()
+            .map(|(index, chunk)| {
+                scope.spawn(move || {
+                    WORKER_INDEX.with(|c| c.set(Some(index)));
+                    let out = f(chunk);
+                    WORKER_INDEX.with(|c| c.set(None));
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect()
+    })
+}
+
+/// An eagerly evaluated parallel iterator over an in-memory sequence.
+///
+/// This is both the `ParallelIterator` and the `IndexedParallelIterator` of
+/// the shim: all sources are materialised, so every pipeline is indexed.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Apply `f` to every item in parallel.
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync + Send,
+    {
+        let nested = run_chunked(self.items, |chunk| chunk.into_iter().map(&f).collect::<Vec<_>>());
+        ParIter { items: nested.into_iter().flatten().collect() }
+    }
+
+    /// Apply `f` in parallel, keeping the `Some` results in order.
+    pub fn filter_map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> Option<U> + Sync + Send,
+    {
+        let nested =
+            run_chunked(self.items, |chunk| chunk.into_iter().filter_map(&f).collect::<Vec<_>>());
+        ParIter { items: nested.into_iter().flatten().collect() }
+    }
+
+    /// Keep items satisfying `f`, in order.
+    pub fn filter<F>(self, f: F) -> ParIter<T>
+    where
+        F: Fn(&T) -> bool + Sync + Send,
+    {
+        let nested =
+            run_chunked(self.items, |chunk| chunk.into_iter().filter(&f).collect::<Vec<_>>());
+        ParIter { items: nested.into_iter().flatten().collect() }
+    }
+
+    /// Run `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync + Send,
+    {
+        run_chunked(self.items, |chunk| chunk.into_iter().for_each(&f));
+    }
+
+    /// Pair every item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    /// Group items into consecutive chunks of at most `size` elements.
+    pub fn chunks(self, size: usize) -> ParIter<Vec<T>> {
+        assert!(size > 0, "chunk size must be positive");
+        let mut groups = Vec::with_capacity(self.items.len().div_ceil(size));
+        let mut iter = self.items.into_iter();
+        loop {
+            let group: Vec<T> = iter.by_ref().take(size).collect();
+            if group.is_empty() {
+                break;
+            }
+            groups.push(group);
+        }
+        ParIter { items: groups }
+    }
+
+    /// Map each item to a serial iterator and concatenate the results in
+    /// order (`rayon::iter::ParallelIterator::flat_map_iter`).
+    pub fn flat_map_iter<U, I, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Sync + Send,
+    {
+        let nested =
+            run_chunked(self.items, |chunk| chunk.into_iter().flat_map(&f).collect::<Vec<_>>());
+        ParIter { items: nested.into_iter().flatten().collect() }
+    }
+
+    /// Sum all items (partial sums per worker, then a final fold).
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T> + std::iter::Sum<S> + Send,
+    {
+        run_chunked(self.items, |chunk| chunk.into_iter().sum::<S>()).into_iter().sum()
+    }
+
+    /// Number of items.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Gather the items into a collection, preserving order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Reduce with an identity and an associative operator.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T + Sync + Send,
+        OP: Fn(T, T) -> T + Sync + Send,
+    {
+        let partials = run_chunked(self.items, |chunk| chunk.into_iter().fold(identity(), &op));
+        partials.into_iter().fold(identity(), op)
+    }
+}
+
+impl<T: Copy + Send + Sync> ParIter<&T> {
+    /// Copy the referenced items (`rayon`'s `copied`).
+    pub fn copied(self) -> ParIter<T> {
+        ParIter { items: self.items.into_iter().copied().collect() }
+    }
+}
+
+impl<T: Clone + Send + Sync> ParIter<&T> {
+    /// Clone the referenced items (`rayon`'s `cloned`).
+    pub fn cloned(self) -> ParIter<T> {
+        ParIter { items: self.items.into_iter().cloned().collect() }
+    }
+}
+
+/// Conversion into a parallel iterator (mirrors
+/// `rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Item type of the resulting iterator.
+    type Item: Send;
+    /// Convert `self`.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+        impl IntoParallelIterator for std::ops::RangeInclusive<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+range_into_par_iter!(u8, u16, u32, u64, usize, i32, i64);
+
+/// Borrowing conversion (mirrors `rayon::iter::IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send;
+    /// Iterate over references to `self`'s elements.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// The traits a `use rayon::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Re-export of the iterator types under their rayon module path.
+pub mod iter {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000u64).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+    }
+
+    #[test]
+    fn for_each_runs_on_multiple_workers() {
+        let hits = AtomicUsize::new(0);
+        (0..50_000u32).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 50_000);
+    }
+
+    #[test]
+    fn filter_map_keeps_order() {
+        let v: Vec<u32> =
+            (0..1000u32).into_par_iter().filter_map(|x| (x % 3 == 0).then_some(x)).collect();
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(v.len(), 334);
+    }
+
+    #[test]
+    fn sum_and_reduce() {
+        let s: u64 = (0..=1000u64).into_par_iter().sum();
+        assert_eq!(s, 500_500);
+        let m = (1..=100u64).into_par_iter().reduce(|| 1, |a, b| a.max(b));
+        assert_eq!(m, 100);
+    }
+
+    #[test]
+    fn chunks_then_flat_map_iter_roundtrips() {
+        let v: Vec<usize> =
+            (0..1234usize).into_par_iter().chunks(100).flat_map_iter(|c| c.into_iter()).collect();
+        assert_eq!(v, (0..1234).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = vec![1u64, 2, 3, 4];
+        let doubled: Vec<u64> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let s: u64 = data.par_iter().copied().sum();
+        assert_eq!(s, 10);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(crate::current_num_threads), 3);
+    }
+
+    #[test]
+    fn worker_indices_are_in_range() {
+        let workers = crate::current_num_threads();
+        (0..10_000u32).into_par_iter().for_each(|_| {
+            if let Some(i) = crate::current_thread_index() {
+                assert!(i < workers.max(1));
+            }
+        });
+    }
+}
