@@ -8,11 +8,19 @@
 //!                   [--gamma 2.5] --output graph.txt [--seed 1]
 //!   gesmc analyze   --input graph.txt [--algo seq-global-es] [--supersteps 30]
 //!                   [--seed 1]
+//!   gesmc batch     manifest.json [--workers N]
+//!   gesmc resume    job.ckpt [--samples-dir DIR] [--supersteps T] [--threads N]
+//!                   [--checkpoint-every K [--checkpoint-dir DIR]]
 //! ```
 //!
 //! The CLI exercises the same public API as the examples and benchmarks: it
 //! reads/writes plain-text edge lists, randomises with any of the implemented
-//! chains and can run the autocorrelation analysis on small graphs.
+//! chains, runs the autocorrelation analysis on small graphs, and drives the
+//! batched job engine (`gesmc-engine`) for multi-job manifests with
+//! checkpoint/resume.
+//!
+//! All failures are reported on stderr with a nonzero exit code; the CLI
+//! never panics on bad input.
 
 use gesmc_analysis::mixing_profile;
 use gesmc_baselines::{AdjacencyListES, GlobalCurveball, SortedAdjacencyES};
@@ -20,10 +28,13 @@ use gesmc_core::{
     EdgeSwitching, NaiveParES, ParES, ParGlobalES, SeqES, SeqGlobalES, SwitchingConfig,
 };
 use gesmc_datasets::{netrep_like::family_graph, syn_gnp_graph, syn_pld_graph, GraphFamily};
+use gesmc_engine::{run_batch, Checkpoint, EdgeListFileSink, GraphSource, JobSpec, Manifest};
 use gesmc_graph::io::{read_edge_list_file, write_edge_list_file};
 use gesmc_graph::EdgeListGraph;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::str::FromStr;
 
 fn print_usage() {
     eprintln!(
@@ -33,23 +44,89 @@ fn print_usage() {
            randomize --input FILE --output FILE [--algo NAME] [--supersteps K] [--seed S] [--threads P]\n\
            generate  --family {{gnp,pld,road,mesh,dense}} --edges M [--nodes N] [--gamma G] --output FILE [--seed S]\n\
            analyze   --input FILE [--algo NAME] [--supersteps K] [--seed S]\n\
+           batch     MANIFEST.json [--workers N]\n\
+           resume    JOB.ckpt [--samples-dir DIR] [--supersteps T] [--threads P]\n\
+                     [--checkpoint-every K [--checkpoint-dir DIR]]\n\
          \n\
          Algorithms: seq-es, seq-global-es, par-es, par-global-es, naive-par-es,\n\
-                     adjacency-es, sorted-adjacency-es, curveball"
+                     adjacency-es, sorted-adjacency-es, curveball\n\
+         (batch/resume support the five checkpointable chains of gesmc-core)"
     );
 }
 
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+/// Split raw arguments into positional arguments and `--flag value` pairs.
+fn parse_args(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>), String> {
+    let mut positional = Vec::new();
     let mut flags = HashMap::new();
     let mut iter = args.iter();
-    while let Some(flag) = iter.next() {
-        let Some(name) = flag.strip_prefix("--") else {
-            return Err(format!("unexpected argument {flag:?}"));
-        };
-        let value = iter.next().ok_or_else(|| format!("flag --{name} needs a value"))?;
-        flags.insert(name.to_string(), value.clone());
+    while let Some(arg) = iter.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            let value = iter.next().ok_or_else(|| format!("flag --{name} needs a value"))?.clone();
+            if flags.insert(name.to_string(), value).is_some() {
+                return Err(format!("flag --{name} given twice"));
+            }
+        } else {
+            positional.push(arg.clone());
+        }
     }
-    Ok(flags)
+    Ok((positional, flags))
+}
+
+/// Parse an optional numeric flag, naming the flag in the error message.
+fn parse_flag<T: FromStr>(flags: &HashMap<String, String>, name: &str) -> Result<Option<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flags.get(name) {
+        None => Ok(None),
+        Some(raw) => {
+            raw.parse().map(Some).map_err(|e| format!("invalid value {raw:?} for --{name}: {e}"))
+        }
+    }
+}
+
+/// Parse an optional numeric flag with a default.
+fn parse_flag_or<T: FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    Ok(parse_flag(flags, name)?.unwrap_or(default))
+}
+
+fn require<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a String, String> {
+    flags.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+}
+
+fn no_positionals(command: &str, positional: &[String]) -> Result<(), String> {
+    if let Some(unexpected) = positional.first() {
+        Err(format!("{command} takes no positional arguments (got {unexpected:?})"))
+    } else {
+        Ok(())
+    }
+}
+
+/// Reject misspelled flags instead of silently ignoring them.
+fn reject_unknown_flags(
+    command: &str,
+    flags: &HashMap<String, String>,
+    allowed: &[&str],
+) -> Result<(), String> {
+    let mut unknown: Vec<&str> =
+        flags.keys().map(String::as_str).filter(|name| !allowed.contains(name)).collect();
+    if unknown.is_empty() {
+        return Ok(());
+    }
+    unknown.sort_unstable();
+    let listed: Vec<String> = unknown.iter().map(|name| format!("--{name}")).collect();
+    Err(format!(
+        "unknown flag(s) for {command}: {} (accepted: {})",
+        listed.join(", "),
+        allowed.iter().map(|name| format!("--{name}")).collect::<Vec<_>>().join(", ")
+    ))
 }
 
 fn build_chain(
@@ -70,24 +147,23 @@ fn build_chain(
     })
 }
 
-fn cmd_randomize(flags: &HashMap<String, String>) -> Result<(), String> {
-    let input = flags.get("input").ok_or("missing --input")?;
-    let output = flags.get("output").ok_or("missing --output")?;
+fn cmd_randomize(positional: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+    no_positionals("randomize", positional)?;
+    reject_unknown_flags(
+        "randomize",
+        flags,
+        &["input", "output", "algo", "supersteps", "seed", "threads"],
+    )?;
+    let input = require(flags, "input")?;
+    let output = require(flags, "output")?;
     let algo = flags.get("algo").map(String::as_str).unwrap_or("par-global-es");
-    let supersteps: usize = flags
-        .get("supersteps")
-        .map(|s| s.parse())
-        .transpose()
-        .map_err(|e| format!("{e}"))?
-        .unwrap_or(20);
-    let seed: u64 =
-        flags.get("seed").map(|s| s.parse()).transpose().map_err(|e| format!("{e}"))?.unwrap_or(1);
-    if let Some(threads) = flags.get("threads") {
-        let threads: usize = threads.parse().map_err(|e| format!("{e}"))?;
+    let supersteps: usize = parse_flag_or(flags, "supersteps", 20)?;
+    let seed: u64 = parse_flag_or(flags, "seed", 1)?;
+    if let Some(threads) = parse_flag::<usize>(flags, "threads")? {
         rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
             .build_global()
-            .map_err(|e| format!("{e}"))?;
+            .map_err(|e| format!("cannot configure thread pool: {e}"))?;
     }
 
     let graph = read_edge_list_file(input).map_err(|e| format!("{e}"))?;
@@ -103,7 +179,12 @@ fn cmd_randomize(flags: &HashMap<String, String>) -> Result<(), String> {
     let mut chain = build_chain(algo, graph, SwitchingConfig::with_seed(seed))?;
     let stats = chain.run_supersteps(supersteps);
     let result = chain.graph();
-    assert_eq!(result.degrees(), degrees, "degree sequence must be preserved");
+    if result.degrees() != degrees {
+        return Err(format!(
+            "internal error: {} did not preserve the degree sequence",
+            chain.name()
+        ));
+    }
 
     write_edge_list_file(output, &result).map_err(|e| format!("{e}"))?;
     eprintln!(
@@ -118,21 +199,20 @@ fn cmd_randomize(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
-    let family = flags.get("family").ok_or("missing --family")?;
-    let output = flags.get("output").ok_or("missing --output")?;
+fn cmd_generate(positional: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+    no_positionals("generate", positional)?;
+    reject_unknown_flags(
+        "generate",
+        flags,
+        &["family", "output", "edges", "seed", "gamma", "nodes"],
+    )?;
+    let family = require(flags, "family")?;
+    let output = require(flags, "output")?;
     let edges: usize =
-        flags.get("edges").ok_or("missing --edges")?.parse().map_err(|e| format!("{e}"))?;
-    let seed: u64 =
-        flags.get("seed").map(|s| s.parse()).transpose().map_err(|e| format!("{e}"))?.unwrap_or(1);
-    let gamma: f64 = flags
-        .get("gamma")
-        .map(|s| s.parse())
-        .transpose()
-        .map_err(|e| format!("{e}"))?
-        .unwrap_or(2.5);
-    let nodes: Option<usize> =
-        flags.get("nodes").map(|s| s.parse()).transpose().map_err(|e| format!("{e}"))?;
+        parse_flag(flags, "edges")?.ok_or("missing required flag --edges".to_string())?;
+    let seed: u64 = parse_flag_or(flags, "seed", 1)?;
+    let gamma: f64 = parse_flag_or(flags, "gamma", 2.5)?;
+    let nodes: Option<usize> = parse_flag(flags, "nodes")?;
 
     let graph = match family.as_str() {
         "gnp" => syn_gnp_graph(seed, nodes.unwrap_or(edges / 8), edges),
@@ -152,17 +232,13 @@ fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
-    let input = flags.get("input").ok_or("missing --input")?;
+fn cmd_analyze(positional: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+    no_positionals("analyze", positional)?;
+    reject_unknown_flags("analyze", flags, &["input", "algo", "supersteps", "seed"])?;
+    let input = require(flags, "input")?;
     let algo = flags.get("algo").map(String::as_str).unwrap_or("seq-global-es");
-    let supersteps: usize = flags
-        .get("supersteps")
-        .map(|s| s.parse())
-        .transpose()
-        .map_err(|e| format!("{e}"))?
-        .unwrap_or(30);
-    let seed: u64 =
-        flags.get("seed").map(|s| s.parse()).transpose().map_err(|e| format!("{e}"))?.unwrap_or(1);
+    let supersteps: usize = parse_flag_or(flags, "supersteps", 30)?;
+    let seed: u64 = parse_flag_or(flags, "seed", 1)?;
 
     let graph = read_edge_list_file(input).map_err(|e| format!("{e}"))?;
     let thinnings: Vec<usize> =
@@ -196,14 +272,125 @@ fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `gesmc batch manifest.json`: run every job of the manifest over the
+/// engine's worker pool, streaming thinned samples to per-job files.
+fn cmd_batch(positional: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+    let manifest_path = match positional {
+        [path] => path,
+        [] => return Err("batch needs a manifest path: gesmc batch manifest.json".to_string()),
+        more => return Err(format!("batch takes one manifest path, got {}", more.len())),
+    };
+    reject_unknown_flags("batch", flags, &["workers"])?;
+    let mut manifest = Manifest::from_file(manifest_path).map_err(|e| format!("{e}"))?;
+    if let Some(workers) = parse_flag::<usize>(flags, "workers")? {
+        manifest.workers = workers;
+    }
+    eprintln!(
+        "batch {}: {} jobs over {} workers -> {}",
+        manifest_path,
+        manifest.jobs.len(),
+        if manifest.workers == 0 { "hardware".to_string() } else { manifest.workers.to_string() },
+        manifest.output_dir.display()
+    );
+
+    let outcomes = run_batch(&manifest).map_err(|e| format!("{e}"))?;
+    let mut failures = 0usize;
+    for outcome in &outcomes {
+        match &outcome.result {
+            Ok(report) => eprintln!("  {}", report.summary()),
+            Err(e) => {
+                failures += 1;
+                eprintln!("  {}: FAILED: {e}", outcome.job);
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(format!("{failures} of {} jobs failed", outcomes.len()));
+    }
+    eprintln!("all {} jobs finished", outcomes.len());
+    Ok(())
+}
+
+/// `gesmc resume job.ckpt`: continue an interrupted job from its checkpoint,
+/// bit-identically to a run that was never interrupted.
+fn cmd_resume(positional: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+    let checkpoint_path = match positional {
+        [path] => path,
+        [] => return Err("resume needs a checkpoint path: gesmc resume job.ckpt".to_string()),
+        more => return Err(format!("resume takes one checkpoint path, got {}", more.len())),
+    };
+    reject_unknown_flags(
+        "resume",
+        flags,
+        &["samples-dir", "supersteps", "threads", "checkpoint-every", "checkpoint-dir"],
+    )?;
+    let checkpoint = Checkpoint::read_from_file(checkpoint_path).map_err(|e| format!("{e}"))?;
+    let algorithm = checkpoint.algorithm().map_err(|e| format!("{e}"))?;
+    let graph = checkpoint.snapshot.graph().map_err(|e| format!("{e}"))?;
+
+    let mut spec =
+        JobSpec::new(checkpoint.job_name.clone(), GraphSource::InMemory(graph), algorithm)
+            .supersteps(checkpoint.total_supersteps)
+            .thinning(checkpoint.thinning)
+            .seed(checkpoint.snapshot.seed);
+    spec.loop_probability = checkpoint.snapshot.loop_probability;
+    if let Some(supersteps) = parse_flag::<u64>(flags, "supersteps")? {
+        if supersteps <= checkpoint.snapshot.supersteps_done {
+            return Err(format!(
+                "--supersteps {supersteps} is not beyond the checkpoint's superstep {}",
+                checkpoint.snapshot.supersteps_done
+            ));
+        }
+        spec.supersteps = supersteps;
+    }
+    if let Some(threads) = parse_flag::<usize>(flags, "threads")? {
+        spec.threads = Some(threads);
+    }
+    // Keep checkpointing during the resumed run, so a second interruption
+    // does not lose the progress since this one.  The interval is not stored
+    // in the checkpoint file; `--checkpoint-every` re-enables it, writing to
+    // the resumed checkpoint's own directory unless overridden.
+    if let Some(every) = parse_flag::<u64>(flags, "checkpoint-every")? {
+        let default_dir = std::path::Path::new(checkpoint_path)
+            .parent()
+            .filter(|dir| !dir.as_os_str().is_empty())
+            .unwrap_or_else(|| std::path::Path::new("."))
+            .to_path_buf();
+        spec.checkpoint_every = Some(every);
+        spec.checkpoint_dir =
+            Some(flags.get("checkpoint-dir").map(PathBuf::from).unwrap_or(default_dir));
+    } else if flags.contains_key("checkpoint-dir") {
+        return Err("--checkpoint-dir needs --checkpoint-every".to_string());
+    }
+
+    let samples_dir = flags.get("samples-dir").map(String::as_str).unwrap_or("samples");
+    eprintln!(
+        "resuming {:?} ({}) at superstep {} of {}, samples -> {samples_dir}",
+        checkpoint.job_name,
+        algorithm.cli_name(),
+        checkpoint.snapshot.supersteps_done,
+        spec.supersteps
+    );
+
+    let mut sink =
+        EdgeListFileSink::new(samples_dir, &checkpoint.job_name).map_err(|e| format!("{e}"))?;
+    let report =
+        gesmc_engine::run_job(&spec, &mut sink, Some(&checkpoint)).map_err(|e| format!("{e}"))?;
+    eprintln!("{}", report.summary());
+    for path in sink.written() {
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
         print_usage();
         return ExitCode::FAILURE;
     };
-    let flags = match parse_flags(rest) {
-        Ok(f) => f,
+    let (positional, flags) = match parse_args(rest) {
+        Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("error: {e}");
             print_usage();
@@ -211,9 +398,11 @@ fn main() -> ExitCode {
         }
     };
     let result = match command.as_str() {
-        "randomize" => cmd_randomize(&flags),
-        "generate" => cmd_generate(&flags),
-        "analyze" => cmd_analyze(&flags),
+        "randomize" => cmd_randomize(&positional, &flags),
+        "generate" => cmd_generate(&positional, &flags),
+        "analyze" => cmd_analyze(&positional, &flags),
+        "batch" => cmd_batch(&positional, &flags),
+        "resume" => cmd_resume(&positional, &flags),
         "--help" | "-h" | "help" => {
             print_usage();
             Ok(())

@@ -1,5 +1,6 @@
 //! The common interface of all switching chains and their configuration.
 
+use crate::snapshot::{ChainSnapshot, SnapshotError};
 use crate::stats::{ChainStats, SuperstepStats};
 use gesmc_graph::EdgeListGraph;
 
@@ -72,6 +73,27 @@ pub trait EdgeSwitching {
             stats.push(self.superstep());
         }
         stats
+    }
+
+    /// Capture the complete chain state for checkpoint/resume.
+    ///
+    /// Restoring the returned snapshot (into a chain of the same algorithm)
+    /// and continuing yields a run *bit-identical* to never having been
+    /// interrupted.  Returns `None` for implementations that do not support
+    /// snapshots (the baselines); all five chains of `gesmc-core` do.
+    fn snapshot(&self) -> Option<ChainSnapshot> {
+        None
+    }
+
+    /// Replace this chain's state with `snapshot`, continuing its run.
+    ///
+    /// The snapshot must come from the same algorithm
+    /// ([`SnapshotError::AlgorithmMismatch`] otherwise); the graph it carries
+    /// fully replaces the current one, so the chain being restored into may
+    /// have been constructed from any placeholder graph.
+    fn restore(&mut self, snapshot: &ChainSnapshot) -> Result<(), SnapshotError> {
+        let _ = snapshot;
+        Err(SnapshotError::Unsupported(self.name()))
     }
 }
 

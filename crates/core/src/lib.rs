@@ -44,6 +44,7 @@ pub mod par_es;
 pub mod par_global;
 pub mod seq_es;
 pub mod seq_global;
+pub mod snapshot;
 pub mod stats;
 pub mod superstep;
 pub mod switch;
@@ -54,5 +55,6 @@ pub use par_es::ParES;
 pub use par_global::ParGlobalES;
 pub use seq_es::SeqES;
 pub use seq_global::SeqGlobalES;
+pub use snapshot::{ChainSnapshot, SnapshotError};
 pub use stats::{ChainStats, SuperstepStats};
 pub use switch::{switch_targets, SwitchRequest};

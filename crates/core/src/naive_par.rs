@@ -15,12 +15,13 @@
 //! baseline of the paper's Fig. 4/5 comparison.
 
 use crate::chain::{EdgeSwitching, SwitchingConfig};
+use crate::snapshot::{ChainSnapshot, SnapshotError};
 use crate::stats::SuperstepStats;
 use crate::switch::switch_targets;
 use gesmc_concurrent::{AtomicEdgeList, ConcurrentEdgeSet, LockOutcome};
 use gesmc_graph::{Edge, EdgeListGraph};
 use gesmc_randx::bounded::UniformIndex;
-use gesmc_randx::SeedSequence;
+use gesmc_randx::{RngState, SeedSequence};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -31,7 +32,6 @@ pub struct NaiveParES {
     edge_set: ConcurrentEdgeSet,
     seeds: SeedSequence,
     supersteps_done: u64,
-    #[allow(dead_code)]
     config: SwitchingConfig,
 }
 
@@ -171,6 +171,36 @@ impl EdgeSwitching for NaiveParES {
             round_durations: vec![start.elapsed()],
             duration: start.elapsed(),
         }
+    }
+
+    fn snapshot(&self) -> Option<ChainSnapshot> {
+        // The per-chunk RNG streams are derived statelessly from
+        // (seeds, supersteps_done), so those two values pin down all future
+        // randomness.  Note that the *interleaving* of switches across
+        // threads is inherently nondeterministic (Sec. 5.1); resumes are
+        // bit-identical only under a single-threaded rayon pool.
+        Some(ChainSnapshot {
+            algorithm: self.name().to_string(),
+            num_nodes: self.edges.num_nodes(),
+            edges: self.edges.snapshot_edges(),
+            rng: RngState::default(),
+            aux_seed_state: self.seeds.raw_state(),
+            supersteps_done: self.supersteps_done,
+            seed: self.config.seed,
+            loop_probability: self.config.loop_probability,
+            prefetch: self.config.prefetch,
+        })
+    }
+
+    fn restore(&mut self, snapshot: &ChainSnapshot) -> Result<(), SnapshotError> {
+        snapshot.check_algorithm(self.name())?;
+        let graph = snapshot.graph()?;
+        self.edge_set = ConcurrentEdgeSet::from_edges(graph.edges().iter(), graph.num_edges() * 2);
+        self.edges = AtomicEdgeList::from_graph(&graph);
+        self.seeds = SeedSequence::from_raw_state(snapshot.aux_seed_state);
+        self.supersteps_done = snapshot.supersteps_done;
+        self.config = snapshot.config();
+        Ok(())
     }
 }
 

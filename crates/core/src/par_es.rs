@@ -15,12 +15,13 @@
 //! scalability limit of this approach and the motivation for G-ES-MC.
 
 use crate::chain::{EdgeSwitching, SwitchingConfig};
+use crate::snapshot::{ChainSnapshot, SnapshotError};
 use crate::stats::SuperstepStats;
 use crate::switch::SwitchRequest;
 use gesmc_concurrent::{AtomicEdgeList, ConcurrentEdgeSet, MinIndexMap};
 use gesmc_graph::EdgeListGraph;
 use gesmc_randx::bounded::UniformIndex;
-use gesmc_randx::{rng_from_seed, Rng};
+use gesmc_randx::{rng_from_seed, Rng, RngState};
 use rand::Rng as _;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -31,7 +32,7 @@ pub struct ParES {
     edges: AtomicEdgeList,
     edge_set: ConcurrentEdgeSet,
     rng: Rng,
-    #[allow(dead_code)]
+    supersteps_done: u64,
     config: SwitchingConfig,
 }
 
@@ -40,7 +41,7 @@ impl ParES {
     pub fn new(graph: EdgeListGraph, config: SwitchingConfig) -> Self {
         let edge_set = ConcurrentEdgeSet::from_edges(graph.edges().iter(), graph.num_edges() * 2);
         let edges = AtomicEdgeList::from_graph(&graph);
-        Self { edges, edge_set, rng: rng_from_seed(config.seed), config }
+        Self { edges, edge_set, rng: rng_from_seed(config.seed), supersteps_done: 0, config }
     }
 
     /// Sample `count` uniformly random switch requests (the array `R` of
@@ -142,7 +143,33 @@ impl EdgeSwitching for ParES {
             duration: start.elapsed(),
         };
         merged.illegal = merged.requested - merged.legal;
+        self.supersteps_done += 1;
         merged
+    }
+
+    fn snapshot(&self) -> Option<ChainSnapshot> {
+        Some(ChainSnapshot {
+            algorithm: self.name().to_string(),
+            num_nodes: self.edges.num_nodes(),
+            edges: self.edges.snapshot_edges(),
+            rng: RngState::capture(&self.rng),
+            aux_seed_state: 0,
+            supersteps_done: self.supersteps_done,
+            seed: self.config.seed,
+            loop_probability: self.config.loop_probability,
+            prefetch: self.config.prefetch,
+        })
+    }
+
+    fn restore(&mut self, snapshot: &ChainSnapshot) -> Result<(), SnapshotError> {
+        snapshot.check_algorithm(self.name())?;
+        let graph = snapshot.graph()?;
+        self.edge_set = ConcurrentEdgeSet::from_edges(graph.edges().iter(), graph.num_edges() * 2);
+        self.edges = AtomicEdgeList::from_graph(&graph);
+        self.rng = snapshot.rng.restore();
+        self.supersteps_done = snapshot.supersteps_done;
+        self.config = snapshot.config();
+        Ok(())
     }
 }
 

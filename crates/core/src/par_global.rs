@@ -10,11 +10,12 @@
 
 use crate::chain::{EdgeSwitching, SwitchingConfig};
 use crate::seq_global::SeqGlobalES;
+use crate::snapshot::{ChainSnapshot, SnapshotError};
 use crate::stats::SuperstepStats;
 use gesmc_concurrent::{AtomicEdgeList, ConcurrentEdgeSet};
 use gesmc_graph::EdgeListGraph;
 use gesmc_randx::permutation::parallel_permutation;
-use gesmc_randx::{rng_from_seed, sample_binomial, Rng, SeedSequence};
+use gesmc_randx::{rng_from_seed, sample_binomial, Rng, RngState, SeedSequence};
 
 /// Exact parallel G-ES-MC chain.
 pub struct ParGlobalES {
@@ -84,6 +85,32 @@ impl EdgeSwitching for ParGlobalES {
 
     fn superstep(&mut self) -> SuperstepStats {
         self.global_switch()
+    }
+
+    fn snapshot(&self) -> Option<ChainSnapshot> {
+        Some(ChainSnapshot {
+            algorithm: self.name().to_string(),
+            num_nodes: self.edges.num_nodes(),
+            edges: self.edges.snapshot_edges(),
+            rng: RngState::capture(&self.rng),
+            aux_seed_state: self.seeds.raw_state(),
+            supersteps_done: self.supersteps_done,
+            seed: self.config.seed,
+            loop_probability: self.config.loop_probability,
+            prefetch: self.config.prefetch,
+        })
+    }
+
+    fn restore(&mut self, snapshot: &ChainSnapshot) -> Result<(), SnapshotError> {
+        snapshot.check_algorithm(self.name())?;
+        let graph = snapshot.graph()?;
+        self.edge_set = ConcurrentEdgeSet::from_edges(graph.edges().iter(), graph.num_edges() * 2);
+        self.edges = AtomicEdgeList::from_graph(&graph);
+        self.rng = snapshot.rng.restore();
+        self.seeds = SeedSequence::from_raw_state(snapshot.aux_seed_state);
+        self.supersteps_done = snapshot.supersteps_done;
+        self.config = snapshot.config();
+        Ok(())
     }
 }
 

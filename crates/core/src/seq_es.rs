@@ -12,12 +12,13 @@
 //! prefetched while the current switch is decided (Sec. 5.4).
 
 use crate::chain::{EdgeSwitching, SwitchingConfig};
+use crate::snapshot::{ChainSnapshot, SnapshotError};
 use crate::stats::SuperstepStats;
 use crate::switch::{switch_targets, SwitchRequest};
 use gesmc_concurrent::SeqEdgeSet;
 use gesmc_graph::{Edge, EdgeListGraph};
 use gesmc_randx::bounded::UniformIndex;
-use gesmc_randx::{rng_from_seed, Rng};
+use gesmc_randx::{rng_from_seed, Rng, RngState};
 use rand::Rng as _;
 use std::time::Instant;
 
@@ -30,6 +31,7 @@ pub struct SeqES {
     edges: Vec<Edge>,
     set: SeqEdgeSet,
     rng: Rng,
+    supersteps_done: u64,
     config: SwitchingConfig,
 }
 
@@ -39,7 +41,7 @@ impl SeqES {
         let set = SeqEdgeSet::from_edges(graph.edges().iter().map(|e| e.pack()), graph.num_edges());
         let rng = rng_from_seed(config.seed);
         let num_nodes = graph.num_nodes();
-        Self { num_nodes, edges: graph.into_edges(), set, rng, config }
+        Self { num_nodes, edges: graph.into_edges(), set, rng, supersteps_done: 0, config }
     }
 
     /// Attempt a single uniformly random edge switch; returns whether it was
@@ -143,6 +145,7 @@ impl EdgeSwitching for SeqES {
         let start = Instant::now();
         let requested = self.edges.len() / 2;
         let legal = self.run_switches(requested);
+        self.supersteps_done += 1;
         SuperstepStats {
             requested,
             legal,
@@ -151,6 +154,32 @@ impl EdgeSwitching for SeqES {
             round_durations: vec![start.elapsed()],
             duration: start.elapsed(),
         }
+    }
+
+    fn snapshot(&self) -> Option<ChainSnapshot> {
+        Some(ChainSnapshot {
+            algorithm: self.name().to_string(),
+            num_nodes: self.num_nodes,
+            edges: self.edges.clone(),
+            rng: RngState::capture(&self.rng),
+            aux_seed_state: 0,
+            supersteps_done: self.supersteps_done,
+            seed: self.config.seed,
+            loop_probability: self.config.loop_probability,
+            prefetch: self.config.prefetch,
+        })
+    }
+
+    fn restore(&mut self, snapshot: &ChainSnapshot) -> Result<(), SnapshotError> {
+        snapshot.check_algorithm(self.name())?;
+        snapshot.validate()?;
+        self.num_nodes = snapshot.num_nodes;
+        self.edges = snapshot.edges.clone();
+        self.set = SeqEdgeSet::from_edges(self.edges.iter().map(|e| e.pack()), self.edges.len());
+        self.rng = snapshot.rng.restore();
+        self.supersteps_done = snapshot.supersteps_done;
+        self.config = snapshot.config();
+        Ok(())
     }
 }
 

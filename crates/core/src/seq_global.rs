@@ -10,12 +10,13 @@
 //! the parallel algorithm.
 
 use crate::chain::{EdgeSwitching, SwitchingConfig};
+use crate::snapshot::{ChainSnapshot, SnapshotError};
 use crate::stats::SuperstepStats;
 use crate::switch::{switch_targets, SwitchRequest};
 use gesmc_concurrent::SeqEdgeSet;
 use gesmc_graph::{Edge, EdgeListGraph};
 use gesmc_randx::permutation::random_permutation;
-use gesmc_randx::{rng_from_seed, sample_binomial, Rng};
+use gesmc_randx::{rng_from_seed, sample_binomial, Rng, RngState};
 use std::time::Instant;
 
 /// Sequential G-ES-MC chain.
@@ -24,6 +25,7 @@ pub struct SeqGlobalES {
     edges: Vec<Edge>,
     set: SeqEdgeSet,
     rng: Rng,
+    supersteps_done: u64,
     config: SwitchingConfig,
 }
 
@@ -33,7 +35,7 @@ impl SeqGlobalES {
         let set = SeqEdgeSet::from_edges(graph.edges().iter().map(|e| e.pack()), graph.num_edges());
         let rng = rng_from_seed(config.seed);
         let num_nodes = graph.num_nodes();
-        Self { num_nodes, edges: graph.into_edges(), set, rng, config }
+        Self { num_nodes, edges: graph.into_edges(), set, rng, supersteps_done: 0, config }
     }
 
     /// Build the switch sequence of one global switch from a permutation and
@@ -106,6 +108,7 @@ impl EdgeSwitching for SeqGlobalES {
     fn superstep(&mut self) -> SuperstepStats {
         let start = Instant::now();
         let (requested, legal) = self.global_switch();
+        self.supersteps_done += 1;
         SuperstepStats {
             requested,
             legal,
@@ -114,6 +117,32 @@ impl EdgeSwitching for SeqGlobalES {
             round_durations: vec![start.elapsed()],
             duration: start.elapsed(),
         }
+    }
+
+    fn snapshot(&self) -> Option<ChainSnapshot> {
+        Some(ChainSnapshot {
+            algorithm: self.name().to_string(),
+            num_nodes: self.num_nodes,
+            edges: self.edges.clone(),
+            rng: RngState::capture(&self.rng),
+            aux_seed_state: 0,
+            supersteps_done: self.supersteps_done,
+            seed: self.config.seed,
+            loop_probability: self.config.loop_probability,
+            prefetch: self.config.prefetch,
+        })
+    }
+
+    fn restore(&mut self, snapshot: &ChainSnapshot) -> Result<(), SnapshotError> {
+        snapshot.check_algorithm(self.name())?;
+        snapshot.validate()?;
+        self.num_nodes = snapshot.num_nodes;
+        self.edges = snapshot.edges.clone();
+        self.set = SeqEdgeSet::from_edges(self.edges.iter().map(|e| e.pack()), self.edges.len());
+        self.rng = snapshot.rng.restore();
+        self.supersteps_done = snapshot.supersteps_done;
+        self.config = snapshot.config();
+        Ok(())
     }
 }
 

@@ -1,0 +1,80 @@
+//! The engine's unified error type.
+
+use gesmc_core::SnapshotError;
+use gesmc_graph::GraphError;
+
+/// Any failure raised while queueing, running, sampling, or checkpointing a
+/// randomization job.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Underlying filesystem / I/O failure.
+    Io(std::io::Error),
+    /// A graph could not be loaded or violates the simple-graph invariants.
+    Graph(String),
+    /// Snapshot capture or restore failed.
+    Snapshot(SnapshotError),
+    /// The manifest JSON is malformed or missing required fields.
+    Manifest(String),
+    /// A checkpoint file is malformed, truncated, or corrupt.
+    Checkpoint(String),
+    /// An algorithm name is not recognised or cannot be checkpointed.
+    UnknownAlgorithm(String),
+    /// A job produced a sample whose degree sequence differs from its input —
+    /// a broken chain invariant, never expected in a correct build.
+    DegreesViolated {
+        /// Name of the offending job.
+        job: String,
+        /// Superstep at which the violation was detected.
+        superstep: u64,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Io(e) => write!(f, "I/O error: {e}"),
+            EngineError::Graph(msg) => write!(f, "graph error: {msg}"),
+            EngineError::Snapshot(e) => write!(f, "snapshot error: {e}"),
+            EngineError::Manifest(msg) => write!(f, "manifest error: {msg}"),
+            EngineError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            EngineError::UnknownAlgorithm(name) => {
+                write!(
+                    f,
+                    "unknown or non-checkpointable algorithm {name:?} \
+                     (expected one of: seq-es, seq-global-es, par-es, par-global-es, naive-par-es)"
+                )
+            }
+            EngineError::DegreesViolated { job, superstep } => {
+                write!(f, "job {job:?}: degree sequence violated at superstep {superstep}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Io(e) => Some(e),
+            EngineError::Snapshot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for EngineError {
+    fn from(e: SnapshotError) -> Self {
+        EngineError::Snapshot(e)
+    }
+}
+
+impl From<GraphError> for EngineError {
+    fn from(e: GraphError) -> Self {
+        EngineError::Graph(e.to_string())
+    }
+}

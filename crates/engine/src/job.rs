@@ -1,0 +1,327 @@
+//! Job specifications: what to randomize, with which chain, and how.
+
+use crate::error::EngineError;
+use gesmc_core::{
+    EdgeSwitching, NaiveParES, ParES, ParGlobalES, SeqES, SeqGlobalES, SwitchingConfig,
+};
+use gesmc_datasets::{netrep_like::family_graph, syn_gnp_graph, syn_pld_graph, GraphFamily};
+use gesmc_graph::io::read_edge_list_file;
+use gesmc_graph::EdgeListGraph;
+use std::path::PathBuf;
+
+/// The checkpointable switching chains a job can run.
+///
+/// This is the `gesmc-core` family; the baselines of `gesmc-baselines` are
+/// excluded because they do not implement snapshot/restore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Sequential ES-MC ([`SeqES`]).
+    SeqES,
+    /// Sequential G-ES-MC ([`SeqGlobalES`]).
+    SeqGlobalES,
+    /// Exact parallel ES-MC, Algorithm 2 ([`ParES`]).
+    ParES,
+    /// Exact parallel G-ES-MC, Algorithm 3 ([`ParGlobalES`]).
+    ParGlobalES,
+    /// Inexact lock-per-edge baseline, Sec. 5.1 ([`NaiveParES`]).
+    NaiveParES,
+}
+
+impl Algorithm {
+    /// Every supported algorithm, in a stable order.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::SeqES,
+        Algorithm::SeqGlobalES,
+        Algorithm::ParES,
+        Algorithm::ParGlobalES,
+        Algorithm::NaiveParES,
+    ];
+
+    /// Parse the CLI / manifest spelling (`"par-global-es"`, ...).
+    pub fn parse(name: &str) -> Result<Self, EngineError> {
+        match name {
+            "seq-es" => Ok(Algorithm::SeqES),
+            "seq-global-es" => Ok(Algorithm::SeqGlobalES),
+            "par-es" => Ok(Algorithm::ParES),
+            "par-global-es" => Ok(Algorithm::ParGlobalES),
+            "naive-par-es" => Ok(Algorithm::NaiveParES),
+            other => Err(EngineError::UnknownAlgorithm(other.to_string())),
+        }
+    }
+
+    /// The CLI / manifest spelling.
+    pub fn cli_name(&self) -> &'static str {
+        match self {
+            Algorithm::SeqES => "seq-es",
+            Algorithm::SeqGlobalES => "seq-global-es",
+            Algorithm::ParES => "par-es",
+            Algorithm::ParGlobalES => "par-global-es",
+            Algorithm::NaiveParES => "naive-par-es",
+        }
+    }
+
+    /// The [`EdgeSwitching::name`] of the chain (used to match checkpoints).
+    pub fn chain_name(&self) -> &'static str {
+        match self {
+            Algorithm::SeqES => "SeqES",
+            Algorithm::SeqGlobalES => "SeqGlobalES",
+            Algorithm::ParES => "ParES",
+            Algorithm::ParGlobalES => "ParGlobalES",
+            Algorithm::NaiveParES => "NaiveParES",
+        }
+    }
+
+    /// Inverse of [`Algorithm::chain_name`].
+    pub fn from_chain_name(name: &str) -> Result<Self, EngineError> {
+        Self::ALL
+            .into_iter()
+            .find(|a| a.chain_name() == name)
+            .ok_or_else(|| EngineError::UnknownAlgorithm(name.to_string()))
+    }
+
+    /// Construct the chain randomising `graph`.
+    pub fn build(
+        &self,
+        graph: EdgeListGraph,
+        config: SwitchingConfig,
+    ) -> Box<dyn EdgeSwitching + Send> {
+        match self {
+            Algorithm::SeqES => Box::new(SeqES::new(graph, config)),
+            Algorithm::SeqGlobalES => Box::new(SeqGlobalES::new(graph, config)),
+            Algorithm::ParES => Box::new(ParES::new(graph, config)),
+            Algorithm::ParGlobalES => Box::new(ParGlobalES::new(graph, config)),
+            Algorithm::NaiveParES => Box::new(NaiveParES::new(graph, config)),
+        }
+    }
+}
+
+/// Where a job's input graph comes from.
+#[derive(Debug, Clone)]
+pub enum GraphSource {
+    /// A plain-text edge-list file (`u v` per line).
+    File(PathBuf),
+    /// An already-loaded graph (library use, tests, resume).
+    InMemory(EdgeListGraph),
+    /// A synthetic graph generated on the fly by `gesmc-datasets`.
+    Generated {
+        /// Family name: `gnp`, `pld`, `road`, `mesh`, or `dense`.
+        family: String,
+        /// Number of nodes (`0` picks the family default for `edges`).
+        nodes: usize,
+        /// Target number of edges.
+        edges: usize,
+        /// Power-law exponent (only used by `pld`).
+        gamma: f64,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+impl GraphSource {
+    /// Materialise the input graph.
+    pub fn load(&self) -> Result<EdgeListGraph, EngineError> {
+        match self {
+            GraphSource::File(path) => read_edge_list_file(path)
+                .map_err(|e| EngineError::Graph(format!("{}: {e}", path.display()))),
+            GraphSource::InMemory(graph) => Ok(graph.clone()),
+            GraphSource::Generated { family, nodes, edges, gamma, seed } => {
+                let graph = match family.as_str() {
+                    "gnp" => {
+                        let n = if *nodes == 0 { edges / 8 } else { *nodes };
+                        syn_gnp_graph(*seed, n, *edges)
+                    }
+                    "pld" => {
+                        let n = if *nodes == 0 { edges / 3 } else { *nodes };
+                        syn_pld_graph(*seed, n, *gamma)
+                    }
+                    "road" => family_graph(*seed, GraphFamily::RoadLike, *edges).graph,
+                    "mesh" => family_graph(*seed, GraphFamily::Mesh, *edges).graph,
+                    "dense" => family_graph(*seed, GraphFamily::Dense, *edges).graph,
+                    other => {
+                        return Err(EngineError::Graph(format!(
+                            "unknown graph family {other:?} (expected gnp, pld, road, mesh, dense)"
+                        )))
+                    }
+                };
+                Ok(graph)
+            }
+        }
+    }
+
+    /// Short human-readable description for reports and logs.
+    pub fn describe(&self) -> String {
+        match self {
+            GraphSource::File(path) => path.display().to_string(),
+            GraphSource::InMemory(graph) => {
+                format!("in-memory (n = {}, m = {})", graph.num_nodes(), graph.num_edges())
+            }
+            GraphSource::Generated { family, edges, .. } => {
+                format!("generated {family} (m ≈ {edges})")
+            }
+        }
+    }
+}
+
+/// The full specification of one randomization job.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Job name; also the prefix of emitted sample and checkpoint files.
+    pub name: String,
+    /// Input graph.
+    pub source: GraphSource,
+    /// Which chain randomises it.
+    pub algorithm: Algorithm,
+    /// Total number of supersteps to run.
+    pub supersteps: u64,
+    /// Sample thinning interval `k` (Sec. 6.1): every `k`-th superstep's
+    /// graph is streamed to the sink as an independent sample.  `0` emits
+    /// only the final graph, once.
+    pub thinning: u64,
+    /// Seed of the chain's pseudo-random stream.
+    pub seed: u64,
+    /// Rayon thread budget for this job (`None` = the ambient pool).
+    pub threads: Option<usize>,
+    /// Per-switch rejection probability `P_L` of the G-ES-MC chains.
+    pub loop_probability: f64,
+    /// Write a checkpoint every this many supersteps (`None` = never).
+    pub checkpoint_every: Option<u64>,
+    /// Directory checkpoints are written to (`{name}.ckpt`).
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+impl JobSpec {
+    /// A job with the workspace defaults: 20 supersteps, final-state-only
+    /// sampling, seed 1, ambient thread pool, `P_L = 0.01`, no checkpoints.
+    pub fn new(name: impl Into<String>, source: GraphSource, algorithm: Algorithm) -> Self {
+        Self {
+            name: name.into(),
+            source,
+            algorithm,
+            supersteps: 20,
+            thinning: 0,
+            seed: 1,
+            threads: None,
+            loop_probability: 0.01,
+            checkpoint_every: None,
+            checkpoint_dir: None,
+        }
+    }
+
+    /// Builder-style override of the superstep count.
+    pub fn supersteps(mut self, count: u64) -> Self {
+        self.supersteps = count;
+        self
+    }
+
+    /// Builder-style override of the thinning interval.
+    pub fn thinning(mut self, interval: u64) -> Self {
+        self.thinning = interval;
+        self
+    }
+
+    /// Builder-style override of the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style override of the per-job thread budget.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Builder-style override of `P_L`.
+    pub fn loop_probability(mut self, p: f64) -> Self {
+        self.loop_probability = p;
+        self
+    }
+
+    /// Builder-style request for periodic checkpoints into `dir`.
+    pub fn checkpoint(mut self, every: u64, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_every = Some(every);
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// The [`SwitchingConfig`] this job hands to its chain.
+    pub fn config(&self) -> SwitchingConfig {
+        SwitchingConfig::with_seed(self.seed).loop_probability(self.loop_probability)
+    }
+
+    /// Number of samples a full uninterrupted run emits (`thinning == 0`
+    /// emits the final graph exactly once).
+    pub fn expected_samples(&self) -> u64 {
+        self.supersteps.checked_div(self.thinning).unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_names_roundtrip() {
+        for algo in Algorithm::ALL {
+            assert_eq!(Algorithm::parse(algo.cli_name()).unwrap(), algo);
+            assert_eq!(Algorithm::from_chain_name(algo.chain_name()).unwrap(), algo);
+        }
+        assert!(matches!(Algorithm::parse("curveball"), Err(EngineError::UnknownAlgorithm(_))));
+    }
+
+    #[test]
+    fn built_chains_report_their_names() {
+        let graph = gesmc_datasets::syn_gnp_graph(1, 50, 150);
+        for algo in Algorithm::ALL {
+            let chain = algo.build(graph.clone(), SwitchingConfig::with_seed(1));
+            assert_eq!(chain.name(), algo.chain_name());
+        }
+    }
+
+    #[test]
+    fn generated_sources_load() {
+        for family in ["gnp", "pld", "road", "mesh", "dense"] {
+            let source = GraphSource::Generated {
+                family: family.to_string(),
+                nodes: 0,
+                edges: 600,
+                gamma: 2.5,
+                seed: 1,
+            };
+            let graph = source.load().unwrap_or_else(|e| panic!("{family}: {e}"));
+            assert!(graph.num_edges() > 0, "{family} generated an empty graph");
+            assert!(graph.validate().is_ok());
+        }
+        let bad = GraphSource::Generated {
+            family: "nope".into(),
+            nodes: 0,
+            edges: 10,
+            gamma: 2.5,
+            seed: 1,
+        };
+        assert!(bad.load().is_err());
+    }
+
+    #[test]
+    fn missing_file_is_a_graph_error_with_the_path() {
+        let source = GraphSource::File(PathBuf::from("/nonexistent/gesmc-test.txt"));
+        match source.load() {
+            Err(EngineError::Graph(msg)) => assert!(msg.contains("gesmc-test.txt")),
+            other => panic!("expected Graph error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expected_samples() {
+        let g = GraphSource::Generated {
+            family: "gnp".into(),
+            nodes: 0,
+            edges: 100,
+            gamma: 2.5,
+            seed: 1,
+        };
+        let spec = JobSpec::new("a", g, Algorithm::SeqES).supersteps(10).thinning(3);
+        assert_eq!(spec.expected_samples(), 3);
+        assert_eq!(spec.clone().thinning(0).expected_samples(), 1);
+    }
+}

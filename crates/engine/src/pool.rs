@@ -1,0 +1,379 @@
+//! Job execution: the single-job driver and the multi-job worker pool.
+
+use crate::checkpoint::Checkpoint;
+use crate::error::EngineError;
+use crate::job::JobSpec;
+use crate::queue::{JobQueue, QueuedJob};
+use crate::sink::{SampleContext, SampleSink};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// What a finished job reports back.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// Job name.
+    pub job: String,
+    /// Chain name (`SeqES`, `ParGlobalES`, …).
+    pub algorithm: String,
+    /// Superstep the run started from (0, or the checkpoint's counter).
+    pub resumed_from: u64,
+    /// Superstep the run finished at (the job's total).
+    pub supersteps: u64,
+    /// Samples emitted over the job's lifetime (including before a resume).
+    pub samples: u64,
+    /// Switches requested across the supersteps of this run.
+    pub requested: u64,
+    /// Switches legally applied across the supersteps of this run.
+    pub legal: u64,
+    /// Checkpoints written during this run.
+    pub checkpoints: u64,
+    /// Wall-clock duration of this run.
+    pub duration: Duration,
+}
+
+impl JobReport {
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        let acceptance = if self.requested == 0 {
+            0.0
+        } else {
+            100.0 * self.legal as f64 / self.requested as f64
+        };
+        format!(
+            "{}: {} supersteps {}..{}, {} samples, {:.1}% of {} switches legal, {:.3} s",
+            self.job,
+            self.algorithm,
+            self.resumed_from,
+            self.supersteps,
+            self.samples,
+            acceptance,
+            self.requested,
+            self.duration.as_secs_f64()
+        )
+    }
+}
+
+/// The result of one batch entry, in submission order.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// Job name.
+    pub job: String,
+    /// The report, or the error that stopped the job.
+    pub result: Result<JobReport, EngineError>,
+}
+
+/// Run one job to completion on the current thread.
+///
+/// Drives the chain superstep by superstep, streaming every `thinning`-th
+/// graph into `sink` (or only the final graph when `thinning` is 0),
+/// verifying that each emitted sample preserves the input degree sequence,
+/// and writing periodic checkpoints when the spec asks for them.  With
+/// `resume`, the chain state is restored from the checkpoint first and the
+/// run continues at its superstep counter — bit-identically to a run that
+/// was never interrupted.
+pub fn run_job(
+    spec: &JobSpec,
+    sink: &mut dyn SampleSink,
+    resume: Option<&Checkpoint>,
+) -> Result<JobReport, EngineError> {
+    let start = Instant::now();
+
+    let (mut chain, resumed_from, mut samples_emitted) = match resume {
+        Some(checkpoint) => {
+            let algorithm = checkpoint.algorithm()?;
+            let graph = checkpoint.snapshot.graph()?;
+            let mut chain = algorithm.build(graph, checkpoint.snapshot.config());
+            chain.restore(&checkpoint.snapshot)?;
+            (chain, checkpoint.snapshot.supersteps_done, checkpoint.samples_emitted)
+        }
+        None => {
+            let graph = spec.source.load()?;
+            (spec.algorithm.build(graph, spec.config()), 0, 0)
+        }
+    };
+
+    // Every emitted sample must preserve the input's degree sequence; compute
+    // the reference once.
+    let degrees = chain.graph().degrees();
+
+    let mut requested = 0u64;
+    let mut legal = 0u64;
+    let mut checkpoints = 0u64;
+
+    for step in resumed_from + 1..=spec.supersteps {
+        let stats = chain.superstep();
+        requested += stats.requested as u64;
+        legal += stats.legal as u64;
+
+        let emit =
+            if spec.thinning == 0 { step == spec.supersteps } else { step % spec.thinning == 0 };
+        if emit {
+            let sample = chain.graph();
+            if sample.degrees() != degrees {
+                return Err(EngineError::DegreesViolated {
+                    job: spec.name.clone(),
+                    superstep: step,
+                });
+            }
+            let ctx =
+                SampleContext { job: &spec.name, superstep: step, sample_index: samples_emitted };
+            sink.emit(&ctx, &sample)?;
+            samples_emitted += 1;
+        }
+
+        if let (Some(every), Some(dir)) = (spec.checkpoint_every, &spec.checkpoint_dir) {
+            if every > 0 && step % every == 0 && step < spec.supersteps {
+                let checkpoint = Checkpoint::capture(
+                    &spec.name,
+                    chain.as_ref(),
+                    spec.supersteps,
+                    spec.thinning,
+                    samples_emitted,
+                )?;
+                checkpoint.write_to_file(dir.join(format!("{}.ckpt", spec.name)))?;
+                checkpoints += 1;
+            }
+        }
+    }
+
+    let report = JobReport {
+        job: spec.name.clone(),
+        algorithm: chain.name().to_string(),
+        resumed_from,
+        supersteps: spec.supersteps,
+        samples: samples_emitted,
+        requested,
+        legal,
+        checkpoints,
+        duration: start.elapsed(),
+    };
+    sink.finish(&report)?;
+    Ok(report)
+}
+
+/// A pool of worker threads multiplexing a [`JobQueue`].
+///
+/// Each worker claims jobs off the queue and runs them to completion; a job
+/// with a `threads` budget executes inside its own bounded rayon pool, so
+/// several parallel chains can share the machine without oversubscribing it
+/// (`workers × threads` ≈ hardware parallelism is a sensible manifest).
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerPool {
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// A pool with `workers` threads (`0` = hardware parallelism).
+    pub fn new(workers: usize) -> Self {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            workers
+        };
+        Self { workers }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Drain `queue`, returning one [`JobOutcome`] per job in submission
+    /// order.  Individual job failures are captured, not propagated.
+    pub fn run(&self, queue: JobQueue) -> Vec<JobOutcome> {
+        let total = queue.len();
+        let mut slots: Vec<Option<JobOutcome>> = Vec::with_capacity(total);
+        slots.resize_with(total, || None);
+        let results = Mutex::new(slots);
+        let workers = self.workers.min(total).max(1);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    while let Some((index, job)) = queue.pop() {
+                        let outcome =
+                            JobOutcome { job: job.spec.name.clone(), result: Self::run_one(job) };
+                        results.lock().expect("results mutex poisoned")[index] = Some(outcome);
+                    }
+                });
+            }
+        });
+
+        results
+            .into_inner()
+            .expect("results mutex poisoned")
+            .into_iter()
+            .map(|slot| slot.expect("every queued job must produce an outcome"))
+            .collect()
+    }
+
+    /// Run one claimed job, honouring its thread budget.
+    fn run_one(mut job: QueuedJob) -> Result<JobReport, EngineError> {
+        match job.spec.threads {
+            Some(threads) => {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .map_err(|e| EngineError::Graph(format!("cannot build rayon pool: {e}")))?;
+                pool.install(|| run_job(&job.spec, job.sink.as_mut(), job.resume.as_ref()))
+            }
+            None => run_job(&job.spec, job.sink.as_mut(), job.resume.as_ref()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{Algorithm, GraphSource};
+    use crate::sink::{MemorySink, NullSink};
+    use gesmc_graph::gen::gnp;
+    use gesmc_graph::EdgeListGraph;
+    use gesmc_randx::rng_from_seed;
+
+    fn test_graph(seed: u64) -> EdgeListGraph {
+        gnp(&mut rng_from_seed(seed), 70, 0.1)
+    }
+
+    fn spec_for(name: &str, algo: Algorithm, graph: EdgeListGraph) -> JobSpec {
+        JobSpec::new(name, GraphSource::InMemory(graph), algo).supersteps(8).thinning(2).seed(3)
+    }
+
+    #[test]
+    fn thinned_samples_are_streamed_and_degree_preserving() {
+        let graph = test_graph(1);
+        let degrees = graph.degrees();
+        let spec = spec_for("thin", Algorithm::SeqGlobalES, graph);
+        let mut sink = MemorySink::new();
+        let store = sink.store();
+        let report = run_job(&spec, &mut sink, None).unwrap();
+        assert_eq!(report.samples, 4);
+        assert_eq!(report.resumed_from, 0);
+        assert!(report.legal > 0);
+        let samples = store.lock().unwrap();
+        assert_eq!(samples.len(), 4);
+        // Supersteps 2, 4, 6, 8; every sample keeps the degree sequence and
+        // consecutive samples differ (the chain is actually moving).
+        assert_eq!(samples.iter().map(|(s, _)| *s).collect::<Vec<_>>(), vec![2, 4, 6, 8]);
+        for (_, sample) in samples.iter() {
+            assert_eq!(sample.degrees(), degrees);
+            assert!(sample.validate().is_ok());
+        }
+        assert_ne!(samples[0].1.canonical_edges(), samples[3].1.canonical_edges());
+    }
+
+    #[test]
+    fn thinning_zero_emits_only_the_final_graph() {
+        let spec = spec_for("final", Algorithm::SeqES, test_graph(2)).thinning(0);
+        let mut sink = MemorySink::new();
+        let store = sink.store();
+        let report = run_job(&spec, &mut sink, None).unwrap();
+        assert_eq!(report.samples, 1);
+        assert_eq!(store.lock().unwrap()[0].0, 8);
+    }
+
+    #[test]
+    fn periodic_checkpoints_are_written_and_resumable() {
+        let dir = std::env::temp_dir().join("gesmc-pool-ckpt-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let graph = test_graph(3);
+        let spec = spec_for("ck", Algorithm::ParGlobalES, graph.clone())
+            .supersteps(10)
+            .checkpoint(4, &dir);
+        let report = run_job(&spec, &mut NullSink::default(), None).unwrap();
+        // Steps 4 and 8 checkpoint; step 10 is final and does not.
+        assert_eq!(report.checkpoints, 2);
+
+        let checkpoint = Checkpoint::read_from_file(dir.join("ck.ckpt")).unwrap();
+        assert_eq!(checkpoint.snapshot.supersteps_done, 8);
+
+        // Resume from the on-disk checkpoint and compare with the
+        // uninterrupted run's final graph.
+        let mut resumed_sink = MemorySink::new();
+        let store = resumed_sink.store();
+        let resumed = run_job(&spec, &mut resumed_sink, Some(&checkpoint)).unwrap();
+        assert_eq!(resumed.resumed_from, 8);
+        assert_eq!(resumed.samples, checkpoint.samples_emitted + 1);
+
+        let mut uninterrupted_sink = MemorySink::new();
+        let full_store = uninterrupted_sink.store();
+        run_job(&spec.clone().checkpoint(0, &dir), &mut uninterrupted_sink, None).unwrap();
+
+        let resumed_final = store.lock().unwrap().last().unwrap().1.clone();
+        let full_final = full_store.lock().unwrap().last().unwrap().1.clone();
+        assert_eq!(resumed_final.canonical_edges(), full_final.canonical_edges());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pool_runs_more_jobs_than_workers_in_submission_order() {
+        let mut queue = JobQueue::new();
+        let sinks: Vec<_> = (0..5)
+            .map(|i| {
+                let sink = MemorySink::new();
+                let store = sink.store();
+                let spec = spec_for(&format!("job{i}"), Algorithm::SeqES, test_graph(i)).seed(i);
+                queue.push(QueuedJob::new(spec, Box::new(sink)));
+                store
+            })
+            .collect();
+
+        let outcomes = WorkerPool::new(2).run(queue);
+        assert_eq!(outcomes.len(), 5);
+        for (i, outcome) in outcomes.iter().enumerate() {
+            assert_eq!(outcome.job, format!("job{i}"), "submission order must be preserved");
+            let report = outcome.result.as_ref().unwrap();
+            assert_eq!(report.samples, 4);
+            assert_eq!(sinks[i].lock().unwrap().len(), 4);
+        }
+    }
+
+    #[test]
+    fn job_failures_do_not_poison_the_batch() {
+        let mut queue = JobQueue::new();
+        let bad_spec = JobSpec::new(
+            "bad",
+            GraphSource::File("/nonexistent/missing.txt".into()),
+            Algorithm::SeqES,
+        );
+        queue.push(QueuedJob::new(bad_spec, Box::new(NullSink::default())));
+        queue.push(QueuedJob::new(
+            spec_for("good", Algorithm::SeqES, test_graph(9)),
+            Box::new(NullSink::default()),
+        ));
+        let outcomes = WorkerPool::new(2).run(queue);
+        assert!(outcomes[0].result.is_err());
+        assert!(outcomes[1].result.is_ok());
+    }
+
+    #[test]
+    fn per_job_thread_budget_is_applied() {
+        // The sink's emit runs inside the job's rayon scope, so it observes
+        // the bounded pool the WorkerPool installed for the job.
+        let observed = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let observed_in_sink = std::sync::Arc::clone(&observed);
+        let sink =
+            crate::sink::CallbackSink::new(move |_ctx: &SampleContext<'_>, _g: &EdgeListGraph| {
+                observed_in_sink.lock().unwrap().push(rayon::current_num_threads());
+                Ok(())
+            });
+        let spec = spec_for("budget", Algorithm::ParGlobalES, test_graph(4)).threads(2).thinning(0);
+        let mut queue = JobQueue::new();
+        queue.push(QueuedJob::new(spec, Box::new(sink)));
+        let outcomes = WorkerPool::new(1).run(queue);
+        assert!(outcomes[0].result.is_ok());
+        assert_eq!(*observed.lock().unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn report_summary_is_informative() {
+        let spec = spec_for("sum", Algorithm::SeqGlobalES, test_graph(5));
+        let report = run_job(&spec, &mut NullSink::default(), None).unwrap();
+        let line = report.summary();
+        assert!(line.contains("sum"));
+        assert!(line.contains("SeqGlobalES"));
+        assert!(line.contains("4 samples"));
+    }
+}

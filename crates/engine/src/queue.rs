@@ -1,0 +1,104 @@
+//! The work queue feeding the [`WorkerPool`](crate::WorkerPool).
+
+use crate::checkpoint::Checkpoint;
+use crate::job::JobSpec;
+use crate::sink::SampleSink;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One queued unit of work: a spec, its sink, and an optional checkpoint to
+/// resume from.
+pub struct QueuedJob {
+    /// What to run.
+    pub spec: JobSpec,
+    /// Where its samples go.
+    pub sink: Box<dyn SampleSink>,
+    /// Resume point (`None` = start from superstep 0).
+    pub resume: Option<Checkpoint>,
+}
+
+impl QueuedJob {
+    /// A job starting from scratch.
+    pub fn new(spec: JobSpec, sink: Box<dyn SampleSink>) -> Self {
+        Self { spec, sink, resume: None }
+    }
+
+    /// A job continuing from `checkpoint`.
+    pub fn resuming(spec: JobSpec, sink: Box<dyn SampleSink>, checkpoint: Checkpoint) -> Self {
+        Self { spec, sink, resume: Some(checkpoint) }
+    }
+}
+
+/// A FIFO queue of jobs, shared by the pool's worker threads.
+///
+/// Jobs are enqueued before the pool starts (`push`) and drained concurrently
+/// (`pop`); each job remembers its submission index so batch results can be
+/// reported in submission order regardless of completion order.
+#[derive(Default)]
+pub struct JobQueue {
+    inner: Mutex<VecDeque<(usize, QueuedJob)>>,
+    submitted: usize,
+}
+
+impl JobQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a job.
+    pub fn push(&mut self, job: QueuedJob) {
+        let index = self.submitted;
+        self.submitted += 1;
+        self.inner.get_mut().expect("queue mutex poisoned").push_back((index, job));
+    }
+
+    /// Number of jobs ever submitted.
+    pub fn len(&self) -> usize {
+        self.submitted
+    }
+
+    /// Whether no job was ever submitted.
+    pub fn is_empty(&self) -> bool {
+        self.submitted == 0
+    }
+
+    /// Claim the next job (called concurrently by the workers).
+    pub(crate) fn pop(&self) -> Option<(usize, QueuedJob)> {
+        self.inner.lock().expect("queue mutex poisoned").pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{Algorithm, GraphSource};
+    use crate::sink::NullSink;
+
+    fn spec(name: &str) -> JobSpec {
+        let source = GraphSource::Generated {
+            family: "gnp".into(),
+            nodes: 0,
+            edges: 100,
+            gamma: 2.5,
+            seed: 1,
+        };
+        JobSpec::new(name, source, Algorithm::SeqES)
+    }
+
+    #[test]
+    fn fifo_order_with_submission_indices() {
+        let mut queue = JobQueue::new();
+        assert!(queue.is_empty());
+        for name in ["a", "b", "c"] {
+            queue.push(QueuedJob::new(spec(name), Box::new(NullSink::default())));
+        }
+        assert_eq!(queue.len(), 3);
+        let popped: Vec<(usize, String)> =
+            std::iter::from_fn(|| queue.pop()).map(|(i, job)| (i, job.spec.name.clone())).collect();
+        assert_eq!(popped, vec![(0, "a".to_string()), (1, "b".to_string()), (2, "c".to_string())]);
+        // Drained, but the submission count stays.
+        assert!(queue.pop().is_none());
+        assert_eq!(queue.len(), 3);
+    }
+}

@@ -31,4 +31,4 @@ pub mod metrics;
 pub use adjacency::{AdjacencyList, Csr};
 pub use degree::DegreeSequence;
 pub use edge::{Edge, Node, PackedEdge};
-pub use edge_list::EdgeListGraph;
+pub use edge_list::{EdgeListGraph, GraphError};

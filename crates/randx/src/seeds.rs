@@ -75,6 +75,21 @@ impl SeedSequence {
     pub fn child_rng(&self, i: u64) -> crate::Rng {
         crate::rng_from_seed(self.child(i))
     }
+
+    /// The raw internal state, for checkpointing.
+    ///
+    /// Restoring with [`SeedSequence::from_raw_state`] yields a sequence whose
+    /// future draws and child derivations are identical to this one's.
+    pub fn raw_state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuild a sequence from a state captured by [`SeedSequence::raw_state`].
+    ///
+    /// Unlike [`SeedSequence::new`] this applies no pre-scrambling.
+    pub fn from_raw_state(state: u64) -> Self {
+        Self { state }
+    }
 }
 
 #[cfg(test)]

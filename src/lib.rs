@@ -12,7 +12,9 @@
 //! * [`analysis`] — autocorrelation-based mixing-time analysis and proxies;
 //! * [`datasets`] — the SynGnp / SynPld / NetRep-like dataset families;
 //! * [`concurrent`] — the concurrent hash sets and dependency tables;
-//! * [`randx`] — randomness utilities (bounded sampling, permutations).
+//! * [`randx`] — randomness utilities (bounded sampling, permutations);
+//! * [`engine`] — the batched randomization job engine: job queue + worker
+//!   pool, streaming thinned-sample sinks, binary checkpoint/resume.
 //!
 //! ## Quick start
 //!
@@ -41,6 +43,7 @@ pub use gesmc_baselines as baselines;
 pub use gesmc_concurrent as concurrent;
 pub use gesmc_core as chains;
 pub use gesmc_datasets as datasets;
+pub use gesmc_engine as engine;
 pub use gesmc_graph as graph;
 pub use gesmc_randx as randx;
 
@@ -49,7 +52,12 @@ pub mod prelude {
     pub use gesmc_analysis::{mixing_profile, MixingProfile};
     pub use gesmc_baselines::{AdjacencyListES, GlobalCurveball, SortedAdjacencyES};
     pub use gesmc_core::{
-        EdgeSwitching, NaiveParES, ParES, ParGlobalES, SeqES, SeqGlobalES, SwitchingConfig,
+        ChainSnapshot, EdgeSwitching, NaiveParES, ParES, ParGlobalES, SeqES, SeqGlobalES,
+        SwitchingConfig,
+    };
+    pub use gesmc_engine::{
+        run_batch, run_job, Algorithm, Checkpoint, GraphSource, JobSpec, Manifest, MemorySink,
+        SampleSink, WorkerPool,
     };
     pub use gesmc_graph::{DegreeSequence, Edge, EdgeListGraph};
 }

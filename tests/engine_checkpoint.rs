@@ -1,0 +1,135 @@
+//! Checkpoint/resume determinism: a chain checkpointed at superstep `t` and
+//! resumed must match the uninterrupted chain's edge set *exactly* at every
+//! superstep `T > t`, for all five chain implementations.
+//!
+//! The checkpoint round-trips through the binary format
+//! (`Checkpoint::to_bytes` → `from_bytes`) on every case, so the property
+//! also pins the on-disk encoding.
+
+use gesmc::prelude::*;
+use gesmc_engine::Checkpoint;
+use gesmc_graph::gen::gnp;
+use gesmc_randx::rng_from_seed;
+use proptest::prelude::*;
+
+/// Run `total` supersteps uninterrupted; independently run `cut`, checkpoint
+/// through the binary format, resume into a fresh chain, and run the rest.
+/// Returns (uninterrupted, resumed) canonical edge sets.
+fn uninterrupted_vs_resumed(
+    algorithm: Algorithm,
+    graph_seed: u64,
+    chain_seed: u64,
+    cut: usize,
+    total: usize,
+) -> (Vec<u64>, Vec<u64>) {
+    let graph = gnp(&mut rng_from_seed(graph_seed), 60, 0.09);
+    let config = SwitchingConfig::with_seed(chain_seed);
+
+    let mut uninterrupted = algorithm.build(graph.clone(), config);
+    uninterrupted.run_supersteps(total);
+
+    let mut interrupted = algorithm.build(graph, config);
+    interrupted.run_supersteps(cut);
+    let checkpoint = Checkpoint::capture("prop", interrupted.as_ref(), total as u64, 0, 0).unwrap();
+    let roundtripped = Checkpoint::from_bytes(&checkpoint.to_bytes()).unwrap();
+    assert_eq!(roundtripped, checkpoint, "binary format must round-trip losslessly");
+
+    // Resume exactly as the engine does: build from the checkpoint's graph,
+    // then restore the full chain state.
+    let snapshot = &roundtripped.snapshot;
+    let mut resumed = algorithm.build(snapshot.graph().unwrap(), snapshot.config());
+    resumed.restore(snapshot).unwrap();
+    assert_eq!(snapshot.supersteps_done, cut as u64);
+    resumed.run_supersteps(total - cut);
+
+    (uninterrupted.graph().canonical_edges(), resumed.graph().canonical_edges())
+}
+
+fn assert_bit_identical_resume(algorithm: Algorithm, seed: u64, cut: usize, extra: usize) {
+    let total = cut + extra;
+    let (full, resumed) = uninterrupted_vs_resumed(algorithm, seed ^ 0xABCD, seed, cut, total);
+    assert_eq!(
+        full,
+        resumed,
+        "{}: resume from superstep {cut} diverged by superstep {total} (seed {seed})",
+        algorithm.chain_name()
+    );
+}
+
+proptest! {
+    #[test]
+    fn seq_es_checkpoint_resume_is_exact(seed in any::<u64>(), cut in 1usize..5, extra in 1usize..5) {
+        assert_bit_identical_resume(Algorithm::SeqES, seed, cut, extra);
+    }
+
+    #[test]
+    fn seq_global_es_checkpoint_resume_is_exact(seed in any::<u64>(), cut in 1usize..5, extra in 1usize..5) {
+        assert_bit_identical_resume(Algorithm::SeqGlobalES, seed, cut, extra);
+    }
+
+    #[test]
+    fn par_es_checkpoint_resume_is_exact(seed in any::<u64>(), cut in 1usize..4, extra in 1usize..4) {
+        assert_bit_identical_resume(Algorithm::ParES, seed, cut, extra);
+    }
+
+    #[test]
+    fn par_global_es_checkpoint_resume_is_exact(seed in any::<u64>(), cut in 1usize..4, extra in 1usize..4) {
+        assert_bit_identical_resume(Algorithm::ParGlobalES, seed, cut, extra);
+    }
+
+    #[test]
+    fn naive_par_es_checkpoint_resume_is_exact_single_threaded(seed in any::<u64>(), cut in 1usize..4, extra in 1usize..4) {
+        // The inexact baseline's cross-thread interleaving is racy by design
+        // (Sec. 5.1); its trajectory is only a function of the checkpoint
+        // state under a single-threaded pool.
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| assert_bit_identical_resume(Algorithm::NaiveParES, seed, cut, extra));
+    }
+}
+
+/// The checkpoint captured at `t` must also agree with the uninterrupted
+/// chain observed *at* `t` (not only at the final superstep).
+#[test]
+fn checkpoint_state_matches_uninterrupted_prefix() {
+    for algorithm in Algorithm::ALL {
+        let graph = gnp(&mut rng_from_seed(7), 60, 0.09);
+        let config = SwitchingConfig::with_seed(11);
+
+        let mut reference = algorithm.build(graph.clone(), config);
+        reference.run_supersteps(4);
+
+        let mut checkpointed = algorithm.build(graph, config);
+        // Interleave snapshots between supersteps: capturing must not
+        // disturb the chain.
+        for _ in 0..4 {
+            checkpointed.superstep();
+            let _ = checkpointed.snapshot().unwrap();
+        }
+        assert_eq!(
+            checkpointed.graph().canonical_edges(),
+            reference.graph().canonical_edges(),
+            "{}: snapshot capture disturbed the chain",
+            algorithm.chain_name()
+        );
+    }
+}
+
+/// Resuming twice from the same checkpoint yields the same result (restores
+/// do not consume or mutate the snapshot).
+#[test]
+fn resume_is_repeatable() {
+    let graph = gnp(&mut rng_from_seed(21), 60, 0.09);
+    let mut chain = Algorithm::ParGlobalES.build(graph, SwitchingConfig::with_seed(3));
+    chain.run_supersteps(3);
+    let checkpoint = Checkpoint::capture("twice", chain.as_ref(), 8, 0, 0).unwrap();
+
+    let run = |ckpt: &Checkpoint| {
+        let snapshot = &ckpt.snapshot;
+        let mut resumed =
+            Algorithm::ParGlobalES.build(snapshot.graph().unwrap(), snapshot.config());
+        resumed.restore(snapshot).unwrap();
+        resumed.run_supersteps(5);
+        resumed.graph().canonical_edges()
+    };
+    assert_eq!(run(&checkpoint), run(&checkpoint));
+}

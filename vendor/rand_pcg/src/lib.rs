@@ -31,6 +31,26 @@ impl Pcg64 {
         pcg
     }
 
+    /// Expose the raw generator state `(state, increment)`.
+    ///
+    /// Together with [`Pcg64::from_raw_parts`] this allows the exact stream
+    /// position to be captured and later resumed bit-identically, which the
+    /// checkpointing layer of the workspace relies on.  The real `rand_pcg`
+    /// crate offers the same capability through its serde feature; the raw
+    /// accessor keeps the vendored shim dependency-free.
+    pub fn to_raw_parts(&self) -> (u128, u128) {
+        (self.state, self.increment)
+    }
+
+    /// Rebuild a generator from raw parts captured by [`Pcg64::to_raw_parts`].
+    ///
+    /// Unlike [`Pcg64::new`] this performs no seeding transformation: the next
+    /// output of the restored generator is exactly the next output the
+    /// captured generator would have produced.
+    pub fn from_raw_parts(state: u128, increment: u128) -> Self {
+        Self { state, increment }
+    }
+
     #[inline]
     fn step(&mut self) {
         self.state = self.state.wrapping_mul(MULTIPLIER).wrapping_add(self.increment);
@@ -76,6 +96,19 @@ mod tests {
             }
         }
         assert!(same_stream < 4, "distinct streams should diverge");
+    }
+
+    #[test]
+    fn raw_parts_roundtrip_resumes_the_stream() {
+        let mut rng = Pcg64::new(3, 17);
+        for _ in 0..10 {
+            rng.next_u64();
+        }
+        let (state, increment) = rng.to_raw_parts();
+        let mut resumed = Pcg64::from_raw_parts(state, increment);
+        for _ in 0..32 {
+            assert_eq!(rng.next_u64(), resumed.next_u64());
+        }
     }
 
     #[test]

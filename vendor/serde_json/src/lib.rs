@@ -1,23 +1,32 @@
 //! Offline stand-in for the subset of `serde_json` used by this workspace:
-//! the [`Value`] tree, an insertion-ordered [`Map`], and
-//! [`to_string_pretty`].
+//! the [`Value`] tree, an insertion-ordered [`Map`], [`to_string_pretty`],
+//! and a [`from_str`] parser into [`Value`].
 //!
 //! Serialisation is structural (a [`Serialize`] trait converting into
 //! [`Value`]) rather than serde-derive based, because proc-macro crates
 //! cannot be vendored compactly.  Code that only builds `Value`s — as the
-//! benchmark writer does — is source-compatible with the real crate.
+//! benchmark writer does — or parses into `Value` — as the engine's manifest
+//! reader does — is source-compatible with the real crate.
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Write as _;
 
-/// Serialisation error (never produced by the shim, present for API parity).
+/// Serialisation or parse error.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "JSON serialisation failed")
+        write!(f, "{}", self.msg)
     }
 }
 
@@ -57,6 +66,21 @@ impl Map<String, Value> {
         self.entries.iter().map(|(k, v)| (k, v))
     }
 
+    /// Look up `key`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Iterate the keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -93,6 +117,79 @@ pub enum Value {
     Array(Vec<Value>),
     /// An object.
     Object(Map<String, Value>),
+}
+
+impl Value {
+    /// Index into an object by key (`None` for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= 1.8446744e19 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `i64`, if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 && n.abs() <= 9.223372e18 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key/value map, if this is an object.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
 }
 
 /// Structural serialisation into a [`Value`] (the shim's stand-in for
@@ -221,6 +318,223 @@ fn write_value(out: &mut String, value: &Value, indent: usize) {
     }
 }
 
+/// Recursive-descent JSON parser over a char buffer.
+struct Parser<'a> {
+    chars: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Self { chars: input.as_bytes(), pos: 0 }
+    }
+
+    fn error(&self, msg: &str) -> Error {
+        let (mut line, mut col) = (1usize, 1usize);
+        for &b in &self.chars[..self.pos.min(self.chars.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        Error::new(format!("{msg} at line {line} column {col}"))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        self.skip_whitespace();
+        match self.bump() {
+            Some(b) if b == byte => Ok(()),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error(&format!("expected {:?}", byte as char)))
+            }
+        }
+    }
+
+    fn parse_literal(&mut self, literal: &str, value: Value) -> Result<Value, Error> {
+        if self.chars[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("invalid literal, expected {literal:?}")))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        if self.pos + 4 > self.chars.len() {
+                            return Err(self.error("truncated \\u escape"));
+                        }
+                        let hex = std::str::from_utf8(&self.chars[self.pos..self.pos + 4])
+                            .map_err(|_| self.error("invalid \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| self.error("invalid \\u escape"))?;
+                        self.pos += 4;
+                        // Surrogate pairs are not needed for manifests; map
+                        // lone surrogates to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(self.error("invalid escape sequence")),
+                },
+                Some(b) if b < 0x20 => return Err(self.error("control character in string")),
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Multi-byte UTF-8: the input is a &str, so the bytes are
+                    // valid; find the sequence length from the leading byte.
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let start = self.pos - 1;
+                    let end = start + len;
+                    if end > self.chars.len() {
+                        return Err(self.error("truncated UTF-8 sequence"));
+                    }
+                    let s = std::str::from_utf8(&self.chars[start..end])
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.chars[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        let n: f64 = text.parse().map_err(|_| {
+            self.pos = start;
+            self.error(&format!("invalid number {text:?}"))
+        })?;
+        // The shim's Number is f64-backed, which represents integers exactly
+        // only below 2^53.  Seeds and counters must never be silently
+        // rounded, so reject integer literals outside that range loudly
+        // instead of mimicking real serde_json's exact u64/i64 handling.
+        if !text.contains(['.', 'e', 'E']) && n.abs() >= 9_007_199_254_740_992.0 {
+            self.pos = start;
+            return Err(self.error(&format!(
+                "integer {text} exceeds the exactly representable range (|x| < 2^53) \
+                 of this build's f64-backed numbers"
+            )));
+        }
+        Ok(Value::Number(n))
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_whitespace();
+        match self.peek() {
+            None => Err(self.error("unexpected end of input")),
+            Some(b'n') => self.parse_literal("null", Value::Null),
+            Some(b't') => self.parse_literal("true", Value::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_whitespace();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_whitespace();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b']') => return Ok(Value::Array(items)),
+                        _ => {
+                            self.pos = self.pos.saturating_sub(1);
+                            return Err(self.error("expected ',' or ']' in array"));
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut map = Map::new();
+                self.skip_whitespace();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                loop {
+                    self.skip_whitespace();
+                    let key = self.parse_string()?;
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    map.insert(key, value);
+                    self.skip_whitespace();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b'}') => return Ok(Value::Object(map)),
+                        _ => {
+                            self.pos = self.pos.saturating_sub(1);
+                            return Err(self.error("expected ',' or '}' in object"));
+                        }
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(b) => Err(self.error(&format!("unexpected character {:?}", b as char))),
+        }
+    }
+}
+
+/// Parse a JSON document into a [`Value`].
+///
+/// Mirrors `serde_json::from_str::<Value>`; errors carry line/column
+/// positions.  Trailing non-whitespace input is rejected.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser::new(input);
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.peek().is_some() {
+        return Err(parser.error("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
 /// Pretty-print `value` as JSON with two-space indentation.
 pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
@@ -257,5 +571,78 @@ mod tests {
     fn empty_containers() {
         assert_eq!(to_string_pretty(&Value::Array(vec![])).unwrap(), "[]");
         assert_eq!(to_string_pretty(&Value::Object(Map::new())).unwrap(), "{}");
+    }
+
+    #[test]
+    fn parses_nested_documents() {
+        let v = from_str(
+            r#"{
+                "name": "batch",
+                "workers": 4,
+                "ratio": -2.5e-1,
+                "flag": true,
+                "nothing": null,
+                "jobs": [{"seed": 1}, {"seed": 2}],
+                "esc": "a\"b\\c\ndA"
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("batch"));
+        assert_eq!(v.get("workers").and_then(Value::as_u64), Some(4));
+        assert_eq!(v.get("ratio").and_then(Value::as_f64), Some(-0.25));
+        assert_eq!(v.get("flag").and_then(Value::as_bool), Some(true));
+        assert!(v.get("nothing").is_some_and(Value::is_null));
+        let jobs = v.get("jobs").and_then(Value::as_array).unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[1].get("seed").and_then(Value::as_u64), Some(2));
+        assert_eq!(v.get("esc").and_then(Value::as_str), Some("a\"b\\c\ndA"));
+    }
+
+    #[test]
+    fn parse_roundtrips_through_the_printer() {
+        let original = from_str(r#"{"a": [1, 2, {"b": "x"}], "c": false}"#).unwrap();
+        let printed = to_string_pretty(&original).unwrap();
+        assert_eq!(from_str(&printed).unwrap(), original);
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        let err = from_str("{\n  \"a\": tru\n}").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "unhelpful message: {msg}");
+        assert!(from_str("").is_err());
+        assert!(from_str("{}, extra").is_err());
+        assert!(from_str("[1, 2").is_err());
+        assert!(from_str("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn accessors_reject_wrong_types() {
+        let v = from_str(r#"{"n": 1.5, "s": "x"}"#).unwrap();
+        assert_eq!(v.get("n").and_then(Value::as_u64), None);
+        assert_eq!(v.get("n").and_then(Value::as_f64), Some(1.5));
+        assert_eq!(v.get("s").and_then(Value::as_u64), None);
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Value::Null.get("anything"), None);
+    }
+
+    #[test]
+    fn rejects_integers_that_would_round() {
+        // 2^53 - 1 is exact; 2^53 + 1 would silently round to 2^53.
+        let v = from_str("9007199254740991").unwrap();
+        assert_eq!(v.as_u64(), Some(9007199254740991));
+        let err = from_str("9007199254740993").unwrap_err();
+        assert!(err.to_string().contains("2^53"), "{err}");
+        assert!(from_str("-9007199254740993").is_err());
+        // Floats and exponent forms stay in lossy mode, as documented.
+        assert!(from_str("1.8e19").is_ok());
+    }
+
+    #[test]
+    fn parses_unicode_strings() {
+        let v = from_str(r#"["héllo ☃", "π"]"#).unwrap();
+        let items = v.as_array().unwrap();
+        assert_eq!(items[0].as_str(), Some("héllo ☃"));
+        assert_eq!(items[1].as_str(), Some("π"));
     }
 }
