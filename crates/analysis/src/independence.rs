@@ -1,6 +1,6 @@
 //! The `G²` statistic and BIC-based independence test for binary time series.
 //!
-//! Following Ray, Pinar and Seshadhri (the paper's reference [64]), a binary
+//! Following Ray, Pinar and Seshadhri (the paper's reference \[64\]), a binary
 //! time series `{Z_t}` is summarised by its four transition counts
 //! `n_{ij} = #{t : Z_t = i, Z_{t+1} = j}`.  Two models are compared:
 //!

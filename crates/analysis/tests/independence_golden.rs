@@ -1,0 +1,124 @@
+//! Golden-value and property tests for the `G²`/BIC independence decision
+//! (`gesmc_analysis::independence`).
+//!
+//! The golden values are hand-computed from the definition
+//! `G² = 2 Σ n_ij ln(n_ij N / (n_i· n_·j))` on small transition tables, so a
+//! regression in the statistic (not just in the boolean decision) is caught
+//! with full precision.  The property test checks the headline guarantee the
+//! study pipeline relies on: a genuinely i.i.d. edge-presence series is
+//! classified independent for *every* thinning value.
+
+use gesmc_analysis::{ThinnedAutocorrelation, TransitionCounts};
+use gesmc_randx::rng_from_seed;
+use proptest::prelude::*;
+use rand::Rng as _;
+
+/// Build counts from explicit cell values `(n00, n01, n10, n11)`.
+fn counts(n00: u64, n01: u64, n10: u64, n11: u64) -> TransitionCounts {
+    let mut c = TransitionCounts::new();
+    for (prev, next, n) in
+        [(false, false, n00), (false, true, n01), (true, false, n10), (true, true, n11)]
+    {
+        for _ in 0..n {
+            c.record(prev, next);
+        }
+    }
+    c
+}
+
+#[test]
+fn g2_golden_values() {
+    // Hand-computed: rows (60, 40), cols (60, 40), N = 100.
+    // G² = 2·(50·ln(50/36) + 10·ln(10/24) + 10·ln(10/24) + 30·ln(30/16)).
+    let sticky = counts(50, 10, 10, 30);
+    assert!((sticky.g2() - 35.54817676839005).abs() < 1e-9, "got {}", sticky.g2());
+
+    // Almost-uniform table: every expected cell is 25.
+    // G² = 2·(2·26·ln(26/25) + 2·24·ln(24/25)).
+    let near_uniform = counts(26, 24, 24, 26);
+    assert!((near_uniform.g2() - 0.16004269399676296).abs() < 1e-12, "got {}", near_uniform.g2());
+
+    // Counts exactly proportional to the product of the marginals: G² = 0.
+    let product = counts(16, 24, 24, 36);
+    assert!(product.g2().abs() < 1e-9, "got {}", product.g2());
+
+    // Tiny diagonal table: G² = 2·(ln 2 + ln 2) = 4·ln 2.
+    let diagonal = counts(1, 0, 0, 1);
+    assert!((diagonal.g2() - 2.772588722239781).abs() < 1e-12, "got {}", diagonal.g2());
+
+    // Large sticky chain: the statistic grows linearly in N.
+    let large = counts(9000, 1000, 1000, 9000);
+    assert!((large.g2() - 14722.568286739886).abs() < 1e-6, "got {}", large.g2());
+}
+
+#[test]
+fn bic_decision_golden_values() {
+    // ln 100 ≈ 4.6052.
+    assert!(!counts(50, 10, 10, 30).is_independent(), "G² ≈ 35.55 > ln 100");
+    assert!(counts(26, 24, 24, 26).is_independent(), "G² ≈ 0.16 ≤ ln 100");
+    assert!(counts(16, 24, 24, 36).is_independent(), "G² = 0");
+    // ln 2 ≈ 0.693 < G² = 4·ln 2 ≈ 2.77: two observations of perfect
+    // persistence already look Markovian to the BIC.
+    assert!(!counts(1, 0, 0, 1).is_independent());
+    assert!(!counts(9000, 1000, 1000, 9000).is_independent(), "G² ≈ 14722 > ln 20000");
+    // Degenerate tables are deemed independent by definition.
+    assert!(counts(0, 0, 0, 0).is_independent());
+    assert!(counts(1, 0, 0, 0).is_independent());
+}
+
+#[test]
+fn g2_is_invariant_under_state_relabeling() {
+    // Swapping the roles of 0 and 1 (transposing both margins) cannot change
+    // the log-likelihood ratio.
+    let a = counts(50, 10, 10, 30);
+    let b = counts(30, 10, 10, 50);
+    assert!((a.g2() - b.g2()).abs() < 1e-9);
+}
+
+proptest! {
+    /// A genuinely i.i.d. series is classified independent for every
+    /// thinning value — directly on [`TransitionCounts`].
+    #[test]
+    fn iid_series_is_independent_for_all_thinnings(seed in 0u64..24) {
+        let mut rng = rng_from_seed(0x1D5E_0000 + seed);
+        let p = 0.2 + 0.05 * (seed % 8) as f64; // marginals from 0.2 to 0.55
+        let series: Vec<bool> = (0..24_000).map(|_| rng.gen_bool(p)).collect();
+        for thinning in [1usize, 2, 3, 4, 8, 16] {
+            let thinned: Vec<bool> = series.iter().copied().step_by(thinning).collect();
+            let mut c = TransitionCounts::new();
+            for w in thinned.windows(2) {
+                c.record(w[0], w[1]);
+            }
+            prop_assert!(
+                c.is_independent(),
+                "seed {} thinning {}: G² = {} exceeds ln N = {}",
+                seed,
+                thinning,
+                c.g2(),
+                (c.total() as f64).ln()
+            );
+        }
+    }
+
+    /// The same guarantee through the streaming accumulator the study
+    /// pipeline uses: feed i.i.d. presence bits for many edges and require
+    /// the non-independent fraction to stay near the BIC false-positive
+    /// rate at every thinning value.
+    #[test]
+    fn iid_edges_have_low_dependent_fraction(seed in 0u64..8) {
+        let edges = 64usize;
+        let thinnings = [1usize, 2, 4, 8];
+        let mut rng = rng_from_seed(0xACC0_0000 + seed);
+        let mut acc = ThinnedAutocorrelation::new(edges, &thinnings);
+        for _ in 0..4096 {
+            let bits: Vec<bool> = (0..edges).map(|_| rng.gen_bool(0.4)).collect();
+            acc.observe(&bits);
+        }
+        for (k, frac) in thinnings.iter().zip(acc.non_independent_fractions()) {
+            prop_assert!(
+                frac <= 0.1,
+                "seed {seed}: {frac} of i.i.d. edges deemed dependent at thinning {k}"
+            );
+        }
+    }
+}

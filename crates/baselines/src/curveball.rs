@@ -1,4 +1,4 @@
-//! Global Curveball trades (related work of the paper, refs. [42]/[46]).
+//! Global Curveball trades (related work of the paper, refs. \[42\]/\[46\]).
 //!
 //! One *global trade* partitions the nodes into random pairs; for each pair
 //! `(a, b)` the neighbours exclusive to `a` and exclusive to `b` (excluding

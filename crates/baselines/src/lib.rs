@@ -11,11 +11,13 @@
 //! * [`SortedAdjacencyES`] — ES-MC on sorted adjacency vectors with binary
 //!   search for existence and ordered insertion/removal (the Gengraph /
 //!   Viger–Latapy-style design);
-//! * [`GlobalCurveball`] — the Global Curveball chain (related work [42/46]),
+//! * [`GlobalCurveball`] — the Global Curveball chain (related work
+//!   \[42\]/\[46\]),
 //!   which trades whole neighbourhoods between random node pairs; included as
 //!   the alternative randomisation scheme the paper discusses.
 //!
-//! All baselines implement the common [`EdgeSwitching`] interface, so the
+//! All baselines implement the common
+//! [`EdgeSwitching`](gesmc_core::EdgeSwitching) interface, so the
 //! benchmark harness can time them side by side with `SeqES`, `SeqGlobalES`,
 //! `NaiveParES` and `ParGlobalES`.
 

@@ -11,13 +11,16 @@
 //!   gesmc batch     manifest.json [--workers N]
 //!   gesmc resume    job.ckpt [--samples-dir DIR] [--supersteps T] [--threads N]
 //!                   [--checkpoint-every K [--checkpoint-dir DIR]]
+//!   gesmc study     study.json [--scale smoke|paper] [--workers N]
+//!                   [--threads-per-job N] [--output-dir DIR] [--resume]
 //! ```
 //!
 //! The CLI exercises the same public API as the examples and benchmarks: it
 //! reads/writes plain-text edge lists, randomises with any of the implemented
-//! chains, runs the autocorrelation analysis on small graphs, and drives the
+//! chains, runs the autocorrelation analysis on small graphs, drives the
 //! batched job engine (`gesmc-engine`) for multi-job manifests with
-//! checkpoint/resume.
+//! checkpoint/resume, and runs end-to-end mixing-time studies
+//! (`gesmc-study`, the data behind the paper's Figs. 2-3).
 //!
 //! All failures are reported on stderr with a nonzero exit code; the CLI
 //! never panics on bad input.
@@ -28,9 +31,12 @@ use gesmc_core::{
     EdgeSwitching, NaiveParES, ParES, ParGlobalES, SeqES, SeqGlobalES, SwitchingConfig,
 };
 use gesmc_datasets::{netrep_like::family_graph, syn_gnp_graph, syn_pld_graph, GraphFamily};
-use gesmc_engine::{run_batch, Checkpoint, EdgeListFileSink, GraphSource, JobSpec, Manifest};
+use gesmc_engine::{
+    run_batch, Algorithm, Checkpoint, EdgeListFileSink, GraphSource, JobSpec, Manifest,
+};
 use gesmc_graph::io::{read_edge_list_file, write_edge_list_file};
 use gesmc_graph::EdgeListGraph;
+use gesmc_study::{run_study, StudyOptions, StudyScale, StudySpec};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -47,6 +53,8 @@ fn print_usage() {
            batch     MANIFEST.json [--workers N]\n\
            resume    JOB.ckpt [--samples-dir DIR] [--supersteps T] [--threads P]\n\
                      [--checkpoint-every K [--checkpoint-dir DIR]]\n\
+           study     STUDY.json [--scale {{smoke,paper}}] [--workers N]\n\
+                     [--threads-per-job P] [--output-dir DIR] [--resume]\n\
          \n\
          Algorithms: seq-es, seq-global-es, par-es, par-global-es, naive-par-es,\n\
                      adjacency-es, sorted-adjacency-es, curveball\n\
@@ -55,13 +63,22 @@ fn print_usage() {
 }
 
 /// Split raw arguments into positional arguments and `--flag value` pairs.
-fn parse_args(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>), String> {
+/// Flags listed in `boolean_flags` take no value (their presence maps to
+/// `"true"`).
+fn parse_args(
+    args: &[String],
+    boolean_flags: &[&str],
+) -> Result<(Vec<String>, HashMap<String, String>), String> {
     let mut positional = Vec::new();
     let mut flags = HashMap::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         if let Some(name) = arg.strip_prefix("--") {
-            let value = iter.next().ok_or_else(|| format!("flag --{name} needs a value"))?.clone();
+            let value = if boolean_flags.contains(&name) {
+                "true".to_string()
+            } else {
+                iter.next().ok_or_else(|| format!("flag --{name} needs a value"))?.clone()
+            };
             if flags.insert(name.to_string(), value).is_some() {
                 return Err(format!("flag --{name} given twice"));
             }
@@ -346,6 +363,16 @@ fn cmd_resume(positional: &[String], flags: &HashMap<String, String>) -> Result<
     if let Some(threads) = parse_flag::<usize>(flags, "threads")? {
         spec.threads = Some(threads);
     }
+    // The inexact baseline's switch interleaving is racy across threads, so
+    // its resumed trajectory is only a function of the checkpoint state under
+    // a single-threaded pool (see `NaiveParES::snapshot`).
+    if algorithm == Algorithm::NaiveParES && spec.threads != Some(1) {
+        eprintln!(
+            "warning: resuming a naive-par-es checkpoint with more than one thread; \
+             the interleaving of switches is racy, so the resumed run will NOT be \
+             bit-identical to the uninterrupted one (pass --threads 1 for reproducibility)"
+        );
+    }
     // Keep checkpointing during the resumed run, so a second interruption
     // does not lose the progress since this one.  The interval is not stored
     // in the checkpoint file; `--checkpoint-every` re-enables it, writing to
@@ -383,13 +410,75 @@ fn cmd_resume(positional: &[String], flags: &HashMap<String, String>) -> Result<
     Ok(())
 }
 
+/// `gesmc study study.json`: run an end-to-end mixing-time study — sweep
+/// {chain} × {graph}, stream per-superstep metrics, aggregate the
+/// non-independence fractions per thinning value into deterministic JSON/CSV
+/// reports (the data behind Figs. 2-3).
+fn cmd_study(positional: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+    let spec_path = match positional {
+        [path] => path,
+        [] => return Err("study needs a spec path: gesmc study study.json".to_string()),
+        more => return Err(format!("study takes one spec path, got {}", more.len())),
+    };
+    reject_unknown_flags(
+        "study",
+        flags,
+        &["scale", "workers", "threads-per-job", "output-dir", "resume"],
+    )?;
+    let spec = StudySpec::from_file(spec_path).map_err(|e| format!("{e}"))?;
+    let scale = match flags.get("scale") {
+        None => StudyScale::Smoke,
+        Some(s) => StudyScale::parse(s)
+            .ok_or_else(|| format!("invalid value {s:?} for --scale (expected smoke or paper)"))?,
+    };
+    let opts = StudyOptions {
+        scale,
+        workers: parse_flag(flags, "workers")?,
+        threads_per_job: parse_flag(flags, "threads-per-job")?,
+        output_dir: flags.get("output-dir").map(PathBuf::from),
+        resume: flags.contains_key("resume"),
+    };
+    eprintln!(
+        "study {:?}: {} cells ({} chains x {} graphs) at {} scale, {} supersteps each",
+        spec.name,
+        spec.chains.len() * spec.graphs.len(),
+        spec.chains.len(),
+        spec.graphs.len(),
+        scale.name(),
+        spec.supersteps_at(scale)
+    );
+
+    let run = run_study(&spec, &opts).map_err(|e| format!("{e}"))?;
+    if run.resumed_cells > 0 {
+        eprintln!("  reused {} completed cells from an earlier run", run.resumed_cells);
+    }
+    for cell in &run.report.cells {
+        let first = cell.points.first().map(|&(_, f)| f).unwrap_or(0.0);
+        let last = cell.points.last().map(|&(_, f)| f).unwrap_or(0.0);
+        let timing =
+            cell.wall_clock_secs.map_or_else(|| "cached".to_string(), |s| format!("{s:.3} s"));
+        eprintln!(
+            "  {}: n = {}, m = {}, non-independent {:.3} (k = {}) -> {:.3} (k = {}), {timing}",
+            cell.job,
+            cell.nodes,
+            cell.edges,
+            first,
+            cell.points.first().map(|&(k, _)| k).unwrap_or(0),
+            last,
+            cell.points.last().map(|&(k, _)| k).unwrap_or(0),
+        );
+    }
+    eprintln!("wrote {}", run.json_path.display());
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
         print_usage();
         return ExitCode::FAILURE;
     };
-    let (positional, flags) = match parse_args(rest) {
+    let (positional, flags) = match parse_args(rest, &["resume"]) {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("error: {e}");
@@ -403,6 +492,7 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(&positional, &flags),
         "batch" => cmd_batch(&positional, &flags),
         "resume" => cmd_resume(&positional, &flags),
+        "study" => cmd_study(&positional, &flags),
         "--help" | "-h" | "help" => {
             print_usage();
             Ok(())

@@ -81,6 +81,11 @@ pub trait EdgeSwitching {
     /// and continuing yields a run *bit-identical* to never having been
     /// interrupted.  Returns `None` for implementations that do not support
     /// snapshots (the baselines); all five chains of `gesmc-core` do.
+    ///
+    /// **Exception**: the inexact [`NaiveParES`](crate::NaiveParES) baseline
+    /// interleaves switches racily across threads, so its resumes are
+    /// bit-identical only under a single-threaded rayon pool (see its
+    /// `snapshot` documentation).
     fn snapshot(&self) -> Option<ChainSnapshot> {
         None
     }

@@ -173,12 +173,17 @@ impl EdgeSwitching for NaiveParES {
         }
     }
 
+    /// Capture the chain state — **with a caveat the other chains do not
+    /// have**: the interleaving of switches across threads is inherently
+    /// racy (that is what makes this baseline inexact, Sec. 5.1), so a
+    /// restored run is bit-identical to the uninterrupted one **only under a
+    /// single-threaded rayon pool**.  With more than one thread the resumed
+    /// run is a valid continuation but not a reproduction; `gesmc resume`
+    /// prints a warning in that case.
     fn snapshot(&self) -> Option<ChainSnapshot> {
         // The per-chunk RNG streams are derived statelessly from
         // (seeds, supersteps_done), so those two values pin down all future
-        // randomness.  Note that the *interleaving* of switches across
-        // threads is inherently nondeterministic (Sec. 5.1); resumes are
-        // bit-identical only under a single-threaded rayon pool.
+        // randomness.
         Some(ChainSnapshot {
             algorithm: self.name().to_string(),
             num_nodes: self.edges.num_nodes(),
@@ -192,6 +197,10 @@ impl EdgeSwitching for NaiveParES {
         })
     }
 
+    /// Restore a [`NaiveParES::snapshot`] capture.  The same caveat applies:
+    /// continuation is deterministic only when the ambient rayon pool has a
+    /// single thread; otherwise the racy switch interleaving makes every
+    /// resumed trajectory distinct (though still degree-preserving).
     fn restore(&mut self, snapshot: &ChainSnapshot) -> Result<(), SnapshotError> {
         snapshot.check_algorithm(self.name())?;
         let graph = snapshot.graph()?;

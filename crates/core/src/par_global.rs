@@ -6,7 +6,7 @@
 //! [`parallel_superstep`](crate::superstep::parallel_superstep).  The chain is
 //! *exact*: given the same permutation and trial count, the resulting graph is
 //! identical to executing the switches sequentially (this is asserted by the
-//! integration tests against [`SeqGlobalES`](crate::SeqGlobalES)).
+//! integration tests against [`crate::SeqGlobalES`]).
 
 use crate::chain::{EdgeSwitching, SwitchingConfig};
 use crate::seq_global::SeqGlobalES;

@@ -2,7 +2,8 @@
 //!
 //! A degree sequence `d = (d_1, …, d_n)` is *graphical* if some simple graph
 //! realises it.  The Erdős–Gallai theorem characterises graphical sequences,
-//! and the Havel–Hakimi algorithm (in [`crate::gen::havel_hakimi`])
+//! and the Havel–Hakimi algorithm (in
+//! [`crate::gen::havel_hakimi`](mod@crate::gen::havel_hakimi))
 //! constructs a realisation.  The analysis of `ParGlobalES` (Theorems 2 and 3
 //! of the paper) depends on the maximum degree `Δ` and on the collision
 //! statistic `P2 = Σ_{u<v} (d_u d_v / m(m−1))²`; both are exposed here.

@@ -9,7 +9,7 @@
 //! The concurrent edge set additionally reserves the top 8 bits of a bucket
 //! for lock/owner information, which restricts nodes to 28 bits each when the
 //! locking representation is in use (exactly the `n ≤ 2^28` restriction the
-//! paper describes).  [`PackedEdge::pack56`] provides that narrower encoding.
+//! paper describes).  [`Edge::pack56`] provides that narrower encoding.
 
 use std::fmt;
 

@@ -1,6 +1,6 @@
 //! Chung–Lu random graphs with given *expected* degrees.
 //!
-//! The Chung–Lu model (reference [12] in the paper) connects nodes `u, v`
+//! The Chung–Lu model (reference \[12\] in the paper) connects nodes `u, v`
 //! independently with probability `min(1, w_u w_v / Σw)`.  It matches the
 //! prescribed degrees only in expectation and therefore serves in the paper's
 //! introduction as a contrast to exact-degree sampling; we include it both as

@@ -1,6 +1,6 @@
 //! Configuration model: random (multi)graphs with an exact degree sequence.
 //!
-//! The configuration model (reference [14] in the paper) pairs up degree
+//! The configuration model (reference \[14\] in the paper) pairs up degree
 //! "stubs" uniformly at random.  The result realises the prescribed degrees
 //! exactly but may contain self-loops and multi-edges.  We expose both the raw
 //! multigraph pairing (as lists of node pairs) and the *erased* variant that

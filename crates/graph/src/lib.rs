@@ -7,7 +7,8 @@
 //!
 //! * canonical undirected edges and their packed 64-bit encoding ([`edge`]),
 //! * degree sequences, the Erdős–Gallai graphicality test and the
-//!   Havel–Hakimi realisation algorithm ([`degree`], [`gen::havel_hakimi`]),
+//!   Havel–Hakimi realisation algorithm ([`degree`],
+//!   [`gen::havel_hakimi`](mod@gen::havel_hakimi)),
 //! * random graph generators: `G(n,p)`, power-law degree sequences
 //!   (`Pld([a..b], γ)`), Chung–Lu and the configuration model ([`gen`]),
 //! * adjacency-based views (adjacency list and CSR) used by the baselines and

@@ -2,7 +2,7 @@
 //!
 //! Sampling an edge index `i ∈ [0, m)` is the innermost operation of the
 //! ES-MC loop, so it must be both fast and free of modulo bias.  The paper
-//! uses Lemire's multiply-shift technique (reference [58] in the paper); we
+//! uses Lemire's multiply-shift technique (reference \[58\] in the paper); we
 //! implement the same algorithm here on top of any [`rand::RngCore`].
 
 use rand::RngCore;

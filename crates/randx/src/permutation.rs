@@ -3,7 +3,7 @@
 //! A global switch (Def. 3 in the paper) is parameterised by a uniformly
 //! random permutation `π` of the edge indices `[m]`.  For large `m` the
 //! permutation must be generated in parallel; we follow the bucket-scatter
-//! approach of Sanders (reference [59] in the paper): every element is
+//! approach of Sanders (reference \[59\] in the paper): every element is
 //! assigned to one of `B` buckets uniformly at random, buckets are
 //! materialised independently, locally shuffled with Fisher–Yates, and then
 //! concatenated.  Conditioned on the (multinomially distributed) bucket

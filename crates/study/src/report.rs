@@ -1,0 +1,424 @@
+//! Machine-readable study reports: the data behind the paper's Figs. 2-3.
+//!
+//! A [`StudyReport`] aggregates one [`CellReport`] per sweep cell and is
+//! written in three files under the study's output directory:
+//!
+//! * `{name}.json` — the full report: per cell the non-independent-edge
+//!   fraction per thinning value, the scalar proxy traces, the actual graph
+//!   dimensions and the exact seed.  **Deterministic**: re-running the same
+//!   spec at the same scale produces a bit-identical file.
+//! * `{name}.csv` — the flat `(chain, graph, thinning) → fraction` table,
+//!   one row per point of Figs. 2-3.  Also deterministic.
+//! * `{name}.timing.json` — wall-clock seconds per cell.  Kept out of the
+//!   main report precisely because timings are *not* reproducible.
+//!
+//! Reports parse back via [`StudyReport::parse`] — that path powers both the
+//! CI smoke assertion ("the report covers every sweep cell") and cell-level
+//! resume (completed cells are reloaded instead of recomputed).
+
+use crate::error::StudyError;
+use serde_json::{Map, Value};
+use std::path::{Path, PathBuf};
+
+/// The measured results of one sweep cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    /// Job name (`{chain}-{graph label}`).
+    pub job: String,
+    /// Chain CLI name (`seq-es`, `par-global-es`, …).
+    pub chain: String,
+    /// Generator family of the input graph.
+    pub family: String,
+    /// Graph label from the spec.
+    pub label: String,
+    /// Actual number of nodes of the generated graph.
+    pub nodes: usize,
+    /// Actual number of edges of the generated graph.
+    pub edges: usize,
+    /// Power-law exponent used by the generator (2.5 default elsewhere).
+    pub gamma: f64,
+    /// The exact seed of this cell's chain (re-run the cell with it).
+    pub seed: u64,
+    /// The exact seed of the cell's graph generator (shared by every chain
+    /// sweeping the same graph).
+    pub graph_seed: u64,
+    /// Supersteps the chain ran.
+    pub supersteps: u64,
+    /// `(thinning value, fraction of non-independent edges)` pairs, sorted by
+    /// thinning value.
+    pub points: Vec<(usize, f64)>,
+    /// Supersteps at which the scalar proxies were recorded.
+    pub proxy_supersteps: Vec<u64>,
+    /// Triangle count at each recorded superstep.
+    pub triangles: Vec<u64>,
+    /// Global clustering coefficient at each recorded superstep.
+    pub clustering: Vec<f64>,
+    /// Degree assortativity at each recorded superstep (`None` = undefined).
+    pub assortativity: Vec<Option<f64>>,
+    /// Wall-clock seconds of the cell's job; `None` for cells reloaded from
+    /// a resume file (they were not timed by this run).  Excluded from the
+    /// deterministic JSON; serialised (as a number or `null`) only into
+    /// `{name}.timing.json`.
+    pub wall_clock_secs: Option<f64>,
+}
+
+fn num(v: f64) -> Value {
+    Value::Number(v)
+}
+
+fn uint(v: u64) -> Value {
+    Value::Number(v as f64)
+}
+
+impl CellReport {
+    /// The deterministic JSON object of the cell (no wall-clock).
+    pub fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        map.insert("job".into(), Value::String(self.job.clone()));
+        map.insert("chain".into(), Value::String(self.chain.clone()));
+        map.insert("family".into(), Value::String(self.family.clone()));
+        map.insert("label".into(), Value::String(self.label.clone()));
+        map.insert("nodes".into(), uint(self.nodes as u64));
+        map.insert("edges".into(), uint(self.edges as u64));
+        map.insert("gamma".into(), num(self.gamma));
+        map.insert("seed".into(), uint(self.seed));
+        map.insert("graph_seed".into(), uint(self.graph_seed));
+        map.insert("supersteps".into(), uint(self.supersteps));
+        let points = self
+            .points
+            .iter()
+            .map(|&(k, frac)| {
+                let mut point = Map::new();
+                point.insert("thinning".into(), uint(k as u64));
+                point.insert("non_independent_fraction".into(), num(frac));
+                Value::Object(point)
+            })
+            .collect();
+        map.insert("points".into(), Value::Array(points));
+        let mut proxies = Map::new();
+        proxies.insert(
+            "supersteps".into(),
+            Value::Array(self.proxy_supersteps.iter().map(|&s| uint(s)).collect()),
+        );
+        proxies.insert(
+            "triangles".into(),
+            Value::Array(self.triangles.iter().map(|&t| uint(t)).collect()),
+        );
+        proxies.insert(
+            "clustering".into(),
+            Value::Array(self.clustering.iter().map(|&c| num(c)).collect()),
+        );
+        proxies.insert(
+            "assortativity".into(),
+            Value::Array(self.assortativity.iter().map(|a| a.map_or(Value::Null, num)).collect()),
+        );
+        map.insert("proxies".into(), Value::Object(proxies));
+        Value::Object(map)
+    }
+
+    /// Parse a cell object back (inverse of [`CellReport::to_value`]; the
+    /// wall-clock comes back as `None` — the parsed cell was not timed by
+    /// this process).
+    pub fn from_value(value: &Value) -> Result<Self, StudyError> {
+        let bad = |what: &str| StudyError::Report(format!("cell: missing or invalid {what:?}"));
+        let str_field = |key: &str| {
+            value.get(key).and_then(Value::as_str).map(str::to_string).ok_or_else(|| bad(key))
+        };
+        let u64_field = |key: &str| value.get(key).and_then(Value::as_u64).ok_or_else(|| bad(key));
+        let points = value
+            .get("points")
+            .and_then(Value::as_array)
+            .ok_or_else(|| bad("points"))?
+            .iter()
+            .map(|p| {
+                let k = p.get("thinning").and_then(Value::as_u64).ok_or_else(|| bad("thinning"))?;
+                let frac = p
+                    .get("non_independent_fraction")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| bad("non_independent_fraction"))?;
+                Ok((k as usize, frac))
+            })
+            .collect::<Result<Vec<_>, StudyError>>()?;
+        let proxies = value.get("proxies").ok_or_else(|| bad("proxies"))?;
+        let proxy_array =
+            |key: &str| proxies.get(key).and_then(Value::as_array).ok_or_else(|| bad(key)).cloned();
+        let proxy_supersteps = proxy_array("supersteps")?
+            .iter()
+            .map(|v| v.as_u64().ok_or_else(|| bad("proxies.supersteps")))
+            .collect::<Result<Vec<_>, _>>()?;
+        let triangles = proxy_array("triangles")?
+            .iter()
+            .map(|v| v.as_u64().ok_or_else(|| bad("proxies.triangles")))
+            .collect::<Result<Vec<_>, _>>()?;
+        let clustering = proxy_array("clustering")?
+            .iter()
+            .map(|v| v.as_f64().ok_or_else(|| bad("proxies.clustering")))
+            .collect::<Result<Vec<_>, _>>()?;
+        let assortativity = proxy_array("assortativity")?
+            .iter()
+            .map(|v| {
+                if v.is_null() {
+                    Ok(None)
+                } else {
+                    v.as_f64().map(Some).ok_or_else(|| bad("proxies.assortativity"))
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            job: str_field("job")?,
+            chain: str_field("chain")?,
+            family: str_field("family")?,
+            label: str_field("label")?,
+            nodes: u64_field("nodes")? as usize,
+            edges: u64_field("edges")? as usize,
+            gamma: value.get("gamma").and_then(Value::as_f64).ok_or_else(|| bad("gamma"))?,
+            seed: u64_field("seed")?,
+            graph_seed: u64_field("graph_seed")?,
+            supersteps: u64_field("supersteps")?,
+            points,
+            proxy_supersteps,
+            triangles,
+            clustering,
+            assortativity,
+            wall_clock_secs: None,
+        })
+    }
+}
+
+/// The aggregated results of a whole study run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudyReport {
+    /// Study name from the spec.
+    pub study: String,
+    /// Scale the run used (`smoke` / `paper`).
+    pub scale: String,
+    /// Root seed of the spec (cell seeds derive from it by index).
+    pub seed: u64,
+    /// Supersteps per cell at the run's scale.
+    pub supersteps: u64,
+    /// The thinning values evaluated in every cell.
+    pub thinnings: Vec<usize>,
+    /// One entry per sweep cell, in chain-major sweep order.
+    pub cells: Vec<CellReport>,
+}
+
+impl StudyReport {
+    /// The deterministic JSON document (no timings).
+    pub fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        map.insert("study".into(), Value::String(self.study.clone()));
+        map.insert("scale".into(), Value::String(self.scale.clone()));
+        map.insert("seed".into(), uint(self.seed));
+        map.insert("supersteps".into(), uint(self.supersteps));
+        map.insert(
+            "thinnings".into(),
+            Value::Array(self.thinnings.iter().map(|&k| uint(k as u64)).collect()),
+        );
+        map.insert(
+            "cells".into(),
+            Value::Array(self.cells.iter().map(CellReport::to_value).collect()),
+        );
+        Value::Object(map)
+    }
+
+    /// The deterministic JSON text of the report.
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(&self.to_value()).expect("value serialisation cannot fail")
+    }
+
+    /// Parse a report back from its JSON text.
+    pub fn parse(text: &str) -> Result<Self, StudyError> {
+        let root = serde_json::from_str(text)
+            .map_err(|e| StudyError::Report(format!("invalid JSON: {e}")))?;
+        let bad = |what: &str| StudyError::Report(format!("missing or invalid {what:?}"));
+        let cells = root
+            .get("cells")
+            .and_then(Value::as_array)
+            .ok_or_else(|| bad("cells"))?
+            .iter()
+            .map(CellReport::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        let thinnings = root
+            .get("thinnings")
+            .and_then(Value::as_array)
+            .ok_or_else(|| bad("thinnings"))?
+            .iter()
+            .map(|v| v.as_u64().map(|k| k as usize).ok_or_else(|| bad("thinnings")))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            study: root
+                .get("study")
+                .and_then(Value::as_str)
+                .ok_or_else(|| bad("study"))?
+                .to_string(),
+            scale: root
+                .get("scale")
+                .and_then(Value::as_str)
+                .ok_or_else(|| bad("scale"))?
+                .to_string(),
+            seed: root.get("seed").and_then(Value::as_u64).ok_or_else(|| bad("seed"))?,
+            supersteps: root
+                .get("supersteps")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| bad("supersteps"))?,
+            thinnings,
+            cells,
+        })
+    }
+
+    /// The flat CSV table: one `(chain, graph, thinning)` row per point.
+    pub fn to_csv_string(&self) -> String {
+        let mut out = String::from(
+            "chain,family,label,nodes,edges,seed,supersteps,thinning,non_independent_fraction\n",
+        );
+        for cell in &self.cells {
+            for &(k, frac) in &cell.points {
+                out.push_str(&format!(
+                    "{},{},{},{},{},{},{},{k},{frac}\n",
+                    cell.chain,
+                    cell.family,
+                    cell.label,
+                    cell.nodes,
+                    cell.edges,
+                    cell.seed,
+                    cell.supersteps,
+                ));
+            }
+        }
+        out
+    }
+
+    /// The (non-deterministic) timing side-car document.
+    pub fn timing_value(&self) -> Value {
+        let mut map = Map::new();
+        map.insert("study".into(), Value::String(self.study.clone()));
+        let cells = self
+            .cells
+            .iter()
+            .map(|cell| {
+                let mut entry = Map::new();
+                entry.insert("job".into(), Value::String(cell.job.clone()));
+                entry.insert(
+                    "wall_clock_secs".into(),
+                    cell.wall_clock_secs.map_or(Value::Null, num),
+                );
+                Value::Object(entry)
+            })
+            .collect();
+        map.insert("cells".into(), Value::Array(cells));
+        Value::Object(map)
+    }
+
+    /// Write `{study}.json`, `{study}.csv` and `{study}.timing.json` into
+    /// `dir`, returning the path of the main JSON report.
+    pub fn write(&self, dir: impl AsRef<Path>) -> Result<PathBuf, StudyError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let json_path = dir.join(format!("{}.json", self.study));
+        std::fs::write(&json_path, self.to_json_string())?;
+        std::fs::write(dir.join(format!("{}.csv", self.study)), self.to_csv_string())?;
+        let timing = serde_json::to_string_pretty(&self.timing_value())
+            .expect("value serialisation cannot fail");
+        std::fs::write(dir.join(format!("{}.timing.json", self.study)), timing)?;
+        Ok(json_path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cell() -> CellReport {
+        CellReport {
+            job: "seq-es-pld-m300".into(),
+            chain: "seq-es".into(),
+            family: "pld".into(),
+            label: "pld-m300".into(),
+            nodes: 100,
+            edges: 297,
+            gamma: 2.5,
+            seed: 5,
+            graph_seed: 11,
+            supersteps: 16,
+            points: vec![(1, 0.875), (2, 0.5), (8, 0.125)],
+            proxy_supersteps: vec![8, 16],
+            triangles: vec![12, 9],
+            clustering: vec![0.25, 0.125],
+            assortativity: vec![Some(-0.125), None],
+            wall_clock_secs: Some(0.25),
+        }
+    }
+
+    fn sample_report() -> StudyReport {
+        StudyReport {
+            study: "unit".into(),
+            scale: "smoke".into(),
+            seed: 5,
+            supersteps: 16,
+            thinnings: vec![1, 2, 8],
+            cells: vec![sample_cell()],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything_but_timing() {
+        let report = sample_report();
+        let text = report.to_json_string();
+        let parsed = StudyReport::parse(&text).unwrap();
+        let mut expected = report.clone();
+        expected.cells[0].wall_clock_secs = None;
+        assert_eq!(parsed, expected);
+        // The wall clock must not leak into the deterministic document.
+        assert!(!text.contains("wall_clock"));
+    }
+
+    #[test]
+    fn serialisation_is_deterministic() {
+        assert_eq!(sample_report().to_json_string(), sample_report().to_json_string());
+    }
+
+    #[test]
+    fn csv_has_one_row_per_point() {
+        let csv = sample_report().to_csv_string();
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines.len(), 4, "header + 3 thinning points");
+        assert!(lines[0].starts_with("chain,family,label"));
+        assert!(lines[1].ends_with("16,1,0.875"));
+        assert!(lines[3].ends_with("16,8,0.125"));
+    }
+
+    #[test]
+    fn timing_sidecar_carries_the_wall_clock() {
+        let timing = sample_report().timing_value();
+        let cells = timing.get("cells").and_then(Value::as_array).unwrap();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].get("wall_clock_secs").and_then(Value::as_f64), Some(0.25));
+    }
+
+    #[test]
+    fn write_emits_all_three_files() {
+        let dir = std::env::temp_dir().join("gesmc-study-report-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = sample_report().write(&dir).unwrap();
+        assert!(path.ends_with("unit.json"));
+        for file in ["unit.json", "unit.csv", "unit.timing.json"] {
+            assert!(dir.join(file).exists(), "{file} missing");
+        }
+        let reparsed = StudyReport::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(reparsed.cells.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_reports_are_rejected() {
+        assert!(matches!(StudyReport::parse("nope"), Err(StudyError::Report(_))));
+        assert!(matches!(StudyReport::parse("{}"), Err(StudyError::Report(_))));
+        assert!(matches!(
+            StudyReport::parse(
+                r#"{"study": "x", "scale": "smoke", "seed": 1,
+                "supersteps": 4, "thinnings": [1], "cells": [{}]}"#
+            ),
+            Err(StudyError::Report(_))
+        ));
+    }
+}

@@ -14,7 +14,9 @@
 //! * [`concurrent`] — the concurrent hash sets and dependency tables;
 //! * [`randx`] — randomness utilities (bounded sampling, permutations);
 //! * [`engine`] — the batched randomization job engine: job queue + worker
-//!   pool, streaming thinned-sample sinks, binary checkpoint/resume.
+//!   pool, streaming thinned-sample sinks, binary checkpoint/resume;
+//! * [`study`] — end-to-end mixing-time experiments (Figs. 2-3): sweep
+//!   specs, streaming metric sinks, deterministic JSON/CSV reports.
 //!
 //! ## Quick start
 //!
@@ -46,6 +48,7 @@ pub use gesmc_datasets as datasets;
 pub use gesmc_engine as engine;
 pub use gesmc_graph as graph;
 pub use gesmc_randx as randx;
+pub use gesmc_study as study;
 
 /// The most commonly used items in one import.
 pub mod prelude {
@@ -60,6 +63,7 @@ pub mod prelude {
         SampleSink, WorkerPool,
     };
     pub use gesmc_graph::{DegreeSequence, Edge, EdgeListGraph};
+    pub use gesmc_study::{run_study, MetricsSink, StudyOptions, StudyReport, StudySpec};
 }
 
 #[cfg(test)]

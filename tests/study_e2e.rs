@@ -1,0 +1,147 @@
+//! End-to-end tests of the study pipeline (`gesmc-study`): a spec fans out
+//! over the worker pool, streams metrics, and lands in a deterministic
+//! report — the acceptance path of `gesmc study studies/fig2_smoke.json`.
+
+use gesmc::study::{run_study, StudyOptions, StudyReport, StudyScale, StudySpec};
+use std::path::{Path, PathBuf};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn small_spec() -> StudySpec {
+    StudySpec::parse(
+        r#"{
+            "name": "e2e",
+            "chains": ["seq-es", "seq-global-es", "par-global-es"],
+            "graphs": [
+                { "family": "gnp", "nodes": 60, "edges": 180 },
+                { "family": "pld", "nodes": 80, "edges": 200, "gamma": 2.5 }
+            ],
+            "thinnings": [1, 2, 4],
+            "supersteps": 10,
+            "seed": 7,
+            "workers": 2
+        }"#,
+    )
+    .unwrap()
+}
+
+#[test]
+fn study_covers_every_sweep_cell() {
+    let dir = temp_dir("gesmc-e2e-study-cells");
+    let opts = StudyOptions { output_dir: Some(dir.clone()), ..Default::default() };
+    let run = run_study(&small_spec(), &opts).unwrap();
+
+    // 3 chains x 2 graphs = 6 cells, each carrying every thinning point,
+    // its fraction, and the exact seeds.
+    assert_eq!(run.report.cells.len(), 6);
+    let mut seen = std::collections::HashSet::new();
+    for cell in &run.report.cells {
+        assert!(seen.insert((cell.chain.clone(), cell.label.clone())), "duplicate cell");
+        assert_eq!(
+            cell.points.iter().map(|&(k, _)| k).collect::<Vec<_>>(),
+            vec![1, 2, 4],
+            "cell {} must carry every thinning value",
+            cell.job
+        );
+        for &(_, frac) in &cell.points {
+            assert!((0.0..=1.0).contains(&frac));
+        }
+        assert!(cell.edges > 0 && cell.nodes > 0);
+        // Proxy traces are recorded at the largest thinning (4): supersteps
+        // 4 and 8 of the 10-superstep run.
+        assert_eq!(cell.proxy_supersteps, vec![4, 8]);
+        assert_eq!(cell.triangles.len(), 2);
+    }
+    // All three chains of one graph randomise the identical input.
+    let gnp_cells: Vec<_> = run.report.cells.iter().filter(|c| c.label == "gnp-m180").collect();
+    assert_eq!(gnp_cells.len(), 3);
+    assert!(gnp_cells.windows(2).all(|w| w[0].graph_seed == w[1].graph_seed));
+    assert!(gnp_cells.windows(2).all(|w| w[0].edges == w[1].edges));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn report_files_are_deterministic_and_parse_back() {
+    let dir_a = temp_dir("gesmc-e2e-study-det-a");
+    let dir_b = temp_dir("gesmc-e2e-study-det-b");
+    let spec = small_spec();
+    let run_a =
+        run_study(&spec, &StudyOptions { output_dir: Some(dir_a.clone()), ..Default::default() })
+            .unwrap();
+    let run_b =
+        run_study(&spec, &StudyOptions { output_dir: Some(dir_b.clone()), ..Default::default() })
+            .unwrap();
+
+    let json_a = std::fs::read_to_string(&run_a.json_path).unwrap();
+    let json_b = std::fs::read_to_string(&run_b.json_path).unwrap();
+    assert_eq!(json_a, json_b, "same spec, same scale => bit-identical JSON report");
+
+    let csv_a = std::fs::read_to_string(dir_a.join("e2e.csv")).unwrap();
+    let csv_b = std::fs::read_to_string(dir_b.join("e2e.csv")).unwrap();
+    assert_eq!(csv_a, csv_b);
+    assert_eq!(csv_a.trim_end().lines().count(), 1 + 6 * 3, "header + cells x thinnings");
+
+    let parsed = StudyReport::parse(&json_a).unwrap();
+    assert_eq!(parsed.cells.len(), 6);
+    assert_eq!(parsed.thinnings, vec![1, 2, 4]);
+
+    // The timing side-car exists and covers every cell (but is allowed to
+    // differ between runs).
+    let timing = std::fs::read_to_string(dir_a.join("e2e.timing.json")).unwrap();
+    for cell in &parsed.cells {
+        assert!(timing.contains(&cell.job), "timing side-car must cover {}", cell.job);
+    }
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn interrupted_study_resumes_from_completed_cells() {
+    let dir = temp_dir("gesmc-e2e-study-resume");
+    let spec = small_spec();
+    let opts = StudyOptions { output_dir: Some(dir.clone()), ..Default::default() };
+    let full = run_study(&spec, &opts).unwrap();
+
+    // Simulate an interruption that lost two of the six cell files.
+    let cells_dir = dir.join("e2e.cells");
+    let mut cell_files: Vec<_> =
+        std::fs::read_dir(&cells_dir).unwrap().map(|e| e.unwrap().path()).collect();
+    cell_files.sort();
+    assert_eq!(cell_files.len(), 6);
+    std::fs::remove_file(&cell_files[1]).unwrap();
+    std::fs::remove_file(&cell_files[4]).unwrap();
+
+    let resumed = run_study(
+        &spec,
+        &StudyOptions { output_dir: Some(dir.clone()), resume: true, ..Default::default() },
+    )
+    .unwrap();
+    assert_eq!(resumed.resumed_cells, 4, "four intact cells must be reloaded");
+    assert_eq!(
+        full.report.to_json_string(),
+        resumed.report.to_json_string(),
+        "resumed report must equal the uninterrupted one"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn committed_smoke_spec_is_valid_and_complete() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("studies/fig2_smoke.json");
+    let spec = StudySpec::from_file(&path).unwrap();
+    assert_eq!(spec.name, "fig2_smoke");
+    assert!(spec.chains.len() >= 2, "the smoke study must compare chains");
+    assert!(spec.graphs.len() >= 2, "the smoke study must cover graph families");
+    assert!(spec.thinnings.len() >= 3);
+    let smoke_cells = spec.cells(StudyScale::Smoke);
+    assert_eq!(smoke_cells.len(), spec.chains.len() * spec.graphs.len());
+    // Paper scale must scale up, not down.
+    assert!(spec.supersteps_at(StudyScale::Paper) > spec.supersteps_at(StudyScale::Smoke));
+    let paper_cells = spec.cells(StudyScale::Paper);
+    assert!(paper_cells[0].graph.edges > smoke_cells[0].graph.edges);
+}
