@@ -138,8 +138,9 @@ impl MixingProfile {
 /// `initial_graph`, and return the non-independence profile over `thinnings`.
 ///
 /// The chain is expected to start at `initial_graph`; the caller constructs it
-/// so that the same harness serves ES-MC, G-ES-MC and the baselines.
-pub fn mixing_profile<C: EdgeSwitching>(
+/// so that the same harness serves ES-MC, G-ES-MC and the baselines.  `C` may
+/// be unsized (`dyn EdgeSwitching`), so registry-built boxed chains fit.
+pub fn mixing_profile<C: EdgeSwitching + ?Sized>(
     chain: &mut C,
     initial_graph: &EdgeListGraph,
     supersteps: usize,

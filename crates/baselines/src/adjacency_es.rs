@@ -8,10 +8,13 @@
 //! operation.  On graphs with high-degree nodes this is the dominating cost,
 //! which is exactly the effect the runtime table demonstrates.
 
-use gesmc_core::{switch_targets, EdgeSwitching, SuperstepStats, SwitchRequest, SwitchingConfig};
+use gesmc_core::{
+    switch_targets, ChainSnapshot, EdgeSwitching, SnapshotError, SuperstepStats, SwitchRequest,
+    SwitchingConfig,
+};
 use gesmc_graph::{Edge, EdgeListGraph, Node};
 use gesmc_randx::bounded::UniformIndex;
-use gesmc_randx::{rng_from_seed, Rng};
+use gesmc_randx::{rng_from_seed, Rng, RngState};
 use rand::Rng as _;
 use std::time::Instant;
 
@@ -23,13 +26,28 @@ struct AdjacencyChain {
     neighbors: Vec<Vec<Node>>,
     sorted: bool,
     rng: Rng,
+    supersteps_done: u64,
+    config: SwitchingConfig,
 }
 
 impl AdjacencyChain {
     fn new(graph: EdgeListGraph, config: SwitchingConfig, sorted: bool) -> Self {
         let num_nodes = graph.num_nodes();
+        let edges = graph.into_edges();
+        Self {
+            num_nodes,
+            neighbors: Self::adjacency(num_nodes, &edges, sorted),
+            edges,
+            sorted,
+            rng: rng_from_seed(config.seed),
+            supersteps_done: 0,
+            config,
+        }
+    }
+
+    fn adjacency(num_nodes: usize, edges: &[Edge], sorted: bool) -> Vec<Vec<Node>> {
         let mut neighbors: Vec<Vec<Node>> = vec![Vec::new(); num_nodes];
-        for e in graph.edges() {
+        for e in edges {
             neighbors[e.u() as usize].push(e.v());
             neighbors[e.v() as usize].push(e.u());
         }
@@ -38,13 +56,7 @@ impl AdjacencyChain {
                 list.sort_unstable();
             }
         }
-        Self {
-            num_nodes,
-            edges: graph.into_edges(),
-            neighbors,
-            sorted,
-            rng: rng_from_seed(config.seed),
-        }
+        neighbors
     }
 
     fn has_edge(&self, u: Node, v: Node) -> bool {
@@ -124,6 +136,7 @@ impl AdjacencyChain {
         let start = Instant::now();
         let requested = self.edges.len() / 2;
         let legal = self.run_switches(requested);
+        self.supersteps_done += 1;
         SuperstepStats {
             requested,
             legal,
@@ -136,6 +149,41 @@ impl AdjacencyChain {
 
     fn graph(&self) -> EdgeListGraph {
         EdgeListGraph::from_edges_unchecked(self.num_nodes, self.edges.clone())
+    }
+
+    /// The trajectory depends on the edge array (switch requests index into
+    /// it) and the PRNG stream; the adjacency vectors are an index over the
+    /// edge array whose *internal order* never influences a decision
+    /// (membership scans and binary searches only), so restoring rebuilds
+    /// them from the captured edges.
+    fn snapshot(&self, algorithm: &'static str) -> ChainSnapshot {
+        ChainSnapshot {
+            algorithm: algorithm.to_string(),
+            num_nodes: self.num_nodes,
+            edges: self.edges.clone(),
+            rng: RngState::capture(&self.rng),
+            aux_seed_state: 0,
+            supersteps_done: self.supersteps_done,
+            seed: self.config.seed,
+            loop_probability: self.config.loop_probability,
+            prefetch: self.config.prefetch,
+        }
+    }
+
+    fn restore(
+        &mut self,
+        algorithm: &'static str,
+        snapshot: &ChainSnapshot,
+    ) -> Result<(), SnapshotError> {
+        snapshot.check_algorithm(algorithm)?;
+        snapshot.validate()?;
+        self.num_nodes = snapshot.num_nodes;
+        self.edges = snapshot.edges.clone();
+        self.neighbors = Self::adjacency(self.num_nodes, &self.edges, self.sorted);
+        self.rng = snapshot.rng.restore();
+        self.supersteps_done = snapshot.supersteps_done;
+        self.config = snapshot.config();
+        Ok(())
     }
 }
 
@@ -170,6 +218,12 @@ impl EdgeSwitching for AdjacencyListES {
     fn superstep(&mut self) -> SuperstepStats {
         self.inner.superstep()
     }
+    fn snapshot(&self) -> Option<ChainSnapshot> {
+        Some(self.inner.snapshot(self.name()))
+    }
+    fn restore(&mut self, snapshot: &ChainSnapshot) -> Result<(), SnapshotError> {
+        self.inner.restore("AdjacencyListES", snapshot)
+    }
 }
 
 /// Gengraph-style ES-MC baseline: sorted adjacency vectors with binary-search
@@ -197,6 +251,12 @@ impl EdgeSwitching for SortedAdjacencyES {
     }
     fn superstep(&mut self) -> SuperstepStats {
         self.inner.superstep()
+    }
+    fn snapshot(&self) -> Option<ChainSnapshot> {
+        Some(self.inner.snapshot(self.name()))
+    }
+    fn restore(&mut self, snapshot: &ChainSnapshot) -> Result<(), SnapshotError> {
+        self.inner.restore("SortedAdjacencyES", snapshot)
     }
 }
 
@@ -266,5 +326,39 @@ mod tests {
         let graph = EdgeListGraph::new(2, vec![Edge::new(0, 1)]).unwrap();
         let mut chain = AdjacencyListES::new(graph, SwitchingConfig::with_seed(7));
         assert_eq!(chain.superstep().legal, 0);
+    }
+
+    #[test]
+    fn resume_is_bit_identical_for_both_variants() {
+        fn check(make: impl Fn(EdgeListGraph) -> Box<dyn EdgeSwitching>) {
+            let graph = test_graph(11);
+            let mut uninterrupted = make(graph.clone());
+            uninterrupted.run_supersteps(7);
+
+            let mut interrupted = make(graph);
+            interrupted.run_supersteps(3);
+            let snap = interrupted.snapshot().unwrap();
+            assert_eq!(snap.supersteps_done, 3);
+
+            let mut resumed = make(test_graph(99));
+            resumed.restore(&snap).unwrap();
+            resumed.run_supersteps(4);
+            assert_eq!(resumed.graph().canonical_edges(), uninterrupted.graph().canonical_edges());
+        }
+        check(|g| Box::new(AdjacencyListES::new(g, SwitchingConfig::with_seed(13))));
+        check(|g| Box::new(SortedAdjacencyES::new(g, SwitchingConfig::with_seed(13))));
+    }
+
+    #[test]
+    fn restore_rejects_the_sibling_variant() {
+        // The two variants answer to distinct algorithm names; a snapshot of
+        // one must not restore into the other.
+        let sorted = SortedAdjacencyES::new(test_graph(1), SwitchingConfig::with_seed(1));
+        let snap = sorted.snapshot().unwrap();
+        let mut unsorted = AdjacencyListES::new(test_graph(1), SwitchingConfig::with_seed(1));
+        assert!(matches!(
+            unsorted.restore(&snap),
+            Err(gesmc_core::SnapshotError::AlgorithmMismatch { .. })
+        ));
     }
 }

@@ -10,10 +10,10 @@
 //! question, which is why it is included here as a baseline rather than a
 //! contribution).
 
-use gesmc_core::{EdgeSwitching, SuperstepStats, SwitchingConfig};
+use gesmc_core::{ChainSnapshot, EdgeSwitching, SnapshotError, SuperstepStats, SwitchingConfig};
 use gesmc_graph::{Edge, EdgeListGraph, Node};
 use gesmc_randx::permutation::{random_permutation, shuffle_in_place};
-use gesmc_randx::{rng_from_seed, Rng};
+use gesmc_randx::{rng_from_seed, Rng, RngState};
 use std::collections::HashSet;
 use std::time::Instant;
 
@@ -23,17 +23,30 @@ pub struct GlobalCurveball {
     /// Sorted adjacency sets (HashSet per node keeps trade updates simple).
     neighbors: Vec<HashSet<Node>>,
     rng: Rng,
+    supersteps_done: u64,
+    config: SwitchingConfig,
 }
 
 impl GlobalCurveball {
     /// Create a chain randomising `graph`.
     pub fn new(graph: EdgeListGraph, config: SwitchingConfig) -> Self {
-        let mut neighbors: Vec<HashSet<Node>> = vec![HashSet::new(); graph.num_nodes()];
-        for e in graph.edges() {
+        let num_nodes = graph.num_nodes();
+        Self {
+            num_nodes,
+            neighbors: Self::adjacency(num_nodes, graph.edges()),
+            rng: rng_from_seed(config.seed),
+            supersteps_done: 0,
+            config,
+        }
+    }
+
+    fn adjacency(num_nodes: usize, edges: &[Edge]) -> Vec<HashSet<Node>> {
+        let mut neighbors: Vec<HashSet<Node>> = vec![HashSet::new(); num_nodes];
+        for e in edges {
             neighbors[e.u() as usize].insert(e.v());
             neighbors[e.v() as usize].insert(e.u());
         }
-        Self { num_nodes: graph.num_nodes(), neighbors, rng: rng_from_seed(config.seed) }
+        neighbors
     }
 
     /// Perform a single trade between nodes `a` and `b`.
@@ -136,6 +149,7 @@ impl EdgeSwitching for GlobalCurveball {
         let start = Instant::now();
         let requested = self.num_nodes / 2;
         self.global_trade();
+        self.supersteps_done += 1;
         SuperstepStats {
             requested,
             legal: requested,
@@ -144,6 +158,42 @@ impl EdgeSwitching for GlobalCurveball {
             round_durations: vec![start.elapsed()],
             duration: start.elapsed(),
         }
+    }
+
+    /// The chain's trajectory is a function of the adjacency *sets* and the
+    /// PRNG stream alone (each trade sorts the exclusive-neighbour lists
+    /// before shuffling), so the snapshot stores the canonical edge set — the
+    /// instance-specific hash-set iteration order need not be captured.
+    fn snapshot(&self) -> Option<ChainSnapshot> {
+        let mut edges = Vec::with_capacity(self.edge_count());
+        for (u, nbrs) in self.neighbors.iter().enumerate() {
+            let u = u as Node;
+            let mut out: Vec<Node> = nbrs.iter().copied().filter(|&v| u < v).collect();
+            out.sort_unstable();
+            edges.extend(out.into_iter().map(|v| Edge::new(u, v)));
+        }
+        Some(ChainSnapshot {
+            algorithm: self.name().to_string(),
+            num_nodes: self.num_nodes,
+            edges,
+            rng: RngState::capture(&self.rng),
+            aux_seed_state: 0,
+            supersteps_done: self.supersteps_done,
+            seed: self.config.seed,
+            loop_probability: self.config.loop_probability,
+            prefetch: self.config.prefetch,
+        })
+    }
+
+    fn restore(&mut self, snapshot: &ChainSnapshot) -> Result<(), SnapshotError> {
+        snapshot.check_algorithm(self.name())?;
+        snapshot.validate()?;
+        self.num_nodes = snapshot.num_nodes;
+        self.neighbors = Self::adjacency(snapshot.num_nodes, &snapshot.edges);
+        self.rng = snapshot.rng.restore();
+        self.supersteps_done = snapshot.supersteps_done;
+        self.config = snapshot.config();
+        Ok(())
     }
 }
 
@@ -199,5 +249,39 @@ mod tests {
         let mut chain = GlobalCurveball::new(graph, SwitchingConfig::with_seed(6));
         chain.superstep();
         assert_eq!(chain.graph().num_edges(), 0);
+    }
+
+    #[test]
+    fn resume_is_bit_identical() {
+        let graph = test_graph(8);
+        let mut uninterrupted = GlobalCurveball::new(graph.clone(), SwitchingConfig::with_seed(9));
+        uninterrupted.run_supersteps(7);
+
+        let mut interrupted = GlobalCurveball::new(graph, SwitchingConfig::with_seed(9));
+        interrupted.run_supersteps(3);
+        let snap = interrupted.snapshot().unwrap();
+        assert_eq!(snap.supersteps_done, 3);
+
+        // Restore into a chain built from an unrelated placeholder graph, as
+        // the engine's resume path does.
+        let mut resumed = GlobalCurveball::new(test_graph(99), SwitchingConfig::with_seed(1));
+        resumed.restore(&snap).unwrap();
+        resumed.run_supersteps(4);
+        assert_eq!(resumed.graph().canonical_edges(), uninterrupted.graph().canonical_edges());
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_restore_rejects_foreign_algorithms() {
+        let chain = GlobalCurveball::new(test_graph(2), SwitchingConfig::with_seed(3));
+        // The hash-set iteration order must not leak into the snapshot bytes.
+        assert_eq!(chain.snapshot(), chain.snapshot());
+
+        let mut other = GlobalCurveball::new(test_graph(2), SwitchingConfig::with_seed(3));
+        let mut foreign = chain.snapshot().unwrap();
+        foreign.algorithm = "SeqES".to_string();
+        assert!(matches!(
+            other.restore(&foreign),
+            Err(gesmc_core::SnapshotError::AlgorithmMismatch { .. })
+        ));
     }
 }

@@ -26,6 +26,8 @@
 
 pub mod adjacency_es;
 pub mod curveball;
+pub mod registry;
 
 pub use adjacency_es::{AdjacencyListES, SortedAdjacencyES};
 pub use curveball::GlobalCurveball;
+pub use registry::register_baselines;

@@ -1,0 +1,81 @@
+//! Registry hook: make the baselines reachable by name everywhere.
+//!
+//! [`register_baselines`] adds this crate's three chains to a
+//! [`ChainRegistry`], so the engine, study runner and CLI can select them
+//! exactly like the core chains (`gesmc_engine::default_registry()` calls
+//! this on top of [`ChainRegistry::with_core_chains`]).
+
+use crate::{AdjacencyListES, GlobalCurveball, SortedAdjacencyES};
+use gesmc_core::registry::{ChainInfo, ChainRegistry, COMMON_PARAMS};
+
+/// Register `global-curveball` (alias `curveball`), `adjacency-es`, and
+/// `sorted-adjacency-es` into `registry`.
+///
+/// # Panics
+///
+/// If any of those names is already registered (see
+/// [`ChainRegistry::register`]).
+pub fn register_baselines(registry: &mut ChainRegistry) {
+    registry.register(ChainInfo {
+        name: "global-curveball",
+        chain_name: "GlobalCurveball",
+        aliases: &["curveball"],
+        summary: "sequential Global Curveball: whole-neighbourhood trades over a random perfect \
+                  matching (related work [42]/[46])",
+        exact: true,
+        parallel: false,
+        snapshot: true,
+        params: COMMON_PARAMS,
+        factory: |graph, config, _| Ok(Box::new(GlobalCurveball::new(graph, config))),
+    });
+    registry.register(ChainInfo {
+        name: "adjacency-es",
+        chain_name: "AdjacencyListES",
+        aliases: &[],
+        summary: "NetworKit-style ES-MC on unsorted adjacency lists with linear-scan existence \
+                  queries (Fig. 4 baseline)",
+        exact: true,
+        parallel: false,
+        snapshot: true,
+        params: COMMON_PARAMS,
+        factory: |graph, config, _| Ok(Box::new(AdjacencyListES::new(graph, config))),
+    });
+    registry.register(ChainInfo {
+        name: "sorted-adjacency-es",
+        chain_name: "SortedAdjacencyES",
+        aliases: &[],
+        summary: "Gengraph-style ES-MC on sorted adjacency vectors with binary-search existence \
+                  queries (Fig. 4 baseline)",
+        exact: true,
+        parallel: false,
+        snapshot: true,
+        params: COMMON_PARAMS,
+        factory: |graph, config, _| Ok(Box::new(SortedAdjacencyES::new(graph, config))),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gesmc_core::ChainSpec;
+    use gesmc_graph::gen::gnp;
+    use gesmc_randx::rng_from_seed;
+
+    #[test]
+    fn baselines_register_build_and_preserve_degrees() {
+        let mut registry = ChainRegistry::with_core_chains();
+        register_baselines(&mut registry);
+        assert_eq!(registry.len(), 8);
+        for name in ["global-curveball", "adjacency-es", "sorted-adjacency-es"] {
+            let info = registry.resolve(name).unwrap();
+            let graph = gnp(&mut rng_from_seed(1), 80, 0.08);
+            let degrees = graph.degrees();
+            let mut chain = registry.build(&ChainSpec::new(name), graph, 2).unwrap();
+            assert_eq!(chain.name(), info.chain_name);
+            chain.superstep();
+            assert_eq!(chain.graph().degrees(), degrees, "{name}");
+            assert!(chain.snapshot().is_some(), "{name} must be checkpointable");
+        }
+        assert_eq!(registry.resolve("curveball").unwrap().name, "global-curveball");
+    }
+}

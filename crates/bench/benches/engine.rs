@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gesmc_bench::Scale;
 use gesmc_datasets::syn_pld_graph;
-use gesmc_engine::{Algorithm, GraphSource, JobQueue, JobSpec, NullSink, QueuedJob, WorkerPool};
+use gesmc_engine::{ChainSpec, GraphSource, JobQueue, JobSpec, NullSink, QueuedJob, WorkerPool};
 use gesmc_graph::EdgeListGraph;
 
 fn scale_from_args() -> Scale {
@@ -25,7 +25,7 @@ fn build_queue(graph: &EdgeListGraph, jobs: usize, supersteps: u64, thinning: u6
         let spec = JobSpec::new(
             format!("bench{i}"),
             GraphSource::InMemory(graph.clone()),
-            Algorithm::ParGlobalES,
+            ChainSpec::new("par-global-es"),
         )
         .supersteps(supersteps)
         .thinning(thinning)

@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gesmc_bench::Scale;
 use gesmc_datasets::syn_pld_graph;
-use gesmc_engine::{run_job, Algorithm, GraphSource, JobSpec};
+use gesmc_engine::{run_job, ChainSpec, GraphSource, JobSpec};
 use gesmc_study::{run_study, MetricsSink, StudyOptions, StudySpec};
 
 fn scale_from_args() -> Scale {
@@ -74,7 +74,7 @@ fn bench_study(c: &mut Criterion) {
                 let job = JobSpec::new(
                     "sink-bench",
                     GraphSource::InMemory(graph.clone()),
-                    Algorithm::SeqGlobalES,
+                    ChainSpec::new("seq-global-es"),
                 )
                 .supersteps(supersteps)
                 .thinning(1)

@@ -2,37 +2,42 @@
 //!
 //! ```text
 //! USAGE:
-//!   gesmc randomize --input graph.txt --output out.txt [--algo par-global-es]
-//!                   [--supersteps 20] [--seed 1] [--threads N]
-//!   gesmc generate  --family {gnp,pld,road,mesh,dense} --edges M [--nodes N]
-//!                   [--gamma 2.5] --output graph.txt [--seed 1]
-//!   gesmc analyze   --input graph.txt [--algo seq-global-es] [--supersteps 30]
-//!                   [--seed 1]
-//!   gesmc batch     manifest.json [--workers N]
-//!   gesmc resume    job.ckpt [--samples-dir DIR] [--supersteps T] [--threads N]
-//!                   [--checkpoint-every K [--checkpoint-dir DIR]]
-//!   gesmc study     study.json [--scale smoke|paper] [--workers N]
-//!                   [--threads-per-job N] [--output-dir DIR] [--resume]
+//!   gesmc randomize  --input graph.txt --output out.txt [--algo par-global-es?pl=0.001]
+//!                    [--supersteps 20] [--seed 1] [--threads N]
+//!   gesmc generate   --family {gnp,pld,road,mesh,dense} --edges M [--nodes N]
+//!                    [--gamma 2.5] --output graph.txt [--seed 1]
+//!   gesmc analyze    --input graph.txt [--algo seq-global-es] [--supersteps 30]
+//!                    [--seed 1]
+//!   gesmc algorithms [--names]
+//!   gesmc batch      manifest.json [--workers N]
+//!   gesmc resume     job.ckpt [--samples-dir DIR] [--supersteps T] [--threads N]
+//!                    [--checkpoint-every K [--checkpoint-dir DIR]]
+//!   gesmc study      study.json [--scale smoke|paper] [--workers N]
+//!                    [--threads-per-job N] [--output-dir DIR] [--resume]
 //! ```
 //!
 //! The CLI exercises the same public API as the examples and benchmarks: it
-//! reads/writes plain-text edge lists, randomises with any of the implemented
-//! chains, runs the autocorrelation analysis on small graphs, drives the
-//! batched job engine (`gesmc-engine`) for multi-job manifests with
-//! checkpoint/resume, and runs end-to-end mixing-time studies
-//! (`gesmc-study`, the data behind the paper's Figs. 2-3).
+//! reads/writes plain-text edge lists, randomises with any registered chain,
+//! runs the autocorrelation analysis on small graphs, drives the batched job
+//! engine (`gesmc-engine`) for multi-job manifests with checkpoint/resume,
+//! and runs end-to-end mixing-time studies (`gesmc-study`, the data behind
+//! the paper's Figs. 2-3).
+//!
+//! Everywhere a chain is named, the spelling is a
+//! [`ChainSpec`] resolved against the engine's
+//! [`default_registry`] — core chains and baselines alike, with optional
+//! parameters (`par-global-es?pl=0.001&prefetch=off`).  `gesmc algorithms`
+//! lists the registry, so the CLI's algorithm set can never drift from the
+//! engine's.
 //!
 //! All failures are reported on stderr with a nonzero exit code; the CLI
 //! never panics on bad input.
 
 use gesmc_analysis::mixing_profile;
-use gesmc_baselines::{AdjacencyListES, GlobalCurveball, SortedAdjacencyES};
-use gesmc_core::{
-    EdgeSwitching, NaiveParES, ParES, ParGlobalES, SeqES, SeqGlobalES, SwitchingConfig,
-};
+use gesmc_core::{ChainSpec, EdgeSwitching};
 use gesmc_datasets::{netrep_like::family_graph, syn_gnp_graph, syn_pld_graph, GraphFamily};
 use gesmc_engine::{
-    run_batch, Algorithm, Checkpoint, EdgeListFileSink, GraphSource, JobSpec, Manifest,
+    default_registry, run_batch, Checkpoint, EdgeListFileSink, GraphSource, JobSpec, Manifest,
 };
 use gesmc_graph::io::{read_edge_list_file, write_edge_list_file};
 use gesmc_graph::EdgeListGraph;
@@ -47,18 +52,22 @@ fn print_usage() {
         "gesmc — uniform sampling of simple graphs with prescribed degrees\n\
          \n\
          Subcommands:\n\
-           randomize --input FILE --output FILE [--algo NAME] [--supersteps K] [--seed S] [--threads P]\n\
-           generate  --family {{gnp,pld,road,mesh,dense}} --edges M [--nodes N] [--gamma G] --output FILE [--seed S]\n\
-           analyze   --input FILE [--algo NAME] [--supersteps K] [--seed S]\n\
-           batch     MANIFEST.json [--workers N]\n\
-           resume    JOB.ckpt [--samples-dir DIR] [--supersteps T] [--threads P]\n\
-                     [--checkpoint-every K [--checkpoint-dir DIR]]\n\
-           study     STUDY.json [--scale {{smoke,paper}}] [--workers N]\n\
-                     [--threads-per-job P] [--output-dir DIR] [--resume]\n\
+           randomize  --input FILE --output FILE [--algo SPEC] [--supersteps K] [--seed S] [--threads P]\n\
+           generate   --family {{gnp,pld,road,mesh,dense}} --edges M [--nodes N] [--gamma G] --output FILE [--seed S]\n\
+           analyze    --input FILE [--algo SPEC] [--supersteps K] [--seed S]\n\
+           algorithms [--names]\n\
+           batch      MANIFEST.json [--workers N]\n\
+           resume     JOB.ckpt [--samples-dir DIR] [--supersteps T] [--threads P]\n\
+                      [--checkpoint-every K [--checkpoint-dir DIR]]\n\
+           study      STUDY.json [--scale {{smoke,paper}}] [--workers N]\n\
+                      [--threads-per-job P] [--output-dir DIR] [--resume]\n\
          \n\
-         Algorithms: seq-es, seq-global-es, par-es, par-global-es, naive-par-es,\n\
-                     adjacency-es, sorted-adjacency-es, curveball\n\
-         (batch/resume support the five checkpointable chains of gesmc-core)"
+         An algorithm SPEC is a registered chain name with optional parameters,\n\
+         e.g. par-global-es, global-curveball, or par-global-es?pl=0.001&prefetch=off.\n\
+         Run `gesmc algorithms` for the full registry ({} chains), parameters and\n\
+         capabilities; every listed chain works in randomize/analyze/batch/study\n\
+         and checkpoints/resumes.",
+        default_registry().len()
     );
 }
 
@@ -146,22 +155,14 @@ fn reject_unknown_flags(
     ))
 }
 
+/// Parse an `--algo` value and build the chain through the default registry.
 fn build_chain(
-    name: &str,
+    spec_text: &str,
     graph: EdgeListGraph,
-    config: SwitchingConfig,
-) -> Result<Box<dyn EdgeSwitching>, String> {
-    Ok(match name {
-        "seq-es" => Box::new(SeqES::new(graph, config)),
-        "seq-global-es" => Box::new(SeqGlobalES::new(graph, config)),
-        "par-es" => Box::new(ParES::new(graph, config)),
-        "par-global-es" => Box::new(ParGlobalES::new(graph, config)),
-        "naive-par-es" => Box::new(NaiveParES::new(graph, config)),
-        "adjacency-es" => Box::new(AdjacencyListES::new(graph, config)),
-        "sorted-adjacency-es" => Box::new(SortedAdjacencyES::new(graph, config)),
-        "curveball" => Box::new(GlobalCurveball::new(graph, config)),
-        other => return Err(format!("unknown algorithm {other:?}")),
-    })
+    seed: u64,
+) -> Result<Box<dyn EdgeSwitching + Send>, String> {
+    let spec = ChainSpec::parse(spec_text).map_err(|e| format!("{e}"))?;
+    default_registry().build(&spec, graph, seed).map_err(|e| format!("{e}"))
 }
 
 fn cmd_randomize(positional: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
@@ -193,7 +194,7 @@ fn cmd_randomize(positional: &[String], flags: &HashMap<String, String>) -> Resu
         degrees.max_degree()
     );
 
-    let mut chain = build_chain(algo, graph, SwitchingConfig::with_seed(seed))?;
+    let mut chain = build_chain(algo, graph, seed)?;
     let stats = chain.run_supersteps(supersteps);
     let result = chain.graph();
     if result.degrees() != degrees {
@@ -261,30 +262,64 @@ fn cmd_analyze(positional: &[String], flags: &HashMap<String, String>) -> Result
     let thinnings: Vec<usize> =
         (0..).map(|i| 1usize << i).take_while(|&k| k <= supersteps.max(1)).collect();
 
-    // The generic harness needs a concrete type, so dispatch manually.
-    let profile = match algo {
-        "seq-es" => {
-            let mut c = SeqES::new(graph.clone(), SwitchingConfig::with_seed(seed));
-            mixing_profile(&mut c, &graph, supersteps, &thinnings)
-        }
-        "seq-global-es" => {
-            let mut c = SeqGlobalES::new(graph.clone(), SwitchingConfig::with_seed(seed));
-            mixing_profile(&mut c, &graph, supersteps, &thinnings)
-        }
-        "par-global-es" => {
-            let mut c = ParGlobalES::new(graph.clone(), SwitchingConfig::with_seed(seed));
-            mixing_profile(&mut c, &graph, supersteps, &thinnings)
-        }
-        other => {
-            return Err(format!(
-                "analyze supports seq-es, seq-global-es, par-global-es; got {other:?}"
-            ))
-        }
-    };
+    // Any registered chain analyses: the harness only needs `EdgeSwitching`.
+    let mut chain = build_chain(algo, graph.clone(), seed)?;
+    let profile = mixing_profile(chain.as_mut(), &graph, supersteps, &thinnings);
 
     println!("algorithm,thinning,non_independent_fraction");
     for (k, frac) in &profile.points {
         println!("{},{k},{frac:.6}", profile.chain);
+    }
+    Ok(())
+}
+
+/// `gesmc algorithms`: list every registered chain with its parameters,
+/// defaults and capabilities — sourced from the default registry, so the
+/// listing can never drift from what the engine actually builds.
+fn cmd_algorithms(positional: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+    no_positionals("algorithms", positional)?;
+    reject_unknown_flags("algorithms", flags, &["names"])?;
+    let registry = default_registry();
+    if flags.contains_key("names") {
+        for info in registry.infos() {
+            println!("{}", info.name);
+        }
+        return Ok(());
+    }
+    println!("{} registered chains (spec syntax: name[?param=value&...]):", registry.len());
+    for info in registry.infos() {
+        let mut capabilities = vec![
+            if info.exact { "exact" } else { "inexact" },
+            if info.parallel { "parallel" } else { "sequential" },
+        ];
+        if info.snapshot {
+            capabilities.push("snapshot/resume");
+        }
+        println!();
+        if info.aliases.is_empty() {
+            println!("{}  [{}]", info.name, capabilities.join(", "));
+        } else {
+            println!(
+                "{}  [{}]  (alias: {})",
+                info.name,
+                capabilities.join(", "),
+                info.aliases.join(", ")
+            );
+        }
+        println!("    {}", info.summary);
+        if info.params.is_empty() {
+            println!("    parameters: none");
+        } else {
+            for param in info.params {
+                println!(
+                    "    {} ({}, default {}): {}",
+                    param.name,
+                    param.kind.name(),
+                    param.default,
+                    param.doc
+                );
+            }
+        }
     }
     Ok(())
 }
@@ -342,15 +377,21 @@ fn cmd_resume(positional: &[String], flags: &HashMap<String, String>) -> Result<
         &["samples-dir", "supersteps", "threads", "checkpoint-every", "checkpoint-dir"],
     )?;
     let checkpoint = Checkpoint::read_from_file(checkpoint_path).map_err(|e| format!("{e}"))?;
-    let algorithm = checkpoint.algorithm().map_err(|e| format!("{e}"))?;
+    // Resolve the checkpoint header through the registry (it accepts the
+    // recorded chain name); unknown chains fail here with the known list.
+    let info = default_registry().resolve(checkpoint.chain_name()).map_err(|e| format!("{e}"))?;
     let graph = checkpoint.snapshot.graph().map_err(|e| format!("{e}"))?;
 
-    let mut spec =
-        JobSpec::new(checkpoint.job_name.clone(), GraphSource::InMemory(graph), algorithm)
-            .supersteps(checkpoint.total_supersteps)
-            .thinning(checkpoint.thinning)
-            .seed(checkpoint.snapshot.seed);
-    spec.loop_probability = checkpoint.snapshot.loop_probability;
+    let mut spec = JobSpec::new(
+        checkpoint.job_name.clone(),
+        GraphSource::InMemory(graph),
+        ChainSpec::new(info.name),
+    )
+    .supersteps(checkpoint.total_supersteps)
+    .thinning(checkpoint.thinning)
+    .seed(checkpoint.snapshot.seed)
+    .loop_probability(checkpoint.snapshot.loop_probability)
+    .prefetch(checkpoint.snapshot.prefetch);
     if let Some(supersteps) = parse_flag::<u64>(flags, "supersteps")? {
         if supersteps <= checkpoint.snapshot.supersteps_done {
             return Err(format!(
@@ -363,14 +404,17 @@ fn cmd_resume(positional: &[String], flags: &HashMap<String, String>) -> Result<
     if let Some(threads) = parse_flag::<usize>(flags, "threads")? {
         spec.threads = Some(threads);
     }
-    // The inexact baseline's switch interleaving is racy across threads, so
-    // its resumed trajectory is only a function of the checkpoint state under
-    // a single-threaded pool (see `NaiveParES::snapshot`).
-    if algorithm == Algorithm::NaiveParES && spec.threads != Some(1) {
+    // Inexact parallel chains (naive-par-es) interleave switches racily
+    // across threads, so their resumed trajectory is only a function of the
+    // checkpoint state under a single-threaded pool (see
+    // `NaiveParES::snapshot`).  The registry's capability flags identify
+    // them.
+    if info.parallel && !info.exact && spec.threads != Some(1) {
         eprintln!(
-            "warning: resuming a naive-par-es checkpoint with more than one thread; \
+            "warning: resuming a {} checkpoint with more than one thread; \
              the interleaving of switches is racy, so the resumed run will NOT be \
-             bit-identical to the uninterrupted one (pass --threads 1 for reproducibility)"
+             bit-identical to the uninterrupted one (pass --threads 1 for reproducibility)",
+            info.name
         );
     }
     // Keep checkpointing during the resumed run, so a second interruption
@@ -393,10 +437,7 @@ fn cmd_resume(positional: &[String], flags: &HashMap<String, String>) -> Result<
     let samples_dir = flags.get("samples-dir").map(String::as_str).unwrap_or("samples");
     eprintln!(
         "resuming {:?} ({}) at superstep {} of {}, samples -> {samples_dir}",
-        checkpoint.job_name,
-        algorithm.cli_name(),
-        checkpoint.snapshot.supersteps_done,
-        spec.supersteps
+        checkpoint.job_name, info.name, checkpoint.snapshot.supersteps_done, spec.supersteps
     );
 
     let mut sink =
@@ -478,7 +519,7 @@ fn main() -> ExitCode {
         print_usage();
         return ExitCode::FAILURE;
     };
-    let (positional, flags) = match parse_args(rest, &["resume"]) {
+    let (positional, flags) = match parse_args(rest, &["resume", "names"]) {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("error: {e}");
@@ -490,6 +531,7 @@ fn main() -> ExitCode {
         "randomize" => cmd_randomize(&positional, &flags),
         "generate" => cmd_generate(&positional, &flags),
         "analyze" => cmd_analyze(&positional, &flags),
+        "algorithms" => cmd_algorithms(&positional, &flags),
         "batch" => cmd_batch(&positional, &flags),
         "resume" => cmd_resume(&positional, &flags),
         "study" => cmd_study(&positional, &flags),

@@ -28,8 +28,14 @@ impl SwitchingConfig {
     }
 
     /// Builder-style override of `P_L`.
+    ///
+    /// # Panics
+    ///
+    /// If `p` is outside `[0, 1)`.  This is the programmer-facing builder;
+    /// user input should go through [`ChainSpec`](crate::ChainSpec), whose
+    /// validation reports errors instead of panicking.
     pub fn loop_probability(mut self, p: f64) -> Self {
-        assert!((0.0..1.0).contains(&p) && p >= 0.0, "P_L must lie in [0, 1)");
+        assert!((0.0..1.0).contains(&p), "P_L must lie in [0, 1)");
         self.loop_probability = p;
         self
     }
@@ -80,7 +86,10 @@ pub trait EdgeSwitching {
     /// Restoring the returned snapshot (into a chain of the same algorithm)
     /// and continuing yields a run *bit-identical* to never having been
     /// interrupted.  Returns `None` for implementations that do not support
-    /// snapshots (the baselines); all five chains of `gesmc-core` do.
+    /// snapshots; all five chains of `gesmc-core` and all three
+    /// `gesmc-baselines` chains do (a chain's
+    /// [`ChainInfo::snapshot`](crate::ChainInfo::snapshot) capability flag
+    /// records it).
     ///
     /// **Exception**: the inexact [`NaiveParES`](crate::NaiveParES) baseline
     /// interleaves switches racily across threads, so its resumes are

@@ -42,9 +42,11 @@ pub mod chain;
 pub mod naive_par;
 pub mod par_es;
 pub mod par_global;
+pub mod registry;
 pub mod seq_es;
 pub mod seq_global;
 pub mod snapshot;
+pub mod spec;
 pub mod stats;
 pub mod superstep;
 pub mod switch;
@@ -53,8 +55,10 @@ pub use chain::{EdgeSwitching, SwitchingConfig};
 pub use naive_par::NaiveParES;
 pub use par_es::ParES;
 pub use par_global::ParGlobalES;
+pub use registry::{ChainFactory, ChainInfo, ChainRegistry, ParamInfo, ParamKind};
 pub use seq_es::SeqES;
 pub use seq_global::SeqGlobalES;
 pub use snapshot::{ChainSnapshot, SnapshotError};
+pub use spec::{ChainError, ChainSpec, ParamValue};
 pub use stats::{ChainStats, SuperstepStats};
 pub use switch::{switch_targets, SwitchRequest};

@@ -99,8 +99,9 @@ impl ChainSnapshot {
         self.graph().map(|_| ())
     }
 
-    /// Guard used by the chain `restore` implementations.
-    pub(crate) fn check_algorithm(&self, expected: &'static str) -> Result<(), SnapshotError> {
+    /// Guard used by the chain `restore` implementations (also available to
+    /// chains implemented outside this crate, e.g. the baselines).
+    pub fn check_algorithm(&self, expected: &'static str) -> Result<(), SnapshotError> {
         if self.algorithm == expected {
             Ok(())
         } else {

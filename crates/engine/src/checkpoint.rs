@@ -25,12 +25,16 @@
 //! num_nodes       8  u64
 //! num_edges       8  u64
 //! edges       m × 8  (u32 u, u32 v) per edge, slot order
+//! chain spec  8 + len   u64 length + UTF-8 canonical ChainSpec string
+//!                       (OPTIONAL trailing field: absent in files written
+//!                       before the registry redesign, which therefore keep
+//!                       loading; carries chain-specific parameters so
+//!                       factories see them again on resume)
 //! checksum        8  u64 FNV-1a over all preceding bytes
 //! ```
 
 use crate::error::EngineError;
-use crate::job::Algorithm;
-use gesmc_core::{ChainSnapshot, EdgeSwitching};
+use gesmc_core::{ChainSnapshot, ChainSpec, EdgeSwitching, SnapshotError};
 use gesmc_graph::Edge;
 use gesmc_randx::RngState;
 use std::path::Path;
@@ -46,6 +50,11 @@ pub struct Checkpoint {
     pub job_name: String,
     /// The chain state.
     pub snapshot: ChainSnapshot,
+    /// The job's full [`ChainSpec`], so chain-specific parameters reach the
+    /// factory again on resume.  `None` for checkpoints written before the
+    /// registry redesign (their chains take no parameters beyond the
+    /// `pl`/`prefetch` pair already carried by the snapshot).
+    pub algorithm_spec: Option<ChainSpec>,
     /// The job's total superstep target.
     pub total_supersteps: u64,
     /// The job's thinning interval.
@@ -105,30 +114,43 @@ impl<'a> Cursor<'a> {
 impl Checkpoint {
     /// Capture a running chain together with its job progress.
     ///
-    /// Fails with [`EngineError::UnknownAlgorithm`] for chains that do not
-    /// support snapshots (the baselines).
+    /// Fails with [`SnapshotError::Unsupported`] (wrapped in
+    /// [`EngineError::Snapshot`]) for chains that do not support snapshots.
     pub fn capture(
         job_name: &str,
         chain: &dyn EdgeSwitching,
+        algorithm: &ChainSpec,
         total_supersteps: u64,
         thinning: u64,
         samples_emitted: u64,
     ) -> Result<Self, EngineError> {
         let snapshot = chain
             .snapshot()
-            .ok_or_else(|| EngineError::UnknownAlgorithm(chain.name().to_string()))?;
+            .ok_or(EngineError::Snapshot(SnapshotError::Unsupported(chain.name())))?;
         Ok(Self {
             job_name: job_name.to_string(),
             snapshot,
+            algorithm_spec: Some(algorithm.clone()),
             total_supersteps,
             thinning,
             samples_emitted,
         })
     }
 
-    /// The algorithm recorded in the checkpoint.
-    pub fn algorithm(&self) -> Result<Algorithm, EngineError> {
-        Algorithm::from_chain_name(&self.snapshot.algorithm)
+    /// The chain name recorded in the checkpoint header (e.g. `SeqES`,
+    /// `GlobalCurveball`) — resolvable by any
+    /// [`ChainRegistry`](gesmc_core::ChainRegistry) that registered the
+    /// chain, including [`default_registry`](crate::default_registry).
+    pub fn chain_name(&self) -> &str {
+        &self.snapshot.algorithm
+    }
+
+    /// The [`ChainSpec`] to rebuild the chain from on resume: the stored
+    /// spec when the file carries one, otherwise (legacy files) a bare spec
+    /// naming the chain via the header's chain name, which every registry
+    /// spelling resolves.
+    pub fn chain_spec(&self) -> ChainSpec {
+        self.algorithm_spec.clone().unwrap_or_else(|| ChainSpec::new(self.chain_name()))
     }
 
     /// Serialise to the binary format.
@@ -158,6 +180,13 @@ impl Checkpoint {
         for edge in &snap.edges {
             out.extend_from_slice(&edge.u().to_le_bytes());
             out.extend_from_slice(&edge.v().to_le_bytes());
+        }
+        // Optional trailing field: the canonical chain spec.  Omitted when
+        // absent (legacy round-trips stay byte-identical).
+        if let Some(spec) = &self.algorithm_spec {
+            let text = spec.to_string();
+            out.extend_from_slice(&(text.len() as u64).to_le_bytes());
+            out.extend_from_slice(text.as_bytes());
         }
         let checksum = fnv1a(&out);
         out.extend_from_slice(&checksum.to_le_bytes());
@@ -191,9 +220,10 @@ impl Checkpoint {
         }
         let flags = cursor.u32()?;
         let job_name = cursor.string()?;
+        // The chain name is resolved against a registry at *build* time, not
+        // here: a checkpoint of a chain this build does not know still parses
+        // (and resuming it reports the unknown name with the known list).
         let algorithm = cursor.string()?;
-        // Reject unknown algorithms up front so resume errors are readable.
-        Algorithm::from_chain_name(&algorithm)?;
         let seed = cursor.u64()?;
         let loop_probability = f64::from_bits(cursor.u64()?);
         if !(0.0..1.0).contains(&loop_probability) {
@@ -222,6 +252,16 @@ impl Checkpoint {
             let v = u32::from_le_bytes(cursor.take(4)?.try_into().expect("length checked"));
             edges.push(Edge::new(u, v));
         }
+        // Files from before the registry redesign end right after the edge
+        // list; newer files append the canonical chain spec.
+        let algorithm_spec = if cursor.pos == payload.len() {
+            None
+        } else {
+            let text = cursor.string()?;
+            Some(ChainSpec::parse(&text).map_err(|e| {
+                EngineError::Checkpoint(format!("malformed chain spec {text:?}: {e}"))
+            })?)
+        };
         if cursor.pos != payload.len() {
             return Err(EngineError::Checkpoint(format!(
                 "{} trailing bytes after edge list",
@@ -241,7 +281,7 @@ impl Checkpoint {
             prefetch: flags & FLAG_PREFETCH != 0,
         };
         snapshot.validate()?;
-        Ok(Self { job_name, snapshot, total_supersteps, thinning, samples_emitted })
+        Ok(Self { job_name, snapshot, algorithm_spec, total_supersteps, thinning, samples_emitted })
     }
 
     /// Write the checkpoint to a file (atomically via a sibling temp file, so
@@ -266,33 +306,38 @@ impl Checkpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::job::{Algorithm, GraphSource};
-    use gesmc_core::SwitchingConfig;
+    use crate::default_registry;
+    use crate::job::GraphSource;
+    use gesmc_core::ChainSpec;
     use gesmc_graph::gen::gnp;
     use gesmc_randx::rng_from_seed;
 
-    fn captured_checkpoint(algo: Algorithm) -> Checkpoint {
+    fn captured_checkpoint(name: &str) -> Checkpoint {
         let graph = gnp(&mut rng_from_seed(1), 60, 0.1);
-        let mut chain = algo.build(graph, SwitchingConfig::with_seed(9));
+        let spec = ChainSpec::new(name);
+        let mut chain = default_registry().build(&spec, graph, 9).unwrap();
         chain.run_supersteps(4);
-        Checkpoint::capture("demo", chain.as_ref(), 12, 3, 1).unwrap()
+        Checkpoint::capture("demo", chain.as_ref(), &spec, 12, 3, 1).unwrap()
     }
 
     #[test]
-    fn bytes_roundtrip_for_every_algorithm() {
-        for algo in Algorithm::ALL {
-            let ckpt = captured_checkpoint(algo);
+    fn bytes_roundtrip_for_every_registered_chain() {
+        // Core chains and baselines alike: every registered chain is
+        // snapshot-capable and round-trips through the binary format.
+        for info in default_registry().infos() {
+            let ckpt = captured_checkpoint(info.name);
             let parsed = Checkpoint::from_bytes(&ckpt.to_bytes())
-                .unwrap_or_else(|e| panic!("{}: {e}", algo.cli_name()));
-            assert_eq!(parsed, ckpt, "{} roundtrip", algo.cli_name());
-            assert_eq!(parsed.algorithm().unwrap(), algo);
+                .unwrap_or_else(|e| panic!("{}: {e}", info.name));
+            assert_eq!(parsed, ckpt, "{} roundtrip", info.name);
+            assert_eq!(parsed.chain_name(), info.chain_name);
+            assert_eq!(default_registry().resolve(parsed.chain_name()).unwrap().name, info.name);
         }
     }
 
     #[test]
     fn file_roundtrip() {
         let path = std::env::temp_dir().join("gesmc-ckpt-test.ckpt");
-        let ckpt = captured_checkpoint(Algorithm::SeqGlobalES);
+        let ckpt = captured_checkpoint("seq-global-es");
         ckpt.write_to_file(&path).unwrap();
         let read = Checkpoint::read_from_file(&path).unwrap();
         assert_eq!(read, ckpt);
@@ -301,7 +346,7 @@ mod tests {
 
     #[test]
     fn corruption_is_detected() {
-        let ckpt = captured_checkpoint(Algorithm::SeqES);
+        let ckpt = captured_checkpoint("seq-es");
         let bytes = ckpt.to_bytes();
 
         // Flip one bit anywhere in the payload.
@@ -344,14 +389,52 @@ mod tests {
             }
         }
         assert!(matches!(
-            Checkpoint::capture("x", &NoSnapshot, 1, 1, 0),
-            Err(EngineError::UnknownAlgorithm(_))
+            Checkpoint::capture("x", &NoSnapshot, &ChainSpec::new("no-snapshot"), 1, 1, 0),
+            Err(EngineError::Snapshot(SnapshotError::Unsupported("NoSnapshot")))
         ));
     }
 
     #[test]
+    fn chain_params_roundtrip_and_legacy_files_still_parse() {
+        let spec = ChainSpec::parse("par-global-es?pl=0.125").unwrap();
+        let graph = gnp(&mut rng_from_seed(2), 40, 0.1);
+        let mut chain = default_registry().build(&spec, graph, 5).unwrap();
+        chain.run_supersteps(2);
+        let ckpt = Checkpoint::capture("params", chain.as_ref(), &spec, 8, 0, 0).unwrap();
+
+        // The spec (with its parameters) survives the binary format and is
+        // what resume rebuilds from.
+        let parsed = Checkpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        assert_eq!(parsed.algorithm_spec, Some(spec.clone()));
+        assert_eq!(parsed.chain_spec(), spec);
+
+        // A pre-redesign file — no trailing chain-spec field — still parses;
+        // resume falls back to the header's chain name.
+        let mut legacy = ckpt.clone();
+        legacy.algorithm_spec = None;
+        let parsed = Checkpoint::from_bytes(&legacy.to_bytes()).unwrap();
+        assert_eq!(parsed.algorithm_spec, None);
+        assert_eq!(parsed.chain_spec(), ChainSpec::new("ParGlobalES"));
+        assert_eq!(
+            default_registry().resolve(&parsed.chain_spec().name).unwrap().name,
+            "par-global-es"
+        );
+    }
+
+    #[test]
+    fn unknown_chain_names_parse_but_fail_to_resolve() {
+        // A checkpoint written by a build with an extra chain still parses;
+        // the name only fails at resolution time, with the known list.
+        let mut ckpt = captured_checkpoint("seq-es");
+        ckpt.snapshot.algorithm = "FutureChain".to_string();
+        let parsed = Checkpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        assert_eq!(parsed.chain_name(), "FutureChain");
+        assert!(default_registry().resolve(parsed.chain_name()).is_err());
+    }
+
+    #[test]
     fn resume_spec_fields_survive() {
-        let ckpt = captured_checkpoint(Algorithm::ParGlobalES);
+        let ckpt = captured_checkpoint("par-global-es");
         let parsed = Checkpoint::from_bytes(&ckpt.to_bytes()).unwrap();
         assert_eq!(parsed.job_name, "demo");
         assert_eq!(parsed.total_supersteps, 12);

@@ -1,6 +1,6 @@
 //! The engine's unified error type.
 
-use gesmc_core::SnapshotError;
+use gesmc_core::{ChainError, SnapshotError};
 use gesmc_graph::GraphError;
 
 /// Any failure raised while queueing, running, sampling, or checkpointing a
@@ -13,12 +13,13 @@ pub enum EngineError {
     Graph(String),
     /// Snapshot capture or restore failed.
     Snapshot(SnapshotError),
+    /// A chain spec failed to parse, resolve, or validate against the
+    /// registry (unknown chain name, unknown or malformed parameter).
+    Chain(ChainError),
     /// The manifest JSON is malformed or missing required fields.
     Manifest(String),
     /// A checkpoint file is malformed, truncated, or corrupt.
     Checkpoint(String),
-    /// An algorithm name is not recognised or cannot be checkpointed.
-    UnknownAlgorithm(String),
     /// A job produced a sample whose degree sequence differs from its input —
     /// a broken chain invariant, never expected in a correct build.
     DegreesViolated {
@@ -35,15 +36,9 @@ impl std::fmt::Display for EngineError {
             EngineError::Io(e) => write!(f, "I/O error: {e}"),
             EngineError::Graph(msg) => write!(f, "graph error: {msg}"),
             EngineError::Snapshot(e) => write!(f, "snapshot error: {e}"),
+            EngineError::Chain(e) => write!(f, "chain error: {e}"),
             EngineError::Manifest(msg) => write!(f, "manifest error: {msg}"),
             EngineError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
-            EngineError::UnknownAlgorithm(name) => {
-                write!(
-                    f,
-                    "unknown or non-checkpointable algorithm {name:?} \
-                     (expected one of: seq-es, seq-global-es, par-es, par-global-es, naive-par-es)"
-                )
-            }
             EngineError::DegreesViolated { job, superstep } => {
                 write!(f, "job {job:?}: degree sequence violated at superstep {superstep}")
             }
@@ -56,6 +51,7 @@ impl std::error::Error for EngineError {
         match self {
             EngineError::Io(e) => Some(e),
             EngineError::Snapshot(e) => Some(e),
+            EngineError::Chain(e) => Some(e),
             _ => None,
         }
     }
@@ -70,6 +66,12 @@ impl From<std::io::Error> for EngineError {
 impl From<SnapshotError> for EngineError {
     fn from(e: SnapshotError) -> Self {
         EngineError::Snapshot(e)
+    }
+}
+
+impl From<ChainError> for EngineError {
+    fn from(e: ChainError) -> Self {
+        EngineError::Chain(e)
     }
 }
 

@@ -1,99 +1,22 @@
 //! Job specifications: what to randomize, with which chain, and how.
+//!
+//! The chain of a job is an open [`ChainSpec`] resolved against a
+//! [`ChainRegistry`](gesmc_core::ChainRegistry) at run time (the engine's
+//! default is [`default_registry`](crate::default_registry), which knows the
+//! five `gesmc-core` chains *and* the `gesmc-baselines` chains) — there is no
+//! closed algorithm enum anywhere in the engine, so registering a new chain
+//! makes it batchable, checkpointable and resumable without touching this
+//! crate.
 
 use crate::error::EngineError;
 use gesmc_core::{
-    EdgeSwitching, NaiveParES, ParES, ParGlobalES, SeqES, SeqGlobalES, SwitchingConfig,
+    spec::{PARAM_LOOP_PROBABILITY, PARAM_PREFETCH},
+    ChainSpec, ParamValue, SwitchingConfig,
 };
 use gesmc_datasets::{netrep_like::family_graph, syn_gnp_graph, syn_pld_graph, GraphFamily};
 use gesmc_graph::io::read_edge_list_file;
 use gesmc_graph::EdgeListGraph;
 use std::path::PathBuf;
-
-/// The checkpointable switching chains a job can run.
-///
-/// This is the `gesmc-core` family; the baselines of `gesmc-baselines` are
-/// excluded because they do not implement snapshot/restore.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Algorithm {
-    /// Sequential ES-MC ([`SeqES`]).
-    SeqES,
-    /// Sequential G-ES-MC ([`SeqGlobalES`]).
-    SeqGlobalES,
-    /// Exact parallel ES-MC, Algorithm 2 ([`ParES`]).
-    ParES,
-    /// Exact parallel G-ES-MC, Algorithm 3 ([`ParGlobalES`]).
-    ParGlobalES,
-    /// Inexact lock-per-edge baseline, Sec. 5.1 ([`NaiveParES`]).
-    NaiveParES,
-}
-
-impl Algorithm {
-    /// Every supported algorithm, in a stable order.
-    pub const ALL: [Algorithm; 5] = [
-        Algorithm::SeqES,
-        Algorithm::SeqGlobalES,
-        Algorithm::ParES,
-        Algorithm::ParGlobalES,
-        Algorithm::NaiveParES,
-    ];
-
-    /// Parse the CLI / manifest spelling (`"par-global-es"`, ...).
-    pub fn parse(name: &str) -> Result<Self, EngineError> {
-        match name {
-            "seq-es" => Ok(Algorithm::SeqES),
-            "seq-global-es" => Ok(Algorithm::SeqGlobalES),
-            "par-es" => Ok(Algorithm::ParES),
-            "par-global-es" => Ok(Algorithm::ParGlobalES),
-            "naive-par-es" => Ok(Algorithm::NaiveParES),
-            other => Err(EngineError::UnknownAlgorithm(other.to_string())),
-        }
-    }
-
-    /// The CLI / manifest spelling.
-    pub fn cli_name(&self) -> &'static str {
-        match self {
-            Algorithm::SeqES => "seq-es",
-            Algorithm::SeqGlobalES => "seq-global-es",
-            Algorithm::ParES => "par-es",
-            Algorithm::ParGlobalES => "par-global-es",
-            Algorithm::NaiveParES => "naive-par-es",
-        }
-    }
-
-    /// The [`EdgeSwitching::name`] of the chain (used to match checkpoints).
-    pub fn chain_name(&self) -> &'static str {
-        match self {
-            Algorithm::SeqES => "SeqES",
-            Algorithm::SeqGlobalES => "SeqGlobalES",
-            Algorithm::ParES => "ParES",
-            Algorithm::ParGlobalES => "ParGlobalES",
-            Algorithm::NaiveParES => "NaiveParES",
-        }
-    }
-
-    /// Inverse of [`Algorithm::chain_name`].
-    pub fn from_chain_name(name: &str) -> Result<Self, EngineError> {
-        Self::ALL
-            .into_iter()
-            .find(|a| a.chain_name() == name)
-            .ok_or_else(|| EngineError::UnknownAlgorithm(name.to_string()))
-    }
-
-    /// Construct the chain randomising `graph`.
-    pub fn build(
-        &self,
-        graph: EdgeListGraph,
-        config: SwitchingConfig,
-    ) -> Box<dyn EdgeSwitching + Send> {
-        match self {
-            Algorithm::SeqES => Box::new(SeqES::new(graph, config)),
-            Algorithm::SeqGlobalES => Box::new(SeqGlobalES::new(graph, config)),
-            Algorithm::ParES => Box::new(ParES::new(graph, config)),
-            Algorithm::ParGlobalES => Box::new(ParGlobalES::new(graph, config)),
-            Algorithm::NaiveParES => Box::new(NaiveParES::new(graph, config)),
-        }
-    }
-}
 
 /// Where a job's input graph comes from.
 #[derive(Debug, Clone)]
@@ -169,8 +92,9 @@ pub struct JobSpec {
     pub name: String,
     /// Input graph.
     pub source: GraphSource,
-    /// Which chain randomises it.
-    pub algorithm: Algorithm,
+    /// Which chain randomises it, with its parameters (e.g.
+    /// `par-global-es?pl=0.001&prefetch=off`).
+    pub algorithm: ChainSpec,
     /// Total number of supersteps to run.
     pub supersteps: u64,
     /// Sample thinning interval `k` (Sec. 6.1): every `k`-th superstep's
@@ -181,8 +105,6 @@ pub struct JobSpec {
     pub seed: u64,
     /// Rayon thread budget for this job (`None` = the ambient pool).
     pub threads: Option<usize>,
-    /// Per-switch rejection probability `P_L` of the G-ES-MC chains.
-    pub loop_probability: f64,
     /// Write a checkpoint every this many supersteps (`None` = never).
     pub checkpoint_every: Option<u64>,
     /// Directory checkpoints are written to (`{name}.ckpt`).
@@ -191,8 +113,10 @@ pub struct JobSpec {
 
 impl JobSpec {
     /// A job with the workspace defaults: 20 supersteps, final-state-only
-    /// sampling, seed 1, ambient thread pool, `P_L = 0.01`, no checkpoints.
-    pub fn new(name: impl Into<String>, source: GraphSource, algorithm: Algorithm) -> Self {
+    /// sampling, seed 1, ambient thread pool, no checkpoints.  Chain
+    /// parameters not set on `algorithm` keep the [`SwitchingConfig`]
+    /// defaults (`P_L = 0.01`, prefetching enabled).
+    pub fn new(name: impl Into<String>, source: GraphSource, algorithm: ChainSpec) -> Self {
         Self {
             name: name.into(),
             source,
@@ -201,7 +125,6 @@ impl JobSpec {
             thinning: 0,
             seed: 1,
             threads: None,
-            loop_probability: 0.01,
             checkpoint_every: None,
             checkpoint_dir: None,
         }
@@ -231,9 +154,17 @@ impl JobSpec {
         self
     }
 
-    /// Builder-style override of `P_L`.
+    /// Builder-style override of `P_L` (sets the chain's `pl` parameter; the
+    /// value is validated when the chain is built, not here).
     pub fn loop_probability(mut self, p: f64) -> Self {
-        self.loop_probability = p;
+        self.algorithm.params.insert(PARAM_LOOP_PROBABILITY.to_string(), ParamValue::Float(p));
+        self
+    }
+
+    /// Builder-style override of the prefetch flag (sets the chain's
+    /// `prefetch` parameter).
+    pub fn prefetch(mut self, enabled: bool) -> Self {
+        self.algorithm.params.insert(PARAM_PREFETCH.to_string(), ParamValue::Bool(enabled));
         self
     }
 
@@ -244,9 +175,10 @@ impl JobSpec {
         self
     }
 
-    /// The [`SwitchingConfig`] this job hands to its chain.
-    pub fn config(&self) -> SwitchingConfig {
-        SwitchingConfig::with_seed(self.seed).loop_probability(self.loop_probability)
+    /// The [`SwitchingConfig`] this job hands to its chain: the seed plus the
+    /// chain spec's common parameters (`pl`, `prefetch`).
+    pub fn config(&self) -> Result<SwitchingConfig, EngineError> {
+        Ok(self.algorithm.switching_config(self.seed)?)
     }
 
     /// Number of samples a full uninterrupted run emits (`thinning == 0`
@@ -259,24 +191,7 @@ impl JobSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn algorithm_names_roundtrip() {
-        for algo in Algorithm::ALL {
-            assert_eq!(Algorithm::parse(algo.cli_name()).unwrap(), algo);
-            assert_eq!(Algorithm::from_chain_name(algo.chain_name()).unwrap(), algo);
-        }
-        assert!(matches!(Algorithm::parse("curveball"), Err(EngineError::UnknownAlgorithm(_))));
-    }
-
-    #[test]
-    fn built_chains_report_their_names() {
-        let graph = gesmc_datasets::syn_gnp_graph(1, 50, 150);
-        for algo in Algorithm::ALL {
-            let chain = algo.build(graph.clone(), SwitchingConfig::with_seed(1));
-            assert_eq!(chain.name(), algo.chain_name());
-        }
-    }
+    use crate::default_registry;
 
     #[test]
     fn generated_sources_load() {
@@ -320,8 +235,32 @@ mod tests {
             gamma: 2.5,
             seed: 1,
         };
-        let spec = JobSpec::new("a", g, Algorithm::SeqES).supersteps(10).thinning(3);
+        let spec = JobSpec::new("a", g, ChainSpec::new("seq-es")).supersteps(10).thinning(3);
         assert_eq!(spec.expected_samples(), 3);
         assert_eq!(spec.clone().thinning(0).expected_samples(), 1);
+    }
+
+    #[test]
+    fn config_builders_flow_into_the_chain_spec() {
+        let g = GraphSource::Generated {
+            family: "gnp".into(),
+            nodes: 0,
+            edges: 100,
+            gamma: 2.5,
+            seed: 1,
+        };
+        let spec = JobSpec::new("a", g, ChainSpec::new("seq-global-es"))
+            .seed(7)
+            .loop_probability(0.25)
+            .prefetch(false);
+        assert_eq!(spec.algorithm.to_string(), "seq-global-es?pl=0.25&prefetch=false");
+        let config = spec.config().unwrap();
+        assert_eq!(config.seed, 7);
+        assert!((config.loop_probability - 0.25).abs() < 1e-12);
+        assert!(!config.prefetch);
+        // An out-of-range builder value surfaces as an error at config time.
+        let bad = spec.loop_probability(1.5);
+        assert!(bad.config().is_err());
+        assert!(default_registry().validate(&bad.algorithm).is_err());
     }
 }

@@ -17,17 +17,24 @@
 //!   chains resume *bit-identically* to an uninterrupted run instead of
 //!   losing hours of switching.
 //!
+//! Algorithms are selected by open, registry-resolved [`ChainSpec`]s — the
+//! engine has no closed algorithm enum.  [`default_registry`] knows the five
+//! `gesmc-core` chains *and* the `gesmc-baselines` chains (Global Curveball,
+//! the adjacency-list ES baselines); library users with their own chains pass
+//! a custom [`ChainRegistry`] to [`run_job_with`] / [`WorkerPool::run_with`].
+//!
 //! The high-level entry point is [`run_batch`] over a JSON [`Manifest`]
 //! (`gesmc batch manifest.json` on the command line); the pieces compose
 //! individually for library use:
 //!
 //! ```
-//! use gesmc_engine::{Algorithm, GraphSource, JobSpec, MemorySink, run_job};
+//! use gesmc_engine::{ChainSpec, GraphSource, JobSpec, MemorySink, run_job};
 //! use gesmc_graph::gen::gnp;
 //! use gesmc_randx::rng_from_seed;
 //!
 //! let graph = gnp(&mut rng_from_seed(1), 100, 0.05);
-//! let spec = JobSpec::new("demo", GraphSource::InMemory(graph), Algorithm::ParGlobalES)
+//! let chain = ChainSpec::parse("par-global-es?pl=0.01").unwrap();
+//! let spec = JobSpec::new("demo", GraphSource::InMemory(graph), chain)
 //!     .supersteps(10)
 //!     .thinning(2)
 //!     .seed(7);
@@ -50,11 +57,31 @@ pub mod sink;
 
 pub use checkpoint::Checkpoint;
 pub use error::EngineError;
-pub use job::{Algorithm, GraphSource, JobSpec};
+pub use gesmc_core::{ChainError, ChainInfo, ChainRegistry, ChainSpec, ParamValue};
+pub use job::{GraphSource, JobSpec};
 pub use manifest::Manifest;
-pub use pool::{run_job, JobOutcome, JobReport, WorkerPool};
+pub use pool::{run_job, run_job_with, JobOutcome, JobReport, WorkerPool};
 pub use queue::{JobQueue, QueuedJob};
 pub use sink::{CallbackSink, EdgeListFileSink, MemorySink, NullSink, SampleContext, SampleSink};
+
+use std::sync::OnceLock;
+
+/// The engine's default chain registry: the five `gesmc-core` chains plus
+/// the `gesmc-baselines` chains (`global-curveball`, `adjacency-es`,
+/// `sorted-adjacency-es`).
+///
+/// Everything that resolves a chain by name without an explicit registry —
+/// [`run_job`], [`WorkerPool::run`], [`Manifest::parse`] — uses this set.
+/// To run chains of your own, build a [`ChainRegistry`], register them, and
+/// use [`run_job_with`] / [`WorkerPool::run_with`].
+pub fn default_registry() -> &'static ChainRegistry {
+    static REGISTRY: OnceLock<ChainRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut registry = ChainRegistry::with_core_chains();
+        gesmc_baselines::register_baselines(&mut registry);
+        registry
+    })
+}
 
 /// Run every job of `manifest` over its worker pool, streaming thinned
 /// samples into per-job edge-list files under `manifest.output_dir`.
@@ -82,6 +109,24 @@ mod tests {
     use gesmc_randx::rng_from_seed;
 
     #[test]
+    fn default_registry_knows_core_chains_and_baselines() {
+        let registry = default_registry();
+        assert!(registry.len() >= 7, "expected core chains + baselines, got {}", registry.len());
+        for name in [
+            "seq-es",
+            "seq-global-es",
+            "par-es",
+            "par-global-es",
+            "naive-par-es",
+            "global-curveball",
+            "adjacency-es",
+            "sorted-adjacency-es",
+        ] {
+            assert!(registry.get(name).is_some(), "{name} missing from the default registry");
+        }
+    }
+
+    #[test]
     fn run_batch_writes_sample_files_for_every_job() {
         let dir = std::env::temp_dir().join("gesmc-engine-batch-test");
         let _ = std::fs::remove_dir_all(&dir);
@@ -95,7 +140,7 @@ mod tests {
                     JobSpec::new(
                         format!("job{i}"),
                         GraphSource::InMemory(graph.clone()),
-                        Algorithm::SeqGlobalES,
+                        ChainSpec::new("seq-global-es"),
                     )
                     .supersteps(6)
                     .thinning(3)

@@ -9,7 +9,7 @@
 //!     {
 //!       "name": "web-null-model",
 //!       "input": "web.txt",
-//!       "algo": "par-global-es",
+//!       "algorithm": "par-global-es?pl=0.001",
 //!       "supersteps": 40,
 //!       "thinning": 10,
 //!       "seed": 1,
@@ -17,9 +17,9 @@
 //!       "checkpoint_every": 20
 //!     },
 //!     {
-//!       "name": "synthetic",
+//!       "name": "curveball-reference",
 //!       "generate": { "family": "pld", "edges": 20000, "gamma": 2.5, "seed": 7 },
-//!       "algo": "seq-global-es",
+//!       "algorithm": { "name": "global-curveball" },
 //!       "supersteps": 30,
 //!       "thinning": 5
 //!     }
@@ -28,11 +28,22 @@
 //! ```
 //!
 //! Per job, exactly one of `input` (edge-list file) or `generate` (synthetic
-//! family) selects the graph.  Omitted fields fall back to the [`JobSpec`]
-//! defaults; `checkpoint_every` requires a top-level `checkpoint_dir`.
+//! family) selects the graph.  The chain is a [`ChainSpec`] under the
+//! `"algorithm"` key — a string (`"par-global-es?pl=0.001"`) or the
+//! equivalent object (`{"name": "par-global-es", "pl": 0.001}`) — validated
+//! against the engine's [`default_registry`](crate::default_registry()), so
+//! every registered chain (baselines included) is reachable.  `"algo"` is the
+//! pre-registry spelling of the same key, and the job-level
+//! `"loop_probability"` / `"prefetch"` keys shorthand the chain's `pl` /
+//! `prefetch` parameters; all three keep older manifests loading unchanged.
+//! Omitted fields fall back to the [`JobSpec`] defaults; `checkpoint_every`
+//! requires a top-level `checkpoint_dir`.
 
+use crate::default_registry;
 use crate::error::EngineError;
-use crate::job::{Algorithm, GraphSource, JobSpec};
+use crate::job::{GraphSource, JobSpec};
+use gesmc_core::spec::{ChainSpec, PARAM_LOOP_PROBABILITY, PARAM_PREFETCH};
+use gesmc_core::ChainRegistry;
 use serde_json::Value;
 use std::path::{Path, PathBuf};
 
@@ -84,6 +95,7 @@ fn field_str<'a>(
 }
 
 fn parse_job(
+    registry: &ChainRegistry,
     value: &Value,
     index: usize,
     checkpoint_dir: Option<&Path>,
@@ -132,9 +144,14 @@ fn parse_job(
         }
     };
 
-    let algorithm = match field_str(value, "algo", &context)? {
-        Some(name) => Algorithm::parse(name)?,
-        None => Algorithm::ParGlobalES,
+    let algorithm = match (value.get("algorithm"), value.get("algo")) {
+        (Some(_), Some(_)) => {
+            return Err(EngineError::Manifest(format!(
+                "{context}: \"algorithm\" and \"algo\" are the same key; give only one"
+            )))
+        }
+        (Some(v), None) | (None, Some(v)) => ChainSpec::from_json(v)?,
+        (None, None) => ChainSpec::new("par-global-es"),
     };
 
     let mut spec = JobSpec::new(name, source, algorithm);
@@ -150,14 +167,37 @@ fn parse_job(
     if let Some(threads) = field_u64(value, "threads", &context)? {
         spec.threads = Some(threads as usize);
     }
+    // Job-level shorthands for the chain's common parameters (also the
+    // pre-registry spelling, so older manifests keep loading).
     if let Some(p) = field_f64(value, "loop_probability", &context)? {
         if !(0.0..1.0).contains(&p) {
             return Err(EngineError::Manifest(format!(
                 "{context}: \"loop_probability\" must lie in [0, 1)"
             )));
         }
-        spec.loop_probability = p;
+        if spec.algorithm.param(PARAM_LOOP_PROBABILITY).is_some() {
+            return Err(EngineError::Manifest(format!(
+                "{context}: \"loop_probability\" and the chain parameter \
+                 {PARAM_LOOP_PROBABILITY:?} are the same knob; give only one"
+            )));
+        }
+        spec = spec.loop_probability(p);
     }
+    if let Some(v) = value.get("prefetch") {
+        let enabled = v.as_bool().ok_or_else(|| {
+            EngineError::Manifest(format!("{context}: \"prefetch\" must be a boolean"))
+        })?;
+        if spec.algorithm.param(PARAM_PREFETCH).is_some() {
+            return Err(EngineError::Manifest(format!(
+                "{context}: \"prefetch\" and the chain parameter {PARAM_PREFETCH:?} are the \
+                 same knob; give only one"
+            )));
+        }
+        spec = spec.prefetch(enabled);
+    }
+    // Resolve the chain against the registry now, so bad names and
+    // parameters fail at parse time with a readable message, not mid-batch.
+    registry.validate(&spec.algorithm)?;
     if let Some(every) = field_u64(value, "checkpoint_every", &context)? {
         let dir = checkpoint_dir.ok_or_else(|| {
             EngineError::Manifest(format!(
@@ -171,8 +211,17 @@ fn parse_job(
 }
 
 impl Manifest {
-    /// Parse a manifest from JSON text.
+    /// Parse a manifest from JSON text, validating chains against the
+    /// [`default_registry`].
     pub fn parse(text: &str) -> Result<Self, EngineError> {
+        Self::parse_with(default_registry(), text)
+    }
+
+    /// Like [`Manifest::parse`], validating chains against `registry` — the
+    /// manifest counterpart of [`run_job_with`](crate::run_job_with) /
+    /// [`WorkerPool::run_with`](crate::WorkerPool::run_with) for users who
+    /// registered chains of their own.
+    pub fn parse_with(registry: &ChainRegistry, text: &str) -> Result<Self, EngineError> {
         let root = serde_json::from_str(text)
             .map_err(|e| EngineError::Manifest(format!("invalid JSON: {e}")))?;
         if root.as_object().is_none() {
@@ -195,7 +244,7 @@ impl Manifest {
         let jobs = jobs_array
             .iter()
             .enumerate()
-            .map(|(i, v)| parse_job(v, i, checkpoint_dir.as_deref()))
+            .map(|(i, v)| parse_job(registry, v, i, checkpoint_dir.as_deref()))
             .collect::<Result<Vec<_>, _>>()?;
 
         // Job names key the sample and checkpoint file paths; duplicates
@@ -213,18 +262,27 @@ impl Manifest {
         Ok(Self { workers, output_dir, checkpoint_dir, jobs })
     }
 
-    /// Read and parse a manifest file.
+    /// Read and parse a manifest file (default registry).
     pub fn from_file(path: impl AsRef<Path>) -> Result<Self, EngineError> {
+        Self::from_file_with(default_registry(), path)
+    }
+
+    /// Read and parse a manifest file, validating chains against `registry`.
+    pub fn from_file_with(
+        registry: &ChainRegistry,
+        path: impl AsRef<Path>,
+    ) -> Result<Self, EngineError> {
         let path = path.as_ref();
         let text = std::fs::read_to_string(path)
             .map_err(|e| EngineError::Manifest(format!("cannot read {}: {e}", path.display())))?;
-        Self::parse(&text)
+        Self::parse_with(registry, &text)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gesmc_core::ChainError;
 
     const FULL: &str = r#"{
         "workers": 2,
@@ -259,18 +317,19 @@ mod tests {
         let job = &manifest.jobs[0];
         assert_eq!(job.name, "file-job");
         assert!(matches!(&job.source, GraphSource::File(p) if p == &PathBuf::from("graph.txt")));
-        assert_eq!(job.algorithm, Algorithm::SeqES);
+        // The legacy "algo" + "loop_probability" keys land in the chain spec.
+        assert_eq!(job.algorithm.to_string(), "seq-es?pl=0.05");
         assert_eq!(job.supersteps, 12);
         assert_eq!(job.thinning, 3);
         assert_eq!(job.seed, 9);
         assert_eq!(job.threads, Some(2));
-        assert!((job.loop_probability - 0.05).abs() < 1e-12);
+        assert!((job.config().unwrap().loop_probability - 0.05).abs() < 1e-12);
         assert_eq!(job.checkpoint_every, Some(6));
         assert_eq!(job.checkpoint_dir, Some(PathBuf::from("ckpt")));
 
         let generated = &manifest.jobs[1];
         assert_eq!(generated.name, "job1");
-        assert_eq!(generated.algorithm, Algorithm::ParGlobalES);
+        assert_eq!(generated.algorithm, ChainSpec::new("par-global-es"));
         assert_eq!(generated.supersteps, 7);
         assert_eq!(generated.thinning, 0);
         assert!(matches!(
@@ -279,12 +338,34 @@ mod tests {
         ));
     }
 
+    #[test]
+    fn algorithm_key_takes_chain_spec_strings_and_objects() {
+        let manifest = Manifest::parse(
+            r#"{"jobs": [
+                {"name": "a", "input": "x", "algorithm": "global-curveball"},
+                {"name": "b", "input": "x", "algorithm": "par-global-es?pl=0.001&prefetch=off"},
+                {"name": "c", "input": "x",
+                 "algorithm": {"name": "seq-global-es", "pl": 0.25}},
+                {"name": "d", "input": "x", "algo": "adjacency-es"},
+                {"name": "e", "input": "x", "algorithm": "seq-es", "prefetch": false}
+            ]}"#,
+        )
+        .unwrap();
+        assert_eq!(manifest.jobs[0].algorithm, ChainSpec::new("global-curveball"));
+        assert_eq!(manifest.jobs[1].algorithm.to_string(), "par-global-es?pl=0.001&prefetch=false");
+        assert!((manifest.jobs[2].config().unwrap().loop_probability - 0.25).abs() < 1e-12);
+        assert_eq!(manifest.jobs[3].algorithm, ChainSpec::new("adjacency-es"));
+        assert!(!manifest.jobs[4].config().unwrap().prefetch, "per-job prefetch must be plumbed");
+    }
+
     fn expect_manifest_error(text: &str, needle: &str) {
         match Manifest::parse(text) {
             Err(EngineError::Manifest(msg)) => {
                 assert!(msg.contains(needle), "message {msg:?} lacks {needle:?}")
             }
-            Err(EngineError::UnknownAlgorithm(_)) if needle == "algorithm" => {}
+            Err(EngineError::Chain(e)) if needle == "chain" => {
+                let _ = e;
+            }
             other => panic!("expected manifest error containing {needle:?}, got {other:?}"),
         }
     }
@@ -306,8 +387,38 @@ mod tests {
             "checkpoint_dir",
         );
         expect_manifest_error(r#"{"jobs": [{"input": "a", "loop_probability": 1.5}]}"#, "[0, 1)");
-        expect_manifest_error(r#"{"jobs": [{"input": "a", "algo": "quantum"}]}"#, "algorithm");
         expect_manifest_error(r#"{"jobs": [{"generate": {"family": "pld"}}]}"#, "edges");
+        expect_manifest_error(
+            r#"{"jobs": [{"input": "a", "algo": "x", "algorithm": "y"}]}"#,
+            "only one",
+        );
+        expect_manifest_error(
+            r#"{"jobs": [{"input": "a", "algorithm": "seq-es?pl=0.1", "loop_probability": 0.2}]}"#,
+            "same knob",
+        );
+        expect_manifest_error(r#"{"jobs": [{"input": "a", "prefetch": "yes"}]}"#, "boolean");
+    }
+
+    #[test]
+    fn chain_errors_surface_at_parse_time() {
+        // Unknown chain names, unknown parameters and bad parameter values
+        // fail while the manifest is parsed, with the registry's messages.
+        let unknown = Manifest::parse(r#"{"jobs": [{"input": "a", "algo": "quantum"}]}"#);
+        match unknown {
+            Err(EngineError::Chain(ChainError::UnknownChain { name, known })) => {
+                assert_eq!(name, "quantum");
+                assert!(known.contains(&"global-curveball".to_string()));
+            }
+            other => panic!("expected UnknownChain, got {other:?}"),
+        }
+        assert!(matches!(
+            Manifest::parse(r#"{"jobs": [{"input": "a", "algorithm": "seq-es?bogus=1"}]}"#),
+            Err(EngineError::Chain(ChainError::UnknownParam { .. }))
+        ));
+        assert!(matches!(
+            Manifest::parse(r#"{"jobs": [{"input": "a", "algorithm": "seq-es?pl=7"}]}"#),
+            Err(EngineError::Chain(ChainError::BadParam { .. }))
+        ));
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! Job execution: the single-job driver and the multi-job worker pool.
 
 use crate::checkpoint::Checkpoint;
+use crate::default_registry;
 use crate::error::EngineError;
 use crate::job::JobSpec;
 use crate::queue::{JobQueue, QueuedJob};
 use crate::sink::{SampleContext, SampleSink};
+use gesmc_core::ChainRegistry;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -62,33 +64,53 @@ pub struct JobOutcome {
     pub result: Result<JobReport, EngineError>,
 }
 
-/// Run one job to completion on the current thread.
+/// Run one job to completion on the current thread, resolving its chain
+/// against the [`default_registry`].
+///
+/// See [`run_job_with`] for the registry-parameterised variant.
+pub fn run_job(
+    spec: &JobSpec,
+    sink: &mut dyn SampleSink,
+    resume: Option<&Checkpoint>,
+) -> Result<JobReport, EngineError> {
+    run_job_with(default_registry(), spec, sink, resume)
+}
+
+/// Run one job to completion on the current thread, resolving its chain
+/// against `registry`.
 ///
 /// Drives the chain superstep by superstep, streaming every `thinning`-th
 /// graph into `sink` (or only the final graph when `thinning` is 0),
 /// verifying that each emitted sample preserves the input degree sequence,
 /// and writing periodic checkpoints when the spec asks for them.  With
-/// `resume`, the chain state is restored from the checkpoint first and the
-/// run continues at its superstep counter — bit-identically to a run that
-/// was never interrupted.
-pub fn run_job(
+/// `resume`, the chain named by the checkpoint header is rebuilt, its state
+/// restored, and the run continues at its superstep counter — bit-identically
+/// to a run that was never interrupted.
+pub fn run_job_with(
+    registry: &ChainRegistry,
     spec: &JobSpec,
     sink: &mut dyn SampleSink,
     resume: Option<&Checkpoint>,
 ) -> Result<JobReport, EngineError> {
     let start = Instant::now();
 
+    // The spec a resumed run re-checkpoints under is the checkpoint's own
+    // (it may carry chain-specific parameters the caller's JobSpec lacks).
+    let algorithm_spec = match resume {
+        Some(checkpoint) => checkpoint.chain_spec(),
+        None => spec.algorithm.clone(),
+    };
     let (mut chain, resumed_from, mut samples_emitted) = match resume {
         Some(checkpoint) => {
-            let algorithm = checkpoint.algorithm()?;
             let graph = checkpoint.snapshot.graph()?;
-            let mut chain = algorithm.build(graph, checkpoint.snapshot.config());
+            let mut chain =
+                registry.build_with_config(&algorithm_spec, graph, checkpoint.snapshot.config())?;
             chain.restore(&checkpoint.snapshot)?;
             (chain, checkpoint.snapshot.supersteps_done, checkpoint.samples_emitted)
         }
         None => {
             let graph = spec.source.load()?;
-            (spec.algorithm.build(graph, spec.config()), 0, 0)
+            (registry.build(&spec.algorithm, graph, spec.seed)?, 0, 0)
         }
     };
 
@@ -126,6 +148,7 @@ pub fn run_job(
                 let checkpoint = Checkpoint::capture(
                     &spec.name,
                     chain.as_ref(),
+                    &algorithm_spec,
                     spec.supersteps,
                     spec.thinning,
                     samples_emitted,
@@ -178,9 +201,16 @@ impl WorkerPool {
         self.workers
     }
 
-    /// Drain `queue`, returning one [`JobOutcome`] per job in submission
-    /// order.  Individual job failures are captured, not propagated.
+    /// Drain `queue` with the [`default_registry`], returning one
+    /// [`JobOutcome`] per job in submission order.  Individual job failures
+    /// are captured, not propagated.
     pub fn run(&self, queue: JobQueue) -> Vec<JobOutcome> {
+        self.run_with(default_registry(), queue)
+    }
+
+    /// Like [`WorkerPool::run`], resolving every job's chain against
+    /// `registry` (use this to batch chains of your own).
+    pub fn run_with(&self, registry: &ChainRegistry, queue: JobQueue) -> Vec<JobOutcome> {
         let total = queue.len();
         let mut slots: Vec<Option<JobOutcome>> = Vec::with_capacity(total);
         slots.resize_with(total, || None);
@@ -191,8 +221,10 @@ impl WorkerPool {
             for _ in 0..workers {
                 scope.spawn(|| {
                     while let Some((index, job)) = queue.pop() {
-                        let outcome =
-                            JobOutcome { job: job.spec.name.clone(), result: Self::run_one(job) };
+                        let outcome = JobOutcome {
+                            job: job.spec.name.clone(),
+                            result: Self::run_one(registry, job),
+                        };
                         results.lock().expect("results mutex poisoned")[index] = Some(outcome);
                     }
                 });
@@ -208,16 +240,18 @@ impl WorkerPool {
     }
 
     /// Run one claimed job, honouring its thread budget.
-    fn run_one(mut job: QueuedJob) -> Result<JobReport, EngineError> {
+    fn run_one(registry: &ChainRegistry, mut job: QueuedJob) -> Result<JobReport, EngineError> {
         match job.spec.threads {
             Some(threads) => {
                 let pool = rayon::ThreadPoolBuilder::new()
                     .num_threads(threads)
                     .build()
                     .map_err(|e| EngineError::Graph(format!("cannot build rayon pool: {e}")))?;
-                pool.install(|| run_job(&job.spec, job.sink.as_mut(), job.resume.as_ref()))
+                pool.install(|| {
+                    run_job_with(registry, &job.spec, job.sink.as_mut(), job.resume.as_ref())
+                })
             }
-            None => run_job(&job.spec, job.sink.as_mut(), job.resume.as_ref()),
+            None => run_job_with(registry, &job.spec, job.sink.as_mut(), job.resume.as_ref()),
         }
     }
 }
@@ -225,8 +259,9 @@ impl WorkerPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::job::{Algorithm, GraphSource};
+    use crate::job::GraphSource;
     use crate::sink::{MemorySink, NullSink};
+    use gesmc_core::ChainSpec;
     use gesmc_graph::gen::gnp;
     use gesmc_graph::EdgeListGraph;
     use gesmc_randx::rng_from_seed;
@@ -235,15 +270,18 @@ mod tests {
         gnp(&mut rng_from_seed(seed), 70, 0.1)
     }
 
-    fn spec_for(name: &str, algo: Algorithm, graph: EdgeListGraph) -> JobSpec {
-        JobSpec::new(name, GraphSource::InMemory(graph), algo).supersteps(8).thinning(2).seed(3)
+    fn spec_for(name: &str, algo: &str, graph: EdgeListGraph) -> JobSpec {
+        JobSpec::new(name, GraphSource::InMemory(graph), ChainSpec::new(algo))
+            .supersteps(8)
+            .thinning(2)
+            .seed(3)
     }
 
     #[test]
     fn thinned_samples_are_streamed_and_degree_preserving() {
         let graph = test_graph(1);
         let degrees = graph.degrees();
-        let spec = spec_for("thin", Algorithm::SeqGlobalES, graph);
+        let spec = spec_for("thin", "seq-global-es", graph);
         let mut sink = MemorySink::new();
         let store = sink.store();
         let report = run_job(&spec, &mut sink, None).unwrap();
@@ -264,7 +302,7 @@ mod tests {
 
     #[test]
     fn thinning_zero_emits_only_the_final_graph() {
-        let spec = spec_for("final", Algorithm::SeqES, test_graph(2)).thinning(0);
+        let spec = spec_for("final", "seq-es", test_graph(2)).thinning(0);
         let mut sink = MemorySink::new();
         let store = sink.store();
         let report = run_job(&spec, &mut sink, None).unwrap();
@@ -279,9 +317,8 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
 
         let graph = test_graph(3);
-        let spec = spec_for("ck", Algorithm::ParGlobalES, graph.clone())
-            .supersteps(10)
-            .checkpoint(4, &dir);
+        let spec =
+            spec_for("ck", "par-global-es", graph.clone()).supersteps(10).checkpoint(4, &dir);
         let report = run_job(&spec, &mut NullSink::default(), None).unwrap();
         // Steps 4 and 8 checkpoint; step 10 is final and does not.
         assert_eq!(report.checkpoints, 2);
@@ -314,7 +351,7 @@ mod tests {
             .map(|i| {
                 let sink = MemorySink::new();
                 let store = sink.store();
-                let spec = spec_for(&format!("job{i}"), Algorithm::SeqES, test_graph(i)).seed(i);
+                let spec = spec_for(&format!("job{i}"), "seq-es", test_graph(i)).seed(i);
                 queue.push(QueuedJob::new(spec, Box::new(sink)));
                 store
             })
@@ -336,11 +373,11 @@ mod tests {
         let bad_spec = JobSpec::new(
             "bad",
             GraphSource::File("/nonexistent/missing.txt".into()),
-            Algorithm::SeqES,
+            ChainSpec::new("seq-es"),
         );
         queue.push(QueuedJob::new(bad_spec, Box::new(NullSink::default())));
         queue.push(QueuedJob::new(
-            spec_for("good", Algorithm::SeqES, test_graph(9)),
+            spec_for("good", "seq-es", test_graph(9)),
             Box::new(NullSink::default()),
         ));
         let outcomes = WorkerPool::new(2).run(queue);
@@ -359,7 +396,7 @@ mod tests {
                 observed_in_sink.lock().unwrap().push(rayon::current_num_threads());
                 Ok(())
             });
-        let spec = spec_for("budget", Algorithm::ParGlobalES, test_graph(4)).threads(2).thinning(0);
+        let spec = spec_for("budget", "par-global-es", test_graph(4)).threads(2).thinning(0);
         let mut queue = JobQueue::new();
         queue.push(QueuedJob::new(spec, Box::new(sink)));
         let outcomes = WorkerPool::new(1).run(queue);
@@ -368,8 +405,67 @@ mod tests {
     }
 
     #[test]
+    fn resume_hands_the_checkpointed_spec_back_to_the_factory() {
+        // A chain whose factory REQUIRES a chain-specific parameter: if the
+        // resume path dropped the spec's params, rebuilding from the
+        // checkpoint would fail here.
+        use gesmc_core::{
+            ChainError, ChainInfo, ChainRegistry, ChainSpec, ParamInfo, ParamKind, SeqES,
+            SwitchingConfig,
+        };
+        fn picky_factory(
+            graph: EdgeListGraph,
+            config: SwitchingConfig,
+            spec: &ChainSpec,
+        ) -> Result<Box<dyn gesmc_core::EdgeSwitching + Send>, ChainError> {
+            spec.param("depth").ok_or_else(|| ChainError::BadParam {
+                chain: spec.name.clone(),
+                param: "depth".to_string(),
+                message: "required parameter missing".to_string(),
+            })?;
+            Ok(Box::new(SeqES::new(graph, config)))
+        }
+        let mut registry = ChainRegistry::new();
+        registry.register(ChainInfo {
+            name: "picky-es",
+            chain_name: "SeqES",
+            aliases: &[],
+            summary: "test chain with a required parameter",
+            exact: true,
+            parallel: false,
+            snapshot: true,
+            params: &[ParamInfo {
+                name: "depth",
+                kind: ParamKind::Int,
+                default: "-",
+                doc: "required",
+            }],
+            factory: picky_factory,
+        });
+
+        let dir = std::env::temp_dir().join("gesmc-pool-picky-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = JobSpec::new(
+            "picky",
+            GraphSource::InMemory(test_graph(6)),
+            ChainSpec::parse("picky-es?depth=2").unwrap(),
+        )
+        .supersteps(6)
+        .checkpoint(3, &dir);
+        run_job_with(&registry, &spec, &mut NullSink::default(), None).unwrap();
+
+        let checkpoint = Checkpoint::read_from_file(dir.join("picky.ckpt")).unwrap();
+        assert_eq!(checkpoint.chain_spec().to_string(), "picky-es?depth=2");
+        let report =
+            run_job_with(&registry, &spec, &mut NullSink::default(), Some(&checkpoint)).unwrap();
+        assert_eq!(report.resumed_from, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn report_summary_is_informative() {
-        let spec = spec_for("sum", Algorithm::SeqGlobalES, test_graph(5));
+        let spec = spec_for("sum", "seq-global-es", test_graph(5));
         let report = run_job(&spec, &mut NullSink::default(), None).unwrap();
         let line = report.summary();
         assert!(line.contains("sum"));

@@ -72,8 +72,9 @@ impl JobQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::job::{Algorithm, GraphSource};
+    use crate::job::GraphSource;
     use crate::sink::NullSink;
+    use gesmc_core::ChainSpec;
 
     fn spec(name: &str) -> JobSpec {
         let source = GraphSource::Generated {
@@ -83,7 +84,7 @@ mod tests {
             gamma: 2.5,
             seed: 1,
         };
-        JobSpec::new(name, source, Algorithm::SeqES)
+        JobSpec::new(name, source, ChainSpec::new("seq-es"))
     }
 
     #[test]

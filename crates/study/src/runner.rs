@@ -30,7 +30,8 @@ use crate::error::StudyError;
 use crate::report::{CellReport, StudyReport};
 use crate::sink::{CellOutcome, MetricsSink};
 use crate::spec::{CellSpec, StudyScale, StudySpec};
-use gesmc_engine::{Algorithm, GraphSource, JobQueue, JobSpec, QueuedJob, WorkerPool};
+use gesmc_core::spec::PARAM_LOOP_PROBABILITY;
+use gesmc_engine::{default_registry, GraphSource, JobQueue, JobSpec, QueuedJob, WorkerPool};
 use gesmc_graph::EdgeListGraph;
 use serde_json::{Map, Value};
 use std::path::{Path, PathBuf};
@@ -187,14 +188,22 @@ fn build_cell_job(
     let (nodes, edges) = (graph.num_nodes(), graph.num_edges());
     let sink = MetricsSink::new(&graph, &spec.thinnings, spec.effective_proxy_stride());
     let outcome = sink.outcome();
-    // The inexact baseline's interleaving is racy across threads; pin it to
-    // one thread so study reports stay reproducible.
-    let threads = if cell.algorithm == Algorithm::NaiveParES { Some(1) } else { threads };
-    let mut job = JobSpec::new(&cell.job_name, GraphSource::InMemory(graph), cell.algorithm)
-        .supersteps(cell.supersteps)
-        .thinning(1)
-        .seed(cell.seed)
-        .loop_probability(spec.loop_probability);
+    // Inexact parallel chains (naive-par-es) interleave racily across
+    // threads; the registry's capability flags identify them, and the runner
+    // pins their cells to one thread so study reports stay reproducible.
+    let racy = default_registry()
+        .get(&cell.algorithm.name)
+        .is_some_and(|info| info.parallel && !info.exact);
+    let threads = if racy { Some(1) } else { threads };
+    let mut job =
+        JobSpec::new(&cell.job_name, GraphSource::InMemory(graph), cell.algorithm.clone())
+            .supersteps(cell.supersteps)
+            .thinning(1)
+            .seed(cell.seed);
+    // The study-level P_L is a default: a per-chain `pl` parameter wins.
+    if cell.algorithm.param(PARAM_LOOP_PROBABILITY).is_none() {
+        job = job.loop_probability(spec.loop_probability);
+    }
     job.threads = threads;
     (QueuedJob::new(job, Box::new(sink)), outcome, nodes, edges)
 }
@@ -266,7 +275,7 @@ pub fn run_study(spec: &StudySpec, opts: &StudyOptions) -> Result<StudyRun, Stud
                     })?;
                 let report = CellReport {
                     job: cell.job_name.clone(),
-                    chain: cell.algorithm.cli_name().to_string(),
+                    chain: cell.algorithm.to_string(),
                     family: cell.graph.family.clone(),
                     label: cell.graph.label.clone(),
                     nodes,

@@ -111,7 +111,7 @@ impl SampleSink for MetricsSink {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gesmc_engine::{run_job, Algorithm, GraphSource, JobSpec};
+    use gesmc_engine::{run_job, ChainSpec, GraphSource, JobSpec};
     use gesmc_graph::gen::gnp;
     use gesmc_randx::rng_from_seed;
 
@@ -120,11 +120,14 @@ mod tests {
         let graph = gnp(&mut rng_from_seed(7), 60, 0.1);
         let mut sink = MetricsSink::new(&graph, &[1, 2, 4], 4);
         let outcome = sink.outcome();
-        let spec =
-            JobSpec::new("cell", GraphSource::InMemory(graph.clone()), Algorithm::SeqGlobalES)
-                .supersteps(12)
-                .thinning(1)
-                .seed(3);
+        let spec = JobSpec::new(
+            "cell",
+            GraphSource::InMemory(graph.clone()),
+            ChainSpec::new("seq-global-es"),
+        )
+        .supersteps(12)
+        .thinning(1)
+        .seed(3);
         let report = run_job(&spec, &mut sink, None).unwrap();
         assert_eq!(report.samples, 12);
 
@@ -144,10 +147,11 @@ mod tests {
         let graph = gnp(&mut rng_from_seed(8), 40, 0.1);
         let mut sink = MetricsSink::new(&graph, &[1], 0);
         let outcome = sink.outcome();
-        let spec = JobSpec::new("p0", GraphSource::InMemory(graph.clone()), Algorithm::SeqES)
-            .supersteps(4)
-            .thinning(1)
-            .seed(1);
+        let spec =
+            JobSpec::new("p0", GraphSource::InMemory(graph.clone()), ChainSpec::new("seq-es"))
+                .supersteps(4)
+                .thinning(1)
+                .seed(1);
         run_job(&spec, &mut sink, None).unwrap();
         let metrics = outcome.lock().unwrap().clone().unwrap();
         assert!(metrics.proxies.is_empty());

@@ -8,7 +8,7 @@
 //! ```json
 //! {
 //!   "name": "fig2_smoke",
-//!   "chains": ["seq-es", "seq-global-es", "par-global-es"],
+//!   "chains": ["seq-es", "global-curveball", "par-global-es?pl=0.001"],
 //!   "graphs": [
 //!     { "family": "pld", "nodes": 120, "edges": 360, "gamma": 2.5 },
 //!     { "family": "gnp", "nodes": 100, "edges": 400 }
@@ -25,9 +25,15 @@
 //! The top-level numbers describe the **smoke** scale (seconds on a laptop);
 //! the optional `"paper"` object overrides the superstep count and scales
 //! every graph's edge budget when the study runs with `--scale paper`.
+//!
+//! Each `"chains"` entry is a [`ChainSpec`] — a plain name, a
+//! `name?key=value` string, or the equivalent JSON object — resolved against
+//! the engine's [`default_registry`], so baselines (`global-curveball`,
+//! `adjacency-es`, …) sweep next to the core chains and per-chain parameters
+//! (e.g. two `P_L` values of the same chain) become distinct sweep columns.
 
 use crate::error::StudyError;
-use gesmc_engine::Algorithm;
+use gesmc_engine::{default_registry, ChainSpec};
 use serde_json::Value;
 use std::path::PathBuf;
 
@@ -91,8 +97,9 @@ pub struct PaperOverrides {
 pub struct StudySpec {
     /// Study name; keys every output file (`results/{name}.json`, …).
     pub name: String,
-    /// The chains of the sweep (the outer loop of the cross product).
-    pub chains: Vec<Algorithm>,
+    /// The chains of the sweep (the outer loop of the cross product), as
+    /// registry-resolved specs.
+    pub chains: Vec<ChainSpec>,
     /// The graphs of the sweep (the inner loop).
     pub graphs: Vec<GraphSpec>,
     /// Thinning values `k` evaluated in every cell (sorted, deduplicated).
@@ -123,10 +130,10 @@ pub struct StudySpec {
 pub struct CellSpec {
     /// Zero-based position in the sweep (chain-major order).
     pub index: usize,
-    /// Job name, `{chain}-{graph label}`; keys the cell's resume file.
+    /// Job name, `{chain slug}-{graph label}`; keys the cell's resume file.
     pub job_name: String,
     /// The chain of this cell.
-    pub algorithm: Algorithm,
+    pub algorithm: ChainSpec,
     /// The graph of this cell, with the scale's edge budget applied.
     pub graph: GraphSpec,
     /// Supersteps at the requested scale.
@@ -256,14 +263,24 @@ impl StudySpec {
         let chains = chains_value
             .iter()
             .map(|v| {
-                let s = v
-                    .as_str()
-                    .ok_or_else(|| StudyError::Spec("\"chains\" entries must be strings".into()))?;
-                Algorithm::parse(s).map_err(|e| StudyError::Spec(e.to_string()))
+                let spec = ChainSpec::from_json(v).map_err(|e| StudyError::Spec(e.to_string()))?;
+                // Resolve now so unknown names / bad parameters fail at parse
+                // time with the registry's message.
+                default_registry().validate(&spec).map_err(|e| StudyError::Spec(e.to_string()))?;
+                Ok(spec)
             })
-            .collect::<Result<Vec<_>, _>>()?;
+            .collect::<Result<Vec<_>, StudyError>>()?;
         if chains.is_empty() {
             return Err(StudyError::Spec("\"chains\" must not be empty".to_string()));
+        }
+        let mut slugs = std::collections::HashSet::new();
+        for chain in &chains {
+            if !slugs.insert(chain.slug()) {
+                return Err(StudyError::Spec(format!(
+                    "duplicate chain {:?}: cell names would collide",
+                    chain.to_string()
+                )));
+            }
         }
 
         let graphs_value = root
@@ -393,8 +410,8 @@ impl StudySpec {
                 graph.edges = self.edges_at(scale, graph.edges);
                 cells.push(CellSpec {
                     index,
-                    job_name: format!("{}-{}", chain.cli_name(), graph.label),
-                    algorithm: *chain,
+                    job_name: format!("{}-{}", chain.slug(), graph.label),
+                    algorithm: chain.clone(),
                     graph,
                     supersteps,
                     seed: derive_seed(self.seed, SEED_STREAM_CHAIN, index as u64),
@@ -450,6 +467,31 @@ mod tests {
     }
 
     #[test]
+    fn baseline_and_parameterised_chains_become_distinct_cells() {
+        let spec = StudySpec::parse(
+            r#"{
+                "name": "mix",
+                "chains": ["global-curveball", "par-global-es?pl=0.001", "par-global-es"],
+                "graphs": [{ "family": "gnp", "edges": 100, "label": "g" }],
+                "thinnings": [1]
+            }"#,
+        )
+        .unwrap();
+        let cells = spec.cells(StudyScale::Smoke);
+        assert_eq!(cells[0].job_name, "global-curveball-g");
+        assert_eq!(cells[1].job_name, "par-global-es-pl-0.001-g");
+        assert_eq!(cells[2].job_name, "par-global-es-g");
+        // Every job name stays within the report's file/CSV-safe charset.
+        for cell in &cells {
+            assert!(
+                cell.job_name.chars().all(|c| c.is_ascii_alphanumeric() || "_.-".contains(c)),
+                "{}",
+                cell.job_name
+            );
+        }
+    }
+
+    #[test]
     fn seed_derivation_is_stable_and_stream_separated() {
         assert_eq!(derive_seed(1, 0, 0), derive_seed(1, 0, 0));
         assert_ne!(derive_seed(1, SEED_STREAM_GRAPH, 3), derive_seed(1, SEED_STREAM_CHAIN, 3));
@@ -495,7 +537,9 @@ mod tests {
         expect_spec_error(r#"{"name": "a b", "chains": ["seq-es"]}"#, "must be non-empty");
         expect_spec_error(r#"{"name": "x"}"#, "chains");
         expect_spec_error(r#"{"name": "x", "chains": []}"#, "empty");
-        expect_spec_error(r#"{"name": "x", "chains": ["quantum"]}"#, "algorithm");
+        expect_spec_error(r#"{"name": "x", "chains": ["quantum"]}"#, "unknown chain");
+        expect_spec_error(r#"{"name": "x", "chains": ["seq-es?pl=9"]}"#, "pl");
+        expect_spec_error(r#"{"name": "x", "chains": ["seq-es", "seq-es"]}"#, "duplicate chain");
         expect_spec_error(r#"{"name": "x", "chains": ["seq-es"]}"#, "graphs");
         expect_spec_error(
             r#"{"name": "x", "chains": ["seq-es"], "graphs": [{"edges": 5}]}"#,

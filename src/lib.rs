@@ -7,8 +7,10 @@
 //!
 //! * [`graph`] — graphs, degree sequences, generators, metrics, I/O;
 //! * [`chains`] — the switching Markov chains (`SeqES`, `SeqGlobalES`,
-//!   `ParES`, `ParGlobalES`, `NaiveParES`) and their shared interface;
-//! * [`baselines`] — adjacency-list ES-MC baselines and Global Curveball;
+//!   `ParES`, `ParGlobalES`, `NaiveParES`), their shared interface, and the
+//!   open `ChainSpec`/`ChainRegistry` algorithm API;
+//! * [`baselines`] — adjacency-list ES-MC baselines and Global Curveball,
+//!   registered alongside the core chains in the engine's default registry;
 //! * [`analysis`] — autocorrelation-based mixing-time analysis and proxies;
 //! * [`datasets`] — the SynGnp / SynPld / NetRep-like dataset families;
 //! * [`concurrent`] — the concurrent hash sets and dependency tables;
@@ -53,14 +55,16 @@ pub use gesmc_study as study;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use gesmc_analysis::{mixing_profile, MixingProfile};
-    pub use gesmc_baselines::{AdjacencyListES, GlobalCurveball, SortedAdjacencyES};
+    pub use gesmc_baselines::{
+        register_baselines, AdjacencyListES, GlobalCurveball, SortedAdjacencyES,
+    };
     pub use gesmc_core::{
-        ChainSnapshot, EdgeSwitching, NaiveParES, ParES, ParGlobalES, SeqES, SeqGlobalES,
-        SwitchingConfig,
+        ChainError, ChainInfo, ChainRegistry, ChainSnapshot, ChainSpec, EdgeSwitching, NaiveParES,
+        ParES, ParGlobalES, ParamValue, SeqES, SeqGlobalES, SwitchingConfig,
     };
     pub use gesmc_engine::{
-        run_batch, run_job, Algorithm, Checkpoint, GraphSource, JobSpec, Manifest, MemorySink,
-        SampleSink, WorkerPool,
+        default_registry, run_batch, run_job, run_job_with, Checkpoint, GraphSource, JobSpec,
+        Manifest, MemorySink, SampleSink, WorkerPool,
     };
     pub use gesmc_graph::{DegreeSequence, Edge, EdgeListGraph};
     pub use gesmc_study::{run_study, MetricsSink, StudyOptions, StudyReport, StudySpec};

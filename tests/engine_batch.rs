@@ -76,7 +76,7 @@ fn thinned_samples_mix_between_emissions() {
     // Consecutive thinned samples of a mixing chain must differ: the sink
     // receives genuinely evolving graphs, not repeated copies.
     let graph = gnp(&mut rng_from_seed(5), 90, 0.08);
-    let spec = JobSpec::new("mix", GraphSource::InMemory(graph), Algorithm::ParGlobalES)
+    let spec = JobSpec::new("mix", GraphSource::InMemory(graph), ChainSpec::new("par-global-es"))
         .supersteps(12)
         .thinning(4)
         .seed(9);
@@ -96,6 +96,48 @@ fn thinned_samples_mix_between_emissions() {
 }
 
 #[test]
+fn batch_mixes_core_chains_with_baseline_chains() {
+    // The acceptance path of the registry redesign: one manifest drives a
+    // core chain and two baselines side by side, through the same engine,
+    // with per-chain parameters in both spellings.
+    let dir = temp_dir("mixed-batch");
+    let manifest_text = format!(
+        r#"{{
+            "workers": 3,
+            "output_dir": "{}",
+            "jobs": [
+                {{ "name": "core", "generate": {{ "family": "gnp", "edges": 600, "seed": 1 }},
+                   "algorithm": "par-global-es?pl=0.001", "supersteps": 6, "thinning": 3, "seed": 1 }},
+                {{ "name": "curveball", "generate": {{ "family": "gnp", "edges": 600, "seed": 1 }},
+                   "algorithm": "global-curveball", "supersteps": 6, "thinning": 3, "seed": 2 }},
+                {{ "name": "adjacency", "generate": {{ "family": "gnp", "edges": 600, "seed": 1 }},
+                   "algorithm": {{ "name": "adjacency-es" }}, "supersteps": 6, "thinning": 3, "seed": 3 }}
+            ]
+        }}"#,
+        dir.display()
+    );
+    let manifest = Manifest::parse(&manifest_text).unwrap();
+    let outcomes = run_batch(&manifest).unwrap();
+    assert_eq!(outcomes.len(), 3);
+    let expected_chains = [
+        ("core", "ParGlobalES"),
+        ("curveball", "GlobalCurveball"),
+        ("adjacency", "AdjacencyListES"),
+    ];
+    for (outcome, (name, chain)) in outcomes.iter().zip(expected_chains) {
+        let report = outcome.result.as_ref().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(outcome.job, name);
+        assert_eq!(report.algorithm, chain, "{name}");
+        assert_eq!(report.samples, 2, "{name}");
+    }
+    // All three jobs randomised the identical input; every sample preserves
+    // its degree sequence (verified by the engine) and parses back.
+    let files: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+    assert_eq!(files.len(), 6, "3 jobs x 2 thinned samples");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn worker_pool_multiplexes_many_jobs_over_few_workers() {
     let dir = temp_dir("many-jobs");
     let graph = gnp(&mut rng_from_seed(8), 60, 0.1);
@@ -104,7 +146,7 @@ fn worker_pool_multiplexes_many_jobs_over_few_workers() {
         let spec = JobSpec::new(
             format!("j{i}"),
             GraphSource::InMemory(graph.clone()),
-            Algorithm::SeqGlobalES,
+            ChainSpec::new("seq-global-es"),
         )
         .supersteps(5)
         .thinning(5)
@@ -132,7 +174,7 @@ fn engine_checkpoint_files_resume_through_run_job() {
     let ckpt_dir = temp_dir("resume-e2e");
     std::fs::create_dir_all(&ckpt_dir).unwrap();
     let graph = gnp(&mut rng_from_seed(13), 80, 0.08);
-    let spec = JobSpec::new("e2e", GraphSource::InMemory(graph), Algorithm::ParES)
+    let spec = JobSpec::new("e2e", GraphSource::InMemory(graph), ChainSpec::new("par-es"))
         .supersteps(10)
         .thinning(0)
         .seed(4)
@@ -165,13 +207,14 @@ fn failed_jobs_are_isolated_in_batch_outcomes() {
         JobSpec::new(
             "missing-input",
             GraphSource::File("/nonexistent/input.txt".into()),
-            Algorithm::SeqES,
+            ChainSpec::new("seq-es"),
         ),
         Box::new(NullSink::default()),
     ));
     let good_graph = gnp(&mut rng_from_seed(2), 50, 0.1);
     queue.push(QueuedJob::new(
-        JobSpec::new("fine", GraphSource::InMemory(good_graph), Algorithm::SeqES).supersteps(3),
+        JobSpec::new("fine", GraphSource::InMemory(good_graph), ChainSpec::new("seq-es"))
+            .supersteps(3),
         Box::new(NullSink::default()),
     ));
     let outcomes = WorkerPool::new(2).run(queue);

@@ -1,6 +1,8 @@
 //! Checkpoint/resume determinism: a chain checkpointed at superstep `t` and
 //! resumed must match the uninterrupted chain's edge set *exactly* at every
-//! superstep `T > t`, for all five chain implementations.
+//! superstep `T > t`, for every chain in the default registry — the five core
+//! chains and the baselines (Global Curveball, both adjacency-list ES
+//! variants) alike.
 //!
 //! The checkpoint round-trips through the binary format
 //! (`Checkpoint::to_bytes` → `from_bytes`) on every case, so the property
@@ -12,11 +14,21 @@ use gesmc_graph::gen::gnp;
 use gesmc_randx::rng_from_seed;
 use proptest::prelude::*;
 
+/// Build `name` through the default registry with an explicit config (the
+/// path the engine's resume uses).
+fn build(
+    name: &str,
+    graph: EdgeListGraph,
+    config: SwitchingConfig,
+) -> Box<dyn EdgeSwitching + Send> {
+    default_registry().build_with_config(&ChainSpec::new(name), graph, config).unwrap()
+}
+
 /// Run `total` supersteps uninterrupted; independently run `cut`, checkpoint
 /// through the binary format, resume into a fresh chain, and run the rest.
 /// Returns (uninterrupted, resumed) canonical edge sets.
 fn uninterrupted_vs_resumed(
-    algorithm: Algorithm,
+    algorithm: &str,
     graph_seed: u64,
     chain_seed: u64,
     cut: usize,
@@ -25,19 +37,28 @@ fn uninterrupted_vs_resumed(
     let graph = gnp(&mut rng_from_seed(graph_seed), 60, 0.09);
     let config = SwitchingConfig::with_seed(chain_seed);
 
-    let mut uninterrupted = algorithm.build(graph.clone(), config);
+    let mut uninterrupted = build(algorithm, graph.clone(), config);
     uninterrupted.run_supersteps(total);
 
-    let mut interrupted = algorithm.build(graph, config);
+    let mut interrupted = build(algorithm, graph, config);
     interrupted.run_supersteps(cut);
-    let checkpoint = Checkpoint::capture("prop", interrupted.as_ref(), total as u64, 0, 0).unwrap();
+    let checkpoint = Checkpoint::capture(
+        "prop",
+        interrupted.as_ref(),
+        &ChainSpec::new(algorithm),
+        total as u64,
+        0,
+        0,
+    )
+    .unwrap();
     let roundtripped = Checkpoint::from_bytes(&checkpoint.to_bytes()).unwrap();
     assert_eq!(roundtripped, checkpoint, "binary format must round-trip losslessly");
 
-    // Resume exactly as the engine does: build from the checkpoint's graph,
-    // then restore the full chain state.
+    // Resume exactly as the engine does: build from the checkpoint's graph
+    // and the chain name recorded in its header, then restore the full state.
     let snapshot = &roundtripped.snapshot;
-    let mut resumed = algorithm.build(snapshot.graph().unwrap(), snapshot.config());
+    let mut resumed =
+        build(roundtripped.chain_name(), snapshot.graph().unwrap(), snapshot.config());
     resumed.restore(snapshot).unwrap();
     assert_eq!(snapshot.supersteps_done, cut as u64);
     resumed.run_supersteps(total - cut);
@@ -45,36 +66,34 @@ fn uninterrupted_vs_resumed(
     (uninterrupted.graph().canonical_edges(), resumed.graph().canonical_edges())
 }
 
-fn assert_bit_identical_resume(algorithm: Algorithm, seed: u64, cut: usize, extra: usize) {
+fn assert_bit_identical_resume(algorithm: &str, seed: u64, cut: usize, extra: usize) {
     let total = cut + extra;
     let (full, resumed) = uninterrupted_vs_resumed(algorithm, seed ^ 0xABCD, seed, cut, total);
     assert_eq!(
-        full,
-        resumed,
-        "{}: resume from superstep {cut} diverged by superstep {total} (seed {seed})",
-        algorithm.chain_name()
+        full, resumed,
+        "{algorithm}: resume from superstep {cut} diverged by superstep {total} (seed {seed})",
     );
 }
 
 proptest! {
     #[test]
     fn seq_es_checkpoint_resume_is_exact(seed in any::<u64>(), cut in 1usize..5, extra in 1usize..5) {
-        assert_bit_identical_resume(Algorithm::SeqES, seed, cut, extra);
+        assert_bit_identical_resume("seq-es", seed, cut, extra);
     }
 
     #[test]
     fn seq_global_es_checkpoint_resume_is_exact(seed in any::<u64>(), cut in 1usize..5, extra in 1usize..5) {
-        assert_bit_identical_resume(Algorithm::SeqGlobalES, seed, cut, extra);
+        assert_bit_identical_resume("seq-global-es", seed, cut, extra);
     }
 
     #[test]
     fn par_es_checkpoint_resume_is_exact(seed in any::<u64>(), cut in 1usize..4, extra in 1usize..4) {
-        assert_bit_identical_resume(Algorithm::ParES, seed, cut, extra);
+        assert_bit_identical_resume("par-es", seed, cut, extra);
     }
 
     #[test]
     fn par_global_es_checkpoint_resume_is_exact(seed in any::<u64>(), cut in 1usize..4, extra in 1usize..4) {
-        assert_bit_identical_resume(Algorithm::ParGlobalES, seed, cut, extra);
+        assert_bit_identical_resume("par-global-es", seed, cut, extra);
     }
 
     #[test]
@@ -83,7 +102,22 @@ proptest! {
         // (Sec. 5.1); its trajectory is only a function of the checkpoint
         // state under a single-threaded pool.
         let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
-        pool.install(|| assert_bit_identical_resume(Algorithm::NaiveParES, seed, cut, extra));
+        pool.install(|| assert_bit_identical_resume("naive-par-es", seed, cut, extra));
+    }
+
+    #[test]
+    fn global_curveball_checkpoint_resume_is_exact(seed in any::<u64>(), cut in 1usize..5, extra in 1usize..5) {
+        assert_bit_identical_resume("global-curveball", seed, cut, extra);
+    }
+
+    #[test]
+    fn adjacency_es_checkpoint_resume_is_exact(seed in any::<u64>(), cut in 1usize..5, extra in 1usize..5) {
+        assert_bit_identical_resume("adjacency-es", seed, cut, extra);
+    }
+
+    #[test]
+    fn sorted_adjacency_es_checkpoint_resume_is_exact(seed in any::<u64>(), cut in 1usize..5, extra in 1usize..5) {
+        assert_bit_identical_resume("sorted-adjacency-es", seed, cut, extra);
     }
 }
 
@@ -91,14 +125,14 @@ proptest! {
 /// chain observed *at* `t` (not only at the final superstep).
 #[test]
 fn checkpoint_state_matches_uninterrupted_prefix() {
-    for algorithm in Algorithm::ALL {
+    for info in default_registry().infos() {
         let graph = gnp(&mut rng_from_seed(7), 60, 0.09);
         let config = SwitchingConfig::with_seed(11);
 
-        let mut reference = algorithm.build(graph.clone(), config);
+        let mut reference = build(info.name, graph.clone(), config);
         reference.run_supersteps(4);
 
-        let mut checkpointed = algorithm.build(graph, config);
+        let mut checkpointed = build(info.name, graph, config);
         // Interleave snapshots between supersteps: capturing must not
         // disturb the chain.
         for _ in 0..4 {
@@ -109,7 +143,7 @@ fn checkpoint_state_matches_uninterrupted_prefix() {
             checkpointed.graph().canonical_edges(),
             reference.graph().canonical_edges(),
             "{}: snapshot capture disturbed the chain",
-            algorithm.chain_name()
+            info.name
         );
     }
 }
@@ -119,14 +153,15 @@ fn checkpoint_state_matches_uninterrupted_prefix() {
 #[test]
 fn resume_is_repeatable() {
     let graph = gnp(&mut rng_from_seed(21), 60, 0.09);
-    let mut chain = Algorithm::ParGlobalES.build(graph, SwitchingConfig::with_seed(3));
+    let mut chain = build("par-global-es", graph, SwitchingConfig::with_seed(3));
     chain.run_supersteps(3);
-    let checkpoint = Checkpoint::capture("twice", chain.as_ref(), 8, 0, 0).unwrap();
+    let checkpoint =
+        Checkpoint::capture("twice", chain.as_ref(), &ChainSpec::new("par-global-es"), 8, 0, 0)
+            .unwrap();
 
     let run = |ckpt: &Checkpoint| {
         let snapshot = &ckpt.snapshot;
-        let mut resumed =
-            Algorithm::ParGlobalES.build(snapshot.graph().unwrap(), snapshot.config());
+        let mut resumed = build(ckpt.chain_name(), snapshot.graph().unwrap(), snapshot.config());
         resumed.restore(snapshot).unwrap();
         resumed.run_supersteps(5);
         resumed.graph().canonical_edges()
