@@ -1,0 +1,79 @@
+//! Criterion benchmark: requests/sec of the `gesmc-serve` HTTP service.
+//!
+//! Boots a real server on an ephemeral port and measures the two regimes
+//! that matter for the serving layer:
+//!
+//! * **hot cache** — repeated requests for one `(graph, chain, supersteps)`
+//!   key; after the first miss every request is an O(1) cache hit, so this
+//!   measures the HTTP codec + cache lookup path;
+//! * **cold cache** — every request uses a fresh graph seed, so each one
+//!   flows through the bounded admission queue and runs a chain on the
+//!   engine pool.
+//!
+//! Honours the harness' `--scale {smoke,small,paper}` knob (default
+//! `smoke`, so `cargo bench` stays fast offline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gesmc_bench::Scale;
+use gesmc_serve::{ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|pair| pair[0] == "--scale")
+        .and_then(|pair| Scale::parse(&pair[1]))
+        .unwrap_or(Scale::Smoke)
+}
+
+/// One blocking request; panics on a non-200 so regressions fail loudly.
+fn request(addr: SocketAddr, path: &str) -> usize {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n").expect("write");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read");
+    assert!(response.starts_with(b"HTTP/1.1 200"), "non-200 response during bench");
+    response.len()
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let scale = scale_from_args();
+    let (edges, supersteps) = scale.pick((500usize, 5u64), (5_000, 10), (50_000, 20));
+
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        engine_workers: 2,
+        max_pending: 0, // unbounded: the bench must never shed
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr();
+
+    let hot_path =
+        format!("/v1/sample?graph=pld:m={edges},seed=1&algo=seq-global-es&supersteps={supersteps}");
+    // Prime the hot key once, outside the measurement.
+    request(addr, &hot_path);
+
+    let mut group = c.benchmark_group("serve_requests");
+    group.throughput(Throughput::Elements(1));
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("hot_cache", edges), &edges, |b, _| {
+        b.iter(|| request(addr, &hot_path));
+    });
+    let mut cold_seed = 1_000_000u64;
+    group.bench_with_input(BenchmarkId::new("cold_cache", edges), &edges, |b, _| {
+        b.iter(|| {
+            cold_seed += 1;
+            let path = format!(
+                "/v1/sample?graph=pld:m={edges},seed={cold_seed}&algo=seq-global-es&supersteps={supersteps}"
+            );
+            request(addr, &path)
+        });
+    });
+    group.finish();
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

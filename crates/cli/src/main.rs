@@ -14,6 +14,9 @@
 //!                    [--checkpoint-every K [--checkpoint-dir DIR]]
 //!   gesmc study      study.json [--scale smoke|paper] [--workers N]
 //!                    [--threads-per-job N] [--output-dir DIR] [--resume]
+//!   gesmc serve      [--addr HOST:PORT] [--workers N] [--http-workers N]
+//!                    [--cache-entries N] [--max-pending N] [--allow-shutdown]
+//!   gesmc --version | gesmc <subcommand> --help
 //! ```
 //!
 //! The CLI exercises the same public API as the examples and benchmarks: it
@@ -41,6 +44,7 @@ use gesmc_engine::{
 };
 use gesmc_graph::io::{read_edge_list_file, write_edge_list_file};
 use gesmc_graph::EdgeListGraph;
+use gesmc_serve::{ServeConfig, Server};
 use gesmc_study::{run_study, StudyOptions, StudyScale, StudySpec};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -61,6 +65,11 @@ fn print_usage() {
                       [--checkpoint-every K [--checkpoint-dir DIR]]\n\
            study      STUDY.json [--scale {{smoke,paper}}] [--workers N]\n\
                       [--threads-per-job P] [--output-dir DIR] [--resume]\n\
+           serve      [--addr HOST:PORT] [--workers N] [--http-workers N]\n\
+                      [--cache-entries N] [--max-pending N] [--allow-shutdown]\n\
+         \n\
+         Run `gesmc <subcommand> --help` for per-subcommand details and\n\
+         `gesmc --version` for the version.\n\
          \n\
          An algorithm SPEC is a registered chain name with optional parameters,\n\
          e.g. par-global-es, global-curveball, or par-global-es?pl=0.001&prefetch=off.\n\
@@ -69,6 +78,140 @@ fn print_usage() {
          and checkpoints/resumes.",
         default_registry().len()
     );
+}
+
+/// The known subcommands, for dispatch and nearest-match suggestions.
+const SUBCOMMANDS: &[&str] = &[
+    "randomize",
+    "generate",
+    "analyze",
+    "algorithms",
+    "batch",
+    "resume",
+    "study",
+    "serve",
+    "help",
+    "version",
+];
+
+/// Per-subcommand usage text (`gesmc <subcommand> --help`).
+fn command_help(command: &str) -> Option<&'static str> {
+    Some(match command {
+        "randomize" => {
+            "gesmc randomize --input FILE --output FILE [options]\n\
+             Randomize an edge-list file with a switching chain and write the result.\n\
+             \n\
+             Required:\n\
+               --input FILE       plain-text edge list to randomize\n\
+               --output FILE      where the randomized edge list goes\n\
+             Options:\n\
+               --algo SPEC        chain spec (default par-global-es); see `gesmc algorithms`\n\
+               --supersteps K     superstep count (default 20)\n\
+               --seed S           PRNG seed (default 1)\n\
+               --threads P        rayon thread budget (default: all cores)"
+        }
+        "generate" => {
+            "gesmc generate --family {gnp,pld,road,mesh,dense} --edges M --output FILE [options]\n\
+             Generate a synthetic graph from the dataset families.\n\
+             \n\
+             Required:\n\
+               --family NAME      gnp, pld, road, mesh, or dense\n\
+               --edges M          target edge count\n\
+               --output FILE      where the edge list goes\n\
+             Options:\n\
+               --nodes N          node count (default: family-specific from M)\n\
+               --gamma G          power-law exponent, pld only (default 2.5)\n\
+               --seed S           generator seed (default 1)"
+        }
+        "analyze" => {
+            "gesmc analyze --input FILE [options]\n\
+             Estimate the mixing profile of a chain on a small graph (CSV on stdout).\n\
+             \n\
+             Required:\n\
+               --input FILE       plain-text edge list to analyse\n\
+             Options:\n\
+               --algo SPEC        chain spec (default seq-global-es)\n\
+               --supersteps K     supersteps per thinning (default 30)\n\
+               --seed S           PRNG seed (default 1)"
+        }
+        "algorithms" => {
+            "gesmc algorithms [--names]\n\
+             List every registered chain with parameters, defaults, and capabilities.\n\
+             \n\
+             Options:\n\
+               --names            print only the chain names, one per line"
+        }
+        "batch" => {
+            "gesmc batch MANIFEST.json [--workers N]\n\
+             Run every job of a JSON manifest over the engine worker pool,\n\
+             streaming thinned samples to per-job files.\n\
+             \n\
+             Options:\n\
+               --workers N        worker threads (default: manifest value, 0 = all cores)"
+        }
+        "resume" => {
+            "gesmc resume JOB.ckpt [options]\n\
+             Continue an interrupted job from its checkpoint, bit-identically.\n\
+             \n\
+             Options:\n\
+               --samples-dir DIR      where resumed samples go (default samples)\n\
+               --supersteps T         extend the superstep target\n\
+               --threads P            rayon thread budget\n\
+               --checkpoint-every K   keep checkpointing every K supersteps\n\
+               --checkpoint-dir DIR   checkpoint directory (default: alongside JOB.ckpt)"
+        }
+        "study" => {
+            "gesmc study STUDY.json [options]\n\
+             Run an end-to-end mixing-time study (the data behind Figs. 2-3).\n\
+             \n\
+             Options:\n\
+               --scale {smoke,paper}  workload scale (default smoke)\n\
+               --workers N            cell-level worker threads\n\
+               --threads-per-job P    rayon threads per cell\n\
+               --output-dir DIR       report directory (default results)\n\
+               --resume               reuse completed cells from an earlier run"
+        }
+        "serve" => {
+            "gesmc serve [options]\n\
+             Serve null-model samples over HTTP with a warm sample cache\n\
+             (endpoints: /v1/sample, /v1/jobs, /v1/algorithms, /healthz, /metrics).\n\
+             \n\
+             Options:\n\
+               --addr HOST:PORT     bind address (default 127.0.0.1:8080; port 0 = ephemeral)\n\
+               --workers N          engine worker threads (default: all cores)\n\
+               --http-workers N     HTTP worker threads (default 4)\n\
+               --cache-entries N    warm-cache capacity (default 256; 0 disables)\n\
+               --max-pending N      admission queue bound before 429s (default 64; 0 = unbounded)\n\
+               --allow-shutdown     honour POST /v1/shutdown (graceful stop over HTTP)"
+        }
+        _ => return None,
+    })
+}
+
+/// Levenshtein edit distance, for unknown-subcommand suggestions.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let b_chars: Vec<char> = b.chars().collect();
+    let mut row: Vec<usize> = (0..=b_chars.len()).collect();
+    for (i, ca) in a.chars().enumerate() {
+        let mut previous_diagonal = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b_chars.iter().enumerate() {
+            let substitution = previous_diagonal + usize::from(ca != cb);
+            previous_diagonal = row[j + 1];
+            row[j + 1] = substitution.min(row[j] + 1).min(previous_diagonal + 1);
+        }
+    }
+    row[b_chars.len()]
+}
+
+/// The closest known subcommand, if any is close enough to be a likely typo.
+fn nearest_subcommand(unknown: &str) -> Option<&'static str> {
+    SUBCOMMANDS
+        .iter()
+        .map(|&candidate| (edit_distance(unknown, candidate), candidate))
+        .min()
+        .filter(|&(distance, candidate)| distance <= candidate.len().div_ceil(2).min(3))
+        .map(|(_, candidate)| candidate)
 }
 
 /// Split raw arguments into positional arguments and `--flag value` pairs.
@@ -513,13 +656,72 @@ fn cmd_study(positional: &[String], flags: &HashMap<String, String>) -> Result<(
     Ok(())
 }
 
+/// `gesmc serve`: run the HTTP sampling service until a graceful shutdown
+/// is requested (`POST /v1/shutdown` with `--allow-shutdown`) or the process
+/// is killed.
+fn cmd_serve(positional: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+    no_positionals("serve", positional)?;
+    reject_unknown_flags(
+        "serve",
+        flags,
+        &["addr", "workers", "http-workers", "cache-entries", "max-pending", "allow-shutdown"],
+    )?;
+    let mut config = ServeConfig::default();
+    if let Some(addr) = flags.get("addr") {
+        config.addr = addr.clone();
+    }
+    if let Some(workers) = parse_flag::<usize>(flags, "workers")? {
+        config.engine_workers = workers;
+    }
+    if let Some(http_workers) = parse_flag::<usize>(flags, "http-workers")? {
+        if http_workers == 0 {
+            return Err("--http-workers must be at least 1".to_string());
+        }
+        config.http_workers = http_workers;
+    }
+    if let Some(entries) = parse_flag::<usize>(flags, "cache-entries")? {
+        config.cache_entries = entries;
+    }
+    if let Some(pending) = parse_flag::<usize>(flags, "max-pending")? {
+        config.max_pending = pending;
+    }
+    config.allow_shutdown = flags.contains_key("allow-shutdown");
+
+    let server =
+        Server::bind(config.clone()).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+    eprintln!(
+        "serving on http://{} ({} engine workers, {} http workers, cache {} entries, \
+         admission bound {})",
+        server.local_addr(),
+        if config.engine_workers == 0 {
+            "all".to_string()
+        } else {
+            config.engine_workers.to_string()
+        },
+        config.http_workers,
+        config.cache_entries,
+        config.max_pending
+    );
+    if config.allow_shutdown {
+        eprintln!("POST /v1/shutdown stops the server gracefully");
+    }
+    server.wait();
+    eprintln!("shut down cleanly");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
         print_usage();
         return ExitCode::FAILURE;
     };
-    let (positional, flags) = match parse_args(rest, &["resume", "names"]) {
+    if matches!(command.as_str(), "--version" | "-V" | "version") {
+        println!("gesmc {}", env!("CARGO_PKG_VERSION"));
+        return ExitCode::SUCCESS;
+    }
+    let (positional, flags) = match parse_args(rest, &["resume", "names", "help", "allow-shutdown"])
+    {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("error: {e}");
@@ -527,6 +729,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // `gesmc <subcommand> --help` prints that subcommand's usage and exits
+    // successfully, before any flag validation.
+    if flags.contains_key("help") {
+        match command_help(command) {
+            Some(help) => {
+                println!("{help}");
+                return ExitCode::SUCCESS;
+            }
+            None => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+        }
+    }
     let result = match command.as_str() {
         "randomize" => cmd_randomize(&positional, &flags),
         "generate" => cmd_generate(&positional, &flags),
@@ -535,11 +751,17 @@ fn main() -> ExitCode {
         "batch" => cmd_batch(&positional, &flags),
         "resume" => cmd_resume(&positional, &flags),
         "study" => cmd_study(&positional, &flags),
+        "serve" => cmd_serve(&positional, &flags),
         "--help" | "-h" | "help" => {
             print_usage();
             Ok(())
         }
-        other => Err(format!("unknown subcommand {other:?}")),
+        other => match nearest_subcommand(other) {
+            Some(suggestion) => {
+                Err(format!("unknown subcommand {other:?} (did you mean \"{suggestion}\"?)"))
+            }
+            None => Err(format!("unknown subcommand {other:?}")),
+        },
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -28,6 +28,15 @@ pub enum EngineError {
         /// Superstep at which the violation was detected.
         superstep: u64,
     },
+    /// The job was cancelled via its [`JobControl`](crate::JobControl)
+    /// before finishing.  Samples emitted before the cancel were delivered;
+    /// the chain stopped on a superstep boundary.
+    Cancelled {
+        /// Name of the cancelled job.
+        job: String,
+        /// Last completed superstep.
+        superstep: u64,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -41,6 +50,9 @@ impl std::fmt::Display for EngineError {
             EngineError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
             EngineError::DegreesViolated { job, superstep } => {
                 write!(f, "job {job:?}: degree sequence violated at superstep {superstep}")
+            }
+            EngineError::Cancelled { job, superstep } => {
+                write!(f, "job {job:?}: cancelled after superstep {superstep}")
             }
         }
     }

@@ -18,6 +18,11 @@ use gesmc_graph::io::read_edge_list_file;
 use gesmc_graph::EdgeListGraph;
 use std::path::PathBuf;
 
+/// The synthetic graph families [`GraphSource::Generated`] dispatches on —
+/// the single source of truth for everything that validates a family name
+/// upstream (manifests, the HTTP service).
+pub const GRAPH_FAMILIES: &[&str] = &["gnp", "pld", "road", "mesh", "dense"];
+
 /// Where a job's input graph comes from.
 #[derive(Debug, Clone)]
 pub enum GraphSource {
@@ -62,7 +67,8 @@ impl GraphSource {
                     "dense" => family_graph(*seed, GraphFamily::Dense, *edges).graph,
                     other => {
                         return Err(EngineError::Graph(format!(
-                            "unknown graph family {other:?} (expected gnp, pld, road, mesh, dense)"
+                            "unknown graph family {other:?} (expected {})",
+                            GRAPH_FAMILIES.join(", ")
                         )))
                     }
                 };

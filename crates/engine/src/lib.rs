@@ -15,7 +15,12 @@
 //! * **checkpoint/resume**: a binary [`Checkpoint`] captures the edge array,
 //!   the exact PRNG stream state and the superstep counter, so interrupted
 //!   chains resume *bit-identically* to an uninterrupted run instead of
-//!   losing hours of switching.
+//!   losing hours of switching;
+//! * **service mode**: a long-running [`ServicePool`] accepts jobs one at a
+//!   time behind a bounded admission queue, returns non-blocking
+//!   [`JobHandle`]s with progress/cancellation ([`JobControl`]), and shuts
+//!   down gracefully (drain in-flight, reject new) — the execution layer of
+//!   the `gesmc-serve` HTTP service.
 //!
 //! Algorithms are selected by open, registry-resolved [`ChainSpec`]s — the
 //! engine has no closed algorithm enum.  [`default_registry`] knows the five
@@ -48,20 +53,24 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod control;
 pub mod error;
 pub mod job;
 pub mod manifest;
 pub mod pool;
 pub mod queue;
+pub mod service;
 pub mod sink;
 
 pub use checkpoint::Checkpoint;
+pub use control::{JobControl, JobProgress};
 pub use error::EngineError;
 pub use gesmc_core::{ChainError, ChainInfo, ChainRegistry, ChainSpec, ParamValue};
-pub use job::{GraphSource, JobSpec};
+pub use job::{GraphSource, JobSpec, GRAPH_FAMILIES};
 pub use manifest::Manifest;
-pub use pool::{run_job, run_job_with, JobOutcome, JobReport, WorkerPool};
+pub use pool::{run_job, run_job_controlled, run_job_with, JobOutcome, JobReport, WorkerPool};
 pub use queue::{JobQueue, QueuedJob};
+pub use service::{JobHandle, JobState, ServicePool, SubmitError};
 pub use sink::{CallbackSink, EdgeListFileSink, MemorySink, NullSink, SampleContext, SampleSink};
 
 use std::sync::OnceLock;

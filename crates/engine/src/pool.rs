@@ -1,6 +1,7 @@
 //! Job execution: the single-job driver and the multi-job worker pool.
 
 use crate::checkpoint::Checkpoint;
+use crate::control::JobControl;
 use crate::default_registry;
 use crate::error::EngineError;
 use crate::job::JobSpec;
@@ -92,6 +93,23 @@ pub fn run_job_with(
     sink: &mut dyn SampleSink,
     resume: Option<&Checkpoint>,
 ) -> Result<JobReport, EngineError> {
+    run_job_controlled(registry, spec, sink, resume, &JobControl::new())
+}
+
+/// Like [`run_job_with`], under cooperative control: `control` is consulted
+/// once per superstep, so observers can poll progress
+/// ([`JobControl::progress`]) and request cancellation
+/// ([`JobControl::request_cancel`]) while the job runs.  A cancel surfaces as
+/// [`EngineError::Cancelled`] naming the last completed superstep; the sink
+/// keeps every sample emitted before the cancel, and a job that checkpoints
+/// periodically can be resumed past a cancel like past any interruption.
+pub fn run_job_controlled(
+    registry: &ChainRegistry,
+    spec: &JobSpec,
+    sink: &mut dyn SampleSink,
+    resume: Option<&Checkpoint>,
+    control: &JobControl,
+) -> Result<JobReport, EngineError> {
     let start = Instant::now();
 
     // The spec a resumed run re-checkpoints under is the checkpoint's own
@@ -122,10 +140,17 @@ pub fn run_job_with(
     let mut legal = 0u64;
     let mut checkpoints = 0u64;
 
+    control.set_total(spec.supersteps);
+    control.record_start(resumed_from);
+
     for step in resumed_from + 1..=spec.supersteps {
+        if control.is_cancel_requested() {
+            return Err(EngineError::Cancelled { job: spec.name.clone(), superstep: step - 1 });
+        }
         let stats = chain.superstep();
         requested += stats.requested as u64;
         legal += stats.legal as u64;
+        control.record(step);
 
         let emit =
             if spec.thinning == 0 { step == spec.supersteps } else { step % spec.thinning == 0 };
@@ -241,17 +266,35 @@ impl WorkerPool {
 
     /// Run one claimed job, honouring its thread budget.
     fn run_one(registry: &ChainRegistry, mut job: QueuedJob) -> Result<JobReport, EngineError> {
-        match job.spec.threads {
-            Some(threads) => {
-                let pool = rayon::ThreadPoolBuilder::new()
-                    .num_threads(threads)
-                    .build()
-                    .map_err(|e| EngineError::Graph(format!("cannot build rayon pool: {e}")))?;
-                pool.install(|| {
-                    run_job_with(registry, &job.spec, job.sink.as_mut(), job.resume.as_ref())
-                })
-            }
-            None => run_job_with(registry, &job.spec, job.sink.as_mut(), job.resume.as_ref()),
+        run_claimed(registry, &mut job, &JobControl::new())
+    }
+}
+
+/// Run a claimed job under `control`, honouring its per-job thread budget
+/// (shared by [`WorkerPool`] and [`ServicePool`](crate::ServicePool)).
+pub(crate) fn run_claimed(
+    registry: &ChainRegistry,
+    job: &mut QueuedJob,
+    control: &JobControl,
+) -> Result<JobReport, EngineError> {
+    match job.spec.threads {
+        Some(threads) => {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .map_err(|e| EngineError::Graph(format!("cannot build rayon pool: {e}")))?;
+            pool.install(|| {
+                run_job_controlled(
+                    registry,
+                    &job.spec,
+                    job.sink.as_mut(),
+                    job.resume.as_ref(),
+                    control,
+                )
+            })
+        }
+        None => {
+            run_job_controlled(registry, &job.spec, job.sink.as_mut(), job.resume.as_ref(), control)
         }
     }
 }
@@ -461,6 +504,41 @@ mod tests {
             run_job_with(&registry, &spec, &mut NullSink::default(), Some(&checkpoint)).unwrap();
         assert_eq!(report.resumed_from, 3);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancelled_jobs_stop_between_supersteps_and_keep_prior_samples() {
+        use std::sync::Arc;
+        let control = Arc::new(JobControl::new());
+        // Cancel from inside the sink after the second sample: the driver
+        // observes the flag before the next superstep.
+        let control_in_sink = Arc::clone(&control);
+        let seen = Arc::new(Mutex::new(0u64));
+        let seen_in_sink = Arc::clone(&seen);
+        let mut sink =
+            crate::sink::CallbackSink::new(move |ctx: &SampleContext<'_>, _g: &EdgeListGraph| {
+                *seen_in_sink.lock().unwrap() += 1;
+                if ctx.sample_index == 1 {
+                    control_in_sink.request_cancel();
+                }
+                Ok(())
+            });
+        let spec = spec_for("cancel", "seq-es", test_graph(7)).supersteps(100).thinning(2);
+        let err =
+            run_job_controlled(default_registry(), &spec, &mut sink, None, &control).unwrap_err();
+        match err {
+            EngineError::Cancelled { job, superstep } => {
+                assert_eq!(job, "cancel");
+                // Sample 1 lands after superstep 4; the cancel is observed
+                // before superstep 5 runs.
+                assert_eq!(superstep, 4);
+            }
+            other => panic!("expected Cancelled, got {other}"),
+        }
+        assert_eq!(*seen.lock().unwrap(), 2, "samples before the cancel are kept");
+        let progress = control.progress();
+        assert_eq!(progress.superstep, 4);
+        assert_eq!(progress.total, 100);
     }
 
     #[test]

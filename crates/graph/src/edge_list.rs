@@ -225,6 +225,25 @@ impl EdgeListGraph {
         p.sort_unstable();
         p
     }
+
+    /// A 64-bit content fingerprint: FNV-1a over the node count and the
+    /// canonical (sorted, packed) edge set.
+    ///
+    /// Two graphs fingerprint equal iff they are the same labelled graph,
+    /// regardless of edge-slot order — the property cache keys and
+    /// deduplication need.  (The `gesmc-serve` warm cache keys *generated*
+    /// graphs by their canonical generator spec instead, so the generator
+    /// never has to run just to compute a key; this method is the
+    /// fingerprint to use when the graph itself is in hand.)  Stable across
+    /// runs and builds; not cryptographic.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hasher = gesmc_randx::Fnv1a64::new();
+        hasher.write_u64(self.num_nodes as u64);
+        for packed in self.canonical_edges() {
+            hasher.write_u64(packed);
+        }
+        hasher.finish()
+    }
 }
 
 #[cfg(test)]
@@ -289,6 +308,22 @@ mod tests {
             EdgeListGraph::new(4, vec![Edge::new(0, 1), Edge::new(2, 3), Edge::new(0, 2)]).unwrap();
         assert!(!g1.same_degrees(&g2));
         assert!(g1.same_degrees(&g1.clone()));
+    }
+
+    #[test]
+    fn fingerprint_is_order_independent_and_content_sensitive() {
+        let g1 = EdgeListGraph::new(3, vec![Edge::new(0, 1), Edge::new(1, 2)]).unwrap();
+        let g2 = EdgeListGraph::new(3, vec![Edge::new(2, 1), Edge::new(1, 0)]).unwrap();
+        assert_eq!(g1.fingerprint(), g2.fingerprint(), "slot order must not matter");
+
+        let different_edge = EdgeListGraph::new(3, vec![Edge::new(0, 1), Edge::new(0, 2)]).unwrap();
+        assert_ne!(g1.fingerprint(), different_edge.fingerprint());
+        // Same edge set over more nodes (isolated node added) is a different
+        // labelled graph.
+        let more_nodes = EdgeListGraph::new(4, vec![Edge::new(0, 1), Edge::new(1, 2)]).unwrap();
+        assert_ne!(g1.fingerprint(), more_nodes.fingerprint());
+        // Stable across clones/runs.
+        assert_eq!(g1.fingerprint(), g1.clone().fingerprint());
     }
 
     #[test]

@@ -1,12 +1,21 @@
-//! Plain-text edge-list I/O.
+//! Plain-text and binary edge-list I/O.
 //!
 //! The CLI and the benchmark harness exchange graphs as whitespace-separated
 //! edge lists (`u v` per line, `#`-prefixed comments ignored), the de-facto
 //! format of the network repository the paper draws its real-world graphs
 //! from.  Reading applies the same clean-up the paper describes: directed
 //! duplicates, self-loops and multi-edges are dropped.
+//!
+//! For machine-to-machine exchange — the `gesmc-serve` HTTP service under
+//! `Accept: application/octet-stream`, bulk sample archives — there is also a
+//! compact binary encoding ([`write_edge_list_binary`] /
+//! [`read_edge_list_binary`]): a magic header plus fixed-width little-endian
+//! words, 8 bytes per edge, no escaping and no parsing ambiguity.  The reader
+//! validates the simple-graph invariants and caps its allocations by the
+//! bytes actually present (like the engine's `GESMCKP1` checkpoint parser),
+//! so a forged edge count cannot trigger an out-of-memory abort.
 
-use crate::edge::Node;
+use crate::edge::{Edge, Node};
 use crate::edge_list::EdgeListGraph;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -23,6 +32,9 @@ pub enum IoError {
         /// The offending content.
         content: String,
     },
+    /// A binary edge list is malformed (bad magic, truncated payload, or
+    /// violated simple-graph invariants).
+    Binary(String),
 }
 
 impl std::fmt::Display for IoError {
@@ -30,6 +42,7 @@ impl std::fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "I/O error: {e}"),
             IoError::Parse { line, content } => write!(f, "cannot parse line {line}: {content:?}"),
+            IoError::Binary(msg) => write!(f, "binary edge list: {msg}"),
         }
     }
 }
@@ -97,6 +110,112 @@ pub fn write_edge_list_file<P: AsRef<Path>>(path: P, graph: &EdgeListGraph) -> s
     write_edge_list(file, graph)
 }
 
+/// Magic header of the binary edge-list encoding (version 1).
+pub const BINARY_MAGIC: &[u8; 8] = b"GESMCEL1";
+
+/// Write a graph in the compact binary encoding.
+///
+/// Layout (all integers little-endian, no padding):
+///
+/// ```text
+/// magic      8  b"GESMCEL1"
+/// num_nodes  8  u64
+/// num_edges  8  u64
+/// edges    m×8  (u32 u, u32 v) per edge, slot order preserved
+/// ```
+///
+/// The fixed-width layout makes the size exactly `24 + 8·m` bytes and keeps
+/// encoding/decoding allocation-free per edge (no varints to branch on); a
+/// graph round-trips through [`read_edge_list_binary`] with its edge *order*
+/// intact, not just its edge set.
+pub fn write_edge_list_binary<W: Write>(writer: W, graph: &EdgeListGraph) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(BINARY_MAGIC)?;
+    w.write_all(&(graph.num_nodes() as u64).to_le_bytes())?;
+    w.write_all(&(graph.num_edges() as u64).to_le_bytes())?;
+    for e in graph.edges() {
+        w.write_all(&e.u().to_le_bytes())?;
+        w.write_all(&e.v().to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Read a graph from the binary encoding of [`write_edge_list_binary`].
+///
+/// Fails with [`IoError::Binary`] on a bad magic, a truncated payload,
+/// trailing garbage, or edges violating the simple-graph invariants
+/// (self-loops, duplicates, endpoints `>= num_nodes`).  The edge vector is
+/// grown in bounded chunks while bytes actually arrive, so a forged
+/// `num_edges` field cannot make the reader allocate more than the input
+/// backs (the same defence as the engine's `GESMCKP1` checkpoint parser).
+pub fn read_edge_list_binary<R: Read>(reader: R) -> Result<EdgeListGraph, IoError> {
+    let mut r = BufReader::new(reader);
+
+    let mut header = [0u8; 24];
+    r.read_exact(&mut header).map_err(|e| match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => {
+            IoError::Binary("truncated header (need 24 bytes)".to_string())
+        }
+        _ => IoError::Io(e),
+    })?;
+    if &header[0..8] != BINARY_MAGIC {
+        return Err(IoError::Binary(format!(
+            "bad magic {:?} (expected {:?})",
+            &header[0..8],
+            BINARY_MAGIC
+        )));
+    }
+    let num_nodes = u64::from_le_bytes(header[8..16].try_into().expect("length checked"));
+    let num_edges = u64::from_le_bytes(header[16..24].try_into().expect("length checked"));
+    if num_nodes > u64::from(u32::MAX) + 1 {
+        return Err(IoError::Binary(format!("implausible node count {num_nodes}")));
+    }
+
+    // Cap the upfront reservation: each claimed edge must be backed by 8
+    // payload bytes, which we only trust as they arrive.
+    const CHUNK_EDGES: usize = 1 << 16;
+    let mut edges: Vec<Edge> = Vec::with_capacity((num_edges as usize).min(CHUNK_EDGES));
+    let mut buf = [0u8; 8];
+    for i in 0..num_edges {
+        r.read_exact(&mut buf).map_err(|e| match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => IoError::Binary(format!(
+                "truncated payload: header claims {num_edges} edges, data ends at edge {i}"
+            )),
+            _ => IoError::Io(e),
+        })?;
+        let u = Node::from_le_bytes(buf[0..4].try_into().expect("length checked"));
+        let v = Node::from_le_bytes(buf[4..8].try_into().expect("length checked"));
+        if u == v {
+            return Err(IoError::Binary(format!("self-loop at node {u} (edge {i})")));
+        }
+        edges.push(Edge::new(u, v));
+    }
+    let mut trailing = [0u8; 1];
+    match r.read(&mut trailing) {
+        Ok(0) => {}
+        Ok(_) => return Err(IoError::Binary("trailing bytes after the edge payload".to_string())),
+        Err(e) => return Err(IoError::Io(e)),
+    }
+
+    EdgeListGraph::new(num_nodes as usize, edges)
+        .map_err(|e| IoError::Binary(format!("invalid graph: {e}")))
+}
+
+/// Write a graph to a file in the binary encoding.
+pub fn write_edge_list_binary_file<P: AsRef<Path>>(
+    path: P,
+    graph: &EdgeListGraph,
+) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list_binary(file, graph)
+}
+
+/// Read a binary edge-list file.
+pub fn read_edge_list_binary_file<P: AsRef<Path>>(path: P) -> Result<EdgeListGraph, IoError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list_binary(file)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +256,91 @@ mod tests {
         let g = read_edge_list("".as_bytes()).unwrap();
         assert_eq!(g.num_nodes(), 0);
         assert_eq!(g.num_edges(), 0);
+    }
+
+    fn binary_bytes(g: &EdgeListGraph) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_edge_list_binary(&mut buf, g).unwrap();
+        buf
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_edge_order_and_size() {
+        let g =
+            EdgeListGraph::new(6, vec![Edge::new(4, 1), Edge::new(0, 5), Edge::new(2, 3)]).unwrap();
+        let buf = binary_bytes(&g);
+        assert_eq!(buf.len(), 24 + 8 * 3, "fixed-width layout: 24 header + 8 per edge");
+        assert_eq!(&buf[0..8], BINARY_MAGIC);
+        let parsed = read_edge_list_binary(&buf[..]).unwrap();
+        assert_eq!(parsed.num_nodes(), 6);
+        // Slot order survives, not just the canonical set.
+        assert_eq!(parsed.edges(), g.edges());
+    }
+
+    #[test]
+    fn binary_empty_graph_roundtrips() {
+        let g = EdgeListGraph::new(0, vec![]).unwrap();
+        let parsed = read_edge_list_binary(&binary_bytes(&g)[..]).unwrap();
+        assert_eq!(parsed.num_nodes(), 0);
+        assert_eq!(parsed.num_edges(), 0);
+    }
+
+    #[test]
+    fn binary_rejects_malformed_input() {
+        let g = EdgeListGraph::new(3, vec![Edge::new(0, 1), Edge::new(1, 2)]).unwrap();
+        let good = binary_bytes(&g);
+
+        let expect_binary_err = |bytes: &[u8], needle: &str| match read_edge_list_binary(bytes) {
+            Err(IoError::Binary(msg)) => {
+                assert!(msg.contains(needle), "message {msg:?} lacks {needle:?}")
+            }
+            other => panic!("expected Binary error containing {needle:?}, got {other:?}"),
+        };
+
+        expect_binary_err(b"GESMCEL1", "truncated header");
+        expect_binary_err(b"NOTMAGIC\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0", "bad magic");
+        // Truncated payload: chop the last edge in half.
+        expect_binary_err(&good[..good.len() - 4], "truncated payload");
+        // Trailing garbage after the declared payload.
+        let mut padded = good.clone();
+        padded.push(0xFF);
+        expect_binary_err(&padded, "trailing bytes");
+        // A forged edge count far beyond the payload fails cleanly (and
+        // cannot allocate more than the bytes present back).
+        let mut forged = good.clone();
+        forged[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        expect_binary_err(&forged, "truncated payload");
+        // A self-loop in the payload.
+        let mut looped = good.clone();
+        looped[24..32].copy_from_slice(&[2, 0, 0, 0, 2, 0, 0, 0]);
+        expect_binary_err(&looped, "self-loop");
+        // An endpoint outside [0, n).
+        let mut out_of_range = good;
+        out_of_range[24..32].copy_from_slice(&[0, 0, 0, 0, 9, 0, 0, 0]);
+        expect_binary_err(&out_of_range, "invalid graph");
+    }
+
+    mod binary_proptests {
+        use super::*;
+        use crate::gen::gnp;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn binary_roundtrip(seed in 0u64..64, n in 2usize..40, density in 1u32..30) {
+                let mut rng = gesmc_randx::rng_from_seed(seed);
+                let g = gnp(&mut rng, n, f64::from(density) / 100.0);
+                let buf = {
+                    let mut buf = Vec::new();
+                    write_edge_list_binary(&mut buf, &g).unwrap();
+                    buf
+                };
+                prop_assert_eq!(buf.len(), 24 + 8 * g.num_edges());
+                let parsed = read_edge_list_binary(&buf[..]).unwrap();
+                prop_assert_eq!(parsed.num_nodes(), g.num_nodes());
+                prop_assert_eq!(parsed.edges(), g.edges());
+                prop_assert_eq!(parsed.canonical_edges(), g.canonical_edges());
+            }
+        }
     }
 }

@@ -35,7 +35,7 @@ pub mod state;
 pub use binomial::sample_binomial;
 pub use bounded::{gen_index, gen_range_u64, UniformIndex};
 pub use permutation::{parallel_permutation, random_permutation, shuffle_in_place};
-pub use seeds::{splitmix64, SeedSequence};
+pub use seeds::{fnv1a_64, mix64, splitmix64, Fnv1a64, SeedSequence};
 pub use state::RngState;
 
 /// The pseudo-random generator used throughout the workspace.

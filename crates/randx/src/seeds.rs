@@ -31,6 +31,61 @@ pub fn mix64(x: u64) -> u64 {
     splitmix64(&mut state)
 }
 
+/// An incremental FNV-1a 64-bit hasher — the workspace's standard
+/// content-fingerprint function (graph fingerprints, cache keys, checkpoint
+/// checksums all speak it).  Not cryptographic; stable across runs and
+/// builds.
+///
+/// ```
+/// use gesmc_randx::seeds::{fnv1a_64, Fnv1a64};
+/// let mut h = Fnv1a64::new();
+/// h.write(b"ab");
+/// h.write(b"c");
+/// assert_eq!(h.finish(), fnv1a_64(b"abc"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fnv1a64 {
+    state: u64,
+}
+
+impl Default for Fnv1a64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a64 {
+    /// A hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self { state: 0xcbf2_9ce4_8422_2325 }
+    }
+
+    /// Absorb bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Absorb one `u64` as its little-endian bytes.
+    pub fn write_u64(&mut self, word: u64) {
+        self.write(&word.to_le_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot FNV-1a 64-bit hash of a byte string.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hasher = Fnv1a64::new();
+    hasher.write(bytes);
+    hasher.finish()
+}
+
 /// A small deterministic stream of 64-bit seeds derived from a root seed.
 ///
 /// ```
@@ -104,6 +159,16 @@ mod tests {
         assert_eq!(splitmix64(&mut s), 0xE220A8397B1DCDAF);
         assert_eq!(splitmix64(&mut s), 0x6E789E6AA1B965F4);
         assert_eq!(splitmix64(&mut s), 0x06C45D188009454F);
+    }
+
+    #[test]
+    fn fnv1a_reference_values_and_incrementality() {
+        // Reference values from the FNV specification.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv1a64::new();
+        h.write_u64(0x0807_0605_0403_0201);
+        assert_eq!(h.finish(), fnv1a_64(&[1, 2, 3, 4, 5, 6, 7, 8]));
     }
 
     #[test]

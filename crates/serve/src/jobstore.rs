@@ -1,0 +1,231 @@
+//! The asynchronous job registry behind `POST /v1/jobs`.
+//!
+//! Each submitted job is tracked as a [`JobRecord`]: the engine
+//! [`JobHandle`] (status, progress, cancellation) plus the thinned samples
+//! the job streamed so far, pre-encoded in both response formats.  Records
+//! are retained after completion so clients can fetch samples at their own
+//! pace; the store is bounded, evicting the oldest *finished* record once
+//! full and refusing new submissions when every resident job is still
+//! live.
+
+use gesmc_engine::{JobHandle, JobState};
+use serde_json::{Map, Value};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One pre-encoded thinned sample of a job.
+#[derive(Debug, Clone)]
+pub struct StoredSample {
+    /// Superstep after which the sample was taken.
+    pub superstep: u64,
+    /// Plain-text edge-list encoding.
+    pub text: Arc<Vec<u8>>,
+    /// Binary edge-list encoding (`GESMCEL1`).
+    pub binary: Arc<Vec<u8>>,
+}
+
+/// Shared, append-only sample list a job's sink writes into.
+pub type SharedSamples = Arc<Mutex<Vec<StoredSample>>>;
+
+/// One tracked job.
+pub struct JobRecord {
+    /// Store-assigned id (also the URL path segment).
+    pub id: u64,
+    /// Job name.
+    pub name: String,
+    /// Canonical chain spec string.
+    pub chain: String,
+    /// Superstep target.
+    pub supersteps: u64,
+    /// Thinning interval.
+    pub thinning: u64,
+    /// Chain seed.
+    pub seed: u64,
+    /// The engine handle (status / progress / cancel).
+    pub handle: JobHandle,
+    /// Samples streamed so far.
+    pub samples: SharedSamples,
+}
+
+impl JobRecord {
+    /// The status document `GET /v1/jobs/{id}` serves.
+    pub fn status_json(&self) -> Value {
+        let state = self.handle.state();
+        let progress = self.handle.progress();
+        let mut map = Map::new();
+        map.insert("id".to_string(), Value::Number(self.id as f64));
+        map.insert("name".to_string(), Value::String(self.name.clone()));
+        map.insert("chain".to_string(), Value::String(self.chain.clone()));
+        map.insert("status".to_string(), Value::String(state.label().to_string()));
+        map.insert("superstep".to_string(), Value::Number(progress.superstep as f64));
+        map.insert("total_supersteps".to_string(), Value::Number(self.supersteps as f64));
+        map.insert("thinning".to_string(), Value::Number(self.thinning as f64));
+        map.insert("seed".to_string(), Value::Number(self.seed as f64));
+        let samples = self.samples.lock().expect("samples mutex poisoned").len();
+        map.insert("samples".to_string(), Value::Number(samples as f64));
+        match &state {
+            JobState::Failed(msg) => {
+                map.insert("error".to_string(), Value::String(msg.clone()));
+            }
+            JobState::Cancelled(superstep) => {
+                map.insert("cancelled_at".to_string(), Value::Number(*superstep as f64));
+            }
+            _ => {}
+        }
+        Value::Object(map)
+    }
+}
+
+/// Why the store rejected a registration.
+#[derive(Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// Every resident record is still live; retry once some finish.
+    Full {
+        /// Configured capacity.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Full { capacity } => {
+                write!(f, "job store is full ({capacity} live jobs)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Bounded registry of submitted jobs, ordered by id.
+pub struct JobStore {
+    inner: Mutex<BTreeMap<u64, Arc<JobRecord>>>,
+    next_id: AtomicU64,
+    capacity: usize,
+}
+
+impl JobStore {
+    /// A store retaining at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        Self { inner: Mutex::new(BTreeMap::new()), next_id: AtomicU64::new(1), capacity }
+    }
+
+    /// Reserve the id the next registered job will get (ids are assigned in
+    /// submission order and never reused).
+    pub fn allocate_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Register a record under its id, evicting the oldest finished record
+    /// when at capacity.  Fails with [`StoreError::Full`] when every
+    /// resident record is still queued or running.
+    pub fn register(&self, record: JobRecord) -> Result<Arc<JobRecord>, StoreError> {
+        let mut inner = self.inner.lock().expect("job store mutex poisoned");
+        if inner.len() >= self.capacity {
+            let oldest_finished =
+                inner.iter().find(|(_, r)| r.handle.state().is_terminal()).map(|(&id, _)| id);
+            match oldest_finished {
+                Some(id) => {
+                    inner.remove(&id);
+                }
+                None => return Err(StoreError::Full { capacity: self.capacity }),
+            }
+        }
+        let record = Arc::new(record);
+        inner.insert(record.id, Arc::clone(&record));
+        Ok(record)
+    }
+
+    /// Look a record up by id.
+    pub fn get(&self, id: u64) -> Option<Arc<JobRecord>> {
+        self.inner.lock().expect("job store mutex poisoned").get(&id).cloned()
+    }
+
+    /// Number of resident records.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("job store mutex poisoned").len()
+    }
+
+    /// Whether no record is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gesmc_core::ChainSpec;
+    use gesmc_engine::{GraphSource, JobSpec, NullSink, QueuedJob, ServicePool};
+    use gesmc_graph::gen::gnp;
+    use gesmc_randx::rng_from_seed;
+
+    fn record_for(store: &JobStore, pool: &ServicePool, supersteps: u64) -> JobRecord {
+        let id = store.allocate_id();
+        let graph = gnp(&mut rng_from_seed(id), 40, 0.15);
+        let spec = JobSpec::new(
+            format!("job{id}"),
+            GraphSource::InMemory(graph),
+            ChainSpec::new("seq-es"),
+        )
+        .supersteps(supersteps)
+        .seed(id);
+        let handle = pool.submit(QueuedJob::new(spec, Box::new(NullSink::default()))).unwrap();
+        JobRecord {
+            id,
+            name: format!("job{id}"),
+            chain: "seq-es".to_string(),
+            supersteps,
+            thinning: 0,
+            seed: id,
+            handle,
+            samples: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    #[test]
+    fn register_get_and_status_json() {
+        let pool = ServicePool::start(1, 0);
+        let store = JobStore::new(8);
+        let record = store.register(record_for(&store, &pool, 4)).unwrap();
+        assert_eq!(record.id, 1);
+        let fetched = store.get(1).unwrap();
+        fetched.handle.wait();
+        let status = fetched.status_json();
+        assert_eq!(status.get("status").and_then(|v| v.as_str()), Some("done"));
+        assert_eq!(status.get("superstep").and_then(|v| v.as_u64()), Some(4));
+        assert_eq!(status.get("chain").and_then(|v| v.as_str()), Some("seq-es"));
+        assert!(store.get(99).is_none());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn eviction_prefers_oldest_finished_and_refuses_when_all_live() {
+        let pool = ServicePool::start(1, 0);
+        let store = JobStore::new(2);
+        let first = store.register(record_for(&store, &pool, 2)).unwrap();
+        let second = store.register(record_for(&store, &pool, 2)).unwrap();
+        first.handle.wait();
+        second.handle.wait();
+        // Full, but finished records may be evicted: oldest (id 1) goes.
+        let third = store.register(record_for(&store, &pool, 2)).unwrap();
+        assert!(store.get(1).is_none());
+        assert!(store.get(2).is_some());
+        assert_eq!(third.id, 3);
+        pool.shutdown();
+
+        // A store whose residents never finish refuses new registrations.
+        let stuck_pool = ServicePool::start(1, 0);
+        let small = JobStore::new(1);
+        // Park a long job so the record stays live.
+        let live = small.register(record_for(&small, &stuck_pool, 100_000)).unwrap();
+        match small.register(record_for(&small, &stuck_pool, 2)) {
+            Err(StoreError::Full { capacity }) => assert_eq!(capacity, 1),
+            other => panic!("expected Full, got {:?}", other.map(|r| r.id)),
+        }
+        live.handle.cancel();
+        stuck_pool.shutdown();
+    }
+}

@@ -1,0 +1,210 @@
+//! Service counters and their Prometheus text rendering (`GET /metrics`).
+
+use crate::cache::SampleCache;
+use gesmc_engine::ServicePool;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Monotonic HTTP-layer counters plus the scrape-time gauges sourced from
+/// the pool and cache.
+pub struct Metrics {
+    start: Instant,
+    requests: AtomicU64,
+    responses_2xx: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_shed: AtomicU64,
+    responses_5xx: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Zeroed counters, uptime starting now.
+    pub fn new() -> Self {
+        Self {
+            start: Instant::now(),
+            requests: AtomicU64::new(0),
+            responses_2xx: AtomicU64::new(0),
+            responses_4xx: AtomicU64::new(0),
+            responses_shed: AtomicU64::new(0),
+            responses_5xx: AtomicU64::new(0),
+        }
+    }
+
+    /// Count one parsed request.
+    pub fn count_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one written response by status class (429 separately: it is the
+    /// load-shedding signal operators alert on).
+    pub fn count_response(&self, status: u16) {
+        let counter = match status {
+            429 => &self.responses_shed,
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests shed with 429 so far.
+    pub fn shed_total(&self) -> u64 {
+        self.responses_shed.load(Ordering::Relaxed)
+    }
+
+    /// Render the Prometheus exposition text.
+    pub fn render(&self, pool: &ServicePool, cache: &SampleCache, jobs_resident: usize) -> String {
+        fn gauge(out: &mut String, name: &str, help: &str, value: f64) {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            if value.fract() == 0.0 {
+                let _ = writeln!(out, "{name} {value:.0}");
+            } else {
+                let _ = writeln!(out, "{name} {value}");
+            }
+        }
+        let mut out = String::with_capacity(2048);
+
+        let uptime = self.start.elapsed().as_secs_f64();
+        gauge(&mut out, "gesmc_uptime_seconds", "Seconds since the server started.", uptime);
+        gauge(
+            &mut out,
+            "gesmc_http_requests_total",
+            "Requests parsed off the wire.",
+            self.requests.load(Ordering::Relaxed) as f64,
+        );
+        for (class, counter) in [
+            ("2xx", &self.responses_2xx),
+            ("4xx", &self.responses_4xx),
+            ("429", &self.responses_shed),
+            ("5xx", &self.responses_5xx),
+        ] {
+            let _ = writeln!(
+                out,
+                "gesmc_http_responses_total{{class=\"{class}\"}} {}",
+                counter.load(Ordering::Relaxed)
+            );
+        }
+
+        gauge(
+            &mut out,
+            "gesmc_queue_depth",
+            "Jobs waiting in the engine admission queue.",
+            pool.queue_depth() as f64,
+        );
+        gauge(
+            &mut out,
+            "gesmc_jobs_running",
+            "Jobs executing on engine workers.",
+            pool.running() as f64,
+        );
+        let (completed, failed, cancelled) = pool.job_counts();
+        gauge(
+            &mut out,
+            "gesmc_jobs_completed_total",
+            "Jobs finished successfully.",
+            completed as f64,
+        );
+        gauge(&mut out, "gesmc_jobs_failed_total", "Jobs that failed.", failed as f64);
+        gauge(&mut out, "gesmc_jobs_cancelled_total", "Jobs cancelled.", cancelled as f64);
+        gauge(
+            &mut out,
+            "gesmc_jobs_resident",
+            "Job records retained in the store.",
+            jobs_resident as f64,
+        );
+
+        let stats = cache.stats();
+        gauge(
+            &mut out,
+            "gesmc_cache_entries",
+            "Samples resident in the warm cache.",
+            stats.entries as f64,
+        );
+        gauge(
+            &mut out,
+            "gesmc_cache_capacity",
+            "Configured warm-cache capacity.",
+            cache.capacity() as f64,
+        );
+        gauge(
+            &mut out,
+            "gesmc_cache_hits_total",
+            "Warm-cache lookups that hit.",
+            stats.hits as f64,
+        );
+        gauge(
+            &mut out,
+            "gesmc_cache_misses_total",
+            "Warm-cache lookups that missed.",
+            stats.misses as f64,
+        );
+        gauge(
+            &mut out,
+            "gesmc_cache_evictions_total",
+            "Warm-cache LRU evictions.",
+            stats.evictions as f64,
+        );
+        let lookups = stats.hits + stats.misses;
+        let hit_rate = if lookups == 0 { 0.0 } else { stats.hits as f64 / lookups as f64 };
+        gauge(&mut out, "gesmc_cache_hit_rate", "Lifetime warm-cache hit fraction.", hit_rate);
+
+        let supersteps = pool.supersteps_total();
+        gauge(
+            &mut out,
+            "gesmc_supersteps_total",
+            "Chain supersteps completed across all jobs.",
+            supersteps as f64,
+        );
+        let rate = if uptime > 0.0 { supersteps as f64 / uptime } else { 0.0 };
+        gauge(&mut out, "gesmc_supersteps_per_second", "Lifetime average superstep rate.", rate);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gesmc_core::ChainSpec;
+    use gesmc_engine::{GraphSource, JobSpec, NullSink, QueuedJob};
+    use gesmc_graph::gen::gnp;
+    use gesmc_randx::rng_from_seed;
+
+    #[test]
+    fn render_reflects_counters_and_pool_state() {
+        let metrics = Metrics::new();
+        metrics.count_request();
+        metrics.count_request();
+        metrics.count_response(200);
+        metrics.count_response(429);
+        metrics.count_response(404);
+        metrics.count_response(500);
+        assert_eq!(metrics.shed_total(), 1);
+
+        let pool = gesmc_engine::ServicePool::start(1, 0);
+        let graph = gnp(&mut rng_from_seed(1), 40, 0.15);
+        let spec =
+            JobSpec::new("m", GraphSource::InMemory(graph), ChainSpec::new("seq-es")).supersteps(5);
+        pool.submit(QueuedJob::new(spec, Box::new(NullSink::default()))).unwrap().wait();
+        let cache = SampleCache::new(4);
+
+        let text = metrics.render(&pool, &cache, 3);
+        assert!(text.contains("gesmc_http_requests_total 2"));
+        assert!(text.contains("gesmc_http_responses_total{class=\"2xx\"} 1"));
+        assert!(text.contains("gesmc_http_responses_total{class=\"429\"} 1"));
+        assert!(text.contains("gesmc_http_responses_total{class=\"4xx\"} 1"));
+        assert!(text.contains("gesmc_http_responses_total{class=\"5xx\"} 1"));
+        assert!(text.contains("gesmc_jobs_completed_total 1"));
+        assert!(text.contains("gesmc_jobs_resident 3"));
+        assert!(text.contains("gesmc_supersteps_total 5"));
+        assert!(text.contains("gesmc_cache_capacity 4"));
+        assert!(text.contains("# TYPE gesmc_uptime_seconds gauge"));
+        pool.shutdown();
+    }
+}

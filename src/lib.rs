@@ -16,7 +16,11 @@
 //! * [`concurrent`] — the concurrent hash sets and dependency tables;
 //! * [`randx`] — randomness utilities (bounded sampling, permutations);
 //! * [`engine`] — the batched randomization job engine: job queue + worker
-//!   pool, streaming thinned-sample sinks, binary checkpoint/resume;
+//!   pool, streaming thinned-sample sinks, binary checkpoint/resume, and the
+//!   long-running service pool with cancellation and graceful shutdown;
+//! * [`serve`] — the HTTP sampling service (`gesmc serve`): hand-rolled
+//!   `std::net` server, warm LRU sample cache, bounded admission with load
+//!   shedding, Prometheus metrics;
 //! * [`study`] — end-to-end mixing-time experiments (Figs. 2-3): sweep
 //!   specs, streaming metric sinks, deterministic JSON/CSV reports.
 //!
@@ -50,6 +54,7 @@ pub use gesmc_datasets as datasets;
 pub use gesmc_engine as engine;
 pub use gesmc_graph as graph;
 pub use gesmc_randx as randx;
+pub use gesmc_serve as serve;
 pub use gesmc_study as study;
 
 /// The most commonly used items in one import.
@@ -63,10 +68,11 @@ pub mod prelude {
         ParES, ParGlobalES, ParamValue, SeqES, SeqGlobalES, SwitchingConfig,
     };
     pub use gesmc_engine::{
-        default_registry, run_batch, run_job, run_job_with, Checkpoint, GraphSource, JobSpec,
-        Manifest, MemorySink, SampleSink, WorkerPool,
+        default_registry, run_batch, run_job, run_job_with, Checkpoint, GraphSource, JobControl,
+        JobHandle, JobSpec, JobState, Manifest, MemorySink, SampleSink, ServicePool, WorkerPool,
     };
     pub use gesmc_graph::{DegreeSequence, Edge, EdgeListGraph};
+    pub use gesmc_serve::{ServeConfig, Server};
     pub use gesmc_study::{run_study, MetricsSink, StudyOptions, StudyReport, StudySpec};
 }
 

@@ -1,0 +1,458 @@
+//! End-to-end tests of the `gesmc-serve` HTTP sampling service.
+//!
+//! Each test boots a real server on an ephemeral port and talks to it over
+//! raw `TcpStream`s — the same wire path curl takes.  The acceptance
+//! properties under test:
+//!
+//! * every served sample preserves the degree sequence of its input graph
+//!   (checked independently here, on top of the engine's internal check);
+//! * warm-cache hits for an identical `(graph, chain, supersteps)` key are
+//!   **bit-identical**, under concurrency, in both encodings;
+//! * `429 Retry-After` appears **only** under admission-queue saturation;
+//! * shutdown drains cleanly: in-flight requests finish, the socket closes.
+
+use gesmc::engine::GraphSource;
+use gesmc::graph::io::{read_edge_list, read_edge_list_binary};
+use gesmc::prelude::*;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One raw HTTP exchange; returns (status, lowercased headers, body bytes).
+fn http(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    accept: Option<&str>,
+    body: Option<&str>,
+) -> (u16, HashMap<String, String>, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    let mut request = format!("{method} {path} HTTP/1.1\r\nHost: e2e\r\n");
+    if let Some(accept) = accept {
+        request.push_str(&format!("Accept: {accept}\r\n"));
+    }
+    match body {
+        Some(body) => {
+            request.push_str(&format!("Content-Length: {}\r\n\r\n{body}", body.len()));
+        }
+        None => request.push_str("\r\n"),
+    }
+    stream.write_all(request.as_bytes()).expect("write request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response must have a header/body separator");
+    let head = String::from_utf8(raw[..header_end].to_vec()).expect("headers are UTF-8");
+    let body = raw[header_end + 4..].to_vec();
+    let mut lines = head.lines();
+    let status: u16 =
+        lines.next().expect("status line").split(' ').nth(1).expect("status code").parse().unwrap();
+    let headers = lines
+        .filter_map(|line| line.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, body)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, HashMap<String, String>, Vec<u8>) {
+    http(addr, "GET", path, None, None)
+}
+
+fn boot(mutate: impl FnOnce(&mut ServeConfig)) -> Server {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        http_workers: 4,
+        engine_workers: 2,
+        allow_shutdown: true,
+        ..ServeConfig::default()
+    };
+    mutate(&mut config);
+    Server::bind(config).expect("bind ephemeral port")
+}
+
+/// The degree sequence the service must preserve for a generated pld key.
+fn expected_degrees(edges: usize, seed: u64) -> DegreeSequence {
+    let source =
+        GraphSource::Generated { family: "pld".to_string(), nodes: 0, edges, gamma: 2.5, seed };
+    source.load().expect("generator families load").degrees()
+}
+
+fn sample_path(m: usize, seed: u64, algo: &str, supersteps: u64) -> String {
+    format!("/v1/sample?graph=pld:m={m},seed={seed}&algo={algo}&supersteps={supersteps}")
+}
+
+#[test]
+fn concurrent_mixed_hot_cold_load_is_valid_and_never_sheds_below_saturation() {
+    let server = Arc::new(boot(|c| c.max_pending = 256));
+    let addr = server.local_addr();
+    const THREADS: u64 = 6;
+    const REQUESTS: u64 = 6;
+    const M: usize = 400;
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut hot_bodies = Vec::new();
+                for i in 0..REQUESTS {
+                    // Even requests hammer the shared hot key; odd ones are
+                    // per-thread cold keys.
+                    let seed = if i % 2 == 0 { 1 } else { 1_000 + t * 100 + i };
+                    let path = sample_path(M, seed, "seq-global-es", 6);
+                    let (status, headers, body) = get(addr, &path);
+                    assert_eq!(
+                        status, 200,
+                        "mixed load below saturation must never shed (thread {t}, request {i})"
+                    );
+                    let graph = read_edge_list(&body[..]).expect("sample parses");
+                    assert_eq!(
+                        graph.degrees(),
+                        expected_degrees(M, seed),
+                        "sample must preserve the input degree sequence"
+                    );
+                    assert!(
+                        headers.contains_key("x-gesmc-cache"),
+                        "sample responses carry the cache disposition"
+                    );
+                    if seed == 1 {
+                        hot_bodies.push(body);
+                    }
+                }
+                hot_bodies
+            })
+        })
+        .collect();
+
+    let mut all_hot: Vec<Vec<u8>> = Vec::new();
+    for worker in workers {
+        all_hot.extend(worker.join().expect("client thread"));
+    }
+    assert_eq!(all_hot.len() as u64, THREADS * REQUESTS / 2);
+    for body in &all_hot {
+        assert_eq!(
+            body, &all_hot[0],
+            "every response for an identical (graph, chain, supersteps) key must be bit-identical"
+        );
+    }
+
+    // The shared hot key was requested many times but computed once: the
+    // cache (plus miss coalescing) absorbed the rest.
+    let (_, _, metrics) = get(addr, "/metrics");
+    let metrics = String::from_utf8(metrics).unwrap();
+    let hits: u64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("gesmc_cache_hits_total "))
+        .expect("hit counter exported")
+        .parse()
+        .unwrap();
+    assert!(hits > 0, "repeated hot-key queries must hit the warm cache:\n{metrics}");
+    assert!(
+        metrics.contains("gesmc_http_responses_total{class=\"429\"} 0"),
+        "no request may be shed below saturation:\n{metrics}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn saturation_sheds_with_429_and_retry_after_while_hits_keep_flowing() {
+    // One engine worker and a single-slot admission queue: concurrent cold
+    // keys must overflow and shed.
+    let server = Arc::new(boot(|c| {
+        c.engine_workers = 1;
+        c.max_pending = 1;
+        c.http_workers = 8;
+    }));
+    let addr = server.local_addr();
+
+    // Pre-warm one key so hot traffic is servable even at saturation.
+    let hot = sample_path(600, 7, "seq-global-es", 8);
+    assert_eq!(get(addr, &hot).0, 200);
+
+    let clients: Vec<_> = (0..12)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let path = sample_path(2_000, 10_000 + i, "seq-global-es", 30);
+                let (status, headers, body) = get(addr, &path);
+                match status {
+                    200 => {
+                        let graph = read_edge_list(&body[..]).expect("sample parses");
+                        assert_eq!(graph.degrees(), expected_degrees(2_000, 10_000 + i));
+                    }
+                    429 => {
+                        assert!(
+                            headers.contains_key("retry-after"),
+                            "shed responses must carry Retry-After"
+                        );
+                    }
+                    other => panic!("unexpected status {other} under saturation"),
+                }
+                status
+            })
+        })
+        .collect();
+    let statuses: Vec<u16> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    let shed = statuses.iter().filter(|&&s| s == 429).count();
+    assert!(
+        shed > 0,
+        "12 concurrent cold keys over a 1-worker/1-slot pool must shed: {statuses:?}"
+    );
+
+    // The warm key still answers from the cache while the pool is busy.
+    let (status, headers, _) = get(addr, &hot);
+    assert_eq!(status, 200);
+    assert_eq!(headers.get("x-gesmc-cache").map(String::as_str), Some("hit"));
+    server.shutdown();
+}
+
+#[test]
+fn binary_and_text_encodings_agree_and_hits_are_bit_identical_in_both() {
+    let server = boot(|_| {});
+    let addr = server.local_addr();
+    let path = sample_path(300, 3, "par-global-es?pl=0.01", 5);
+
+    let (status, _, text_a) = get(addr, &path);
+    assert_eq!(status, 200);
+    let (_, _, text_b) = get(addr, &path);
+    assert_eq!(text_a, text_b, "text hits must be bit-identical");
+
+    let (status, headers, bin_a) = http(addr, "GET", &path, Some("application/octet-stream"), None);
+    assert_eq!(status, 200);
+    assert_eq!(headers.get("content-type").map(String::as_str), Some("application/octet-stream"));
+    let (_, _, bin_b) = http(addr, "GET", &path, Some("application/octet-stream"), None);
+    assert_eq!(bin_a, bin_b, "binary hits must be bit-identical");
+
+    let from_text = read_edge_list(&text_a[..]).unwrap();
+    let from_binary = read_edge_list_binary(&bin_a[..]).unwrap();
+    assert_eq!(from_text.canonical_edges(), from_binary.canonical_edges());
+    assert_eq!(from_text.num_nodes(), from_binary.num_nodes());
+    assert_eq!(from_binary.degrees(), expected_degrees(300, 3));
+    server.shutdown();
+}
+
+#[test]
+fn warm_requests_prefill_the_cache_in_the_background() {
+    let server = boot(|_| {});
+    let addr = server.local_addr();
+    let key_query = "graph=pld:m=350,seed=11&algo=seq-es&supersteps=6";
+
+    let (status, _, body) = get(addr, &format!("/v1/sample?{key_query}&warm=true"));
+    assert_eq!(status, 202, "{}", String::from_utf8_lossy(&body));
+
+    // Poll until the background job landed the entry, then expect a hit.
+    let mut disposition = String::new();
+    for _ in 0..400 {
+        let (status, headers, _) = get(addr, &format!("/v1/sample?{key_query}"));
+        assert_eq!(status, 200);
+        disposition = headers.get("x-gesmc-cache").cloned().unwrap_or_default();
+        if disposition == "hit" {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(disposition, "hit", "a warmed key must be served from the cache");
+    server.shutdown();
+}
+
+#[test]
+fn async_job_lifecycle_inline_edges_status_samples_and_cancel() {
+    let server = boot(|_| {});
+    let addr = server.local_addr();
+
+    // An explicit 6-cycle: every node has degree 2.
+    let body = r#"{
+        "name": "cycle",
+        "edges": [[0,1],[1,2],[2,3],[3,4],[4,5],[5,0]],
+        "algorithm": "seq-es",
+        "supersteps": 8,
+        "thinning": 2,
+        "seed": 4
+    }"#;
+    let (status, _, response) = http(addr, "POST", "/v1/jobs", None, Some(body));
+    assert_eq!(status, 202, "{}", String::from_utf8_lossy(&response));
+    let submitted: serde_json::Value =
+        serde_json::from_str(&String::from_utf8(response).unwrap()).unwrap();
+    let id = submitted.get("id").and_then(|v| v.as_u64()).expect("job id");
+    assert_eq!(
+        submitted.get("url").and_then(|v| v.as_str()),
+        Some(format!("/v1/jobs/{id}")).as_deref()
+    );
+
+    // Poll to completion.
+    let mut status_doc = serde_json::Value::Null;
+    for _ in 0..400 {
+        let (code, _, body) = get(addr, &format!("/v1/jobs/{id}"));
+        assert_eq!(code, 200);
+        status_doc = serde_json::from_str(&String::from_utf8(body).unwrap()).unwrap();
+        if status_doc.get("status").and_then(|v| v.as_str()) == Some("done") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(status_doc.get("status").and_then(|v| v.as_str()), Some("done"), "{status_doc:?}");
+    assert_eq!(status_doc.get("samples").and_then(|v| v.as_u64()), Some(4));
+    assert_eq!(status_doc.get("superstep").and_then(|v| v.as_u64()), Some(8));
+
+    // Thinned samples 0..4 exist in both encodings and preserve degrees.
+    let cycle_degrees = [2u32; 6];
+    for k in 0..4u64 {
+        let (code, headers, text) = get(addr, &format!("/v1/jobs/{id}/samples/{k}"));
+        assert_eq!(code, 200);
+        let graph = read_edge_list(&text[..]).unwrap();
+        assert_eq!(graph.degrees().degrees(), &cycle_degrees[..]);
+        let superstep: u64 = headers.get("x-gesmc-superstep").unwrap().parse().unwrap();
+        assert_eq!(superstep, (k + 1) * 2);
+        let (code, _, binary) = http(
+            addr,
+            "GET",
+            &format!("/v1/jobs/{id}/samples/{k}"),
+            Some("application/octet-stream"),
+            None,
+        );
+        assert_eq!(code, 200);
+        let from_binary = read_edge_list_binary(&binary[..]).unwrap();
+        assert_eq!(from_binary.canonical_edges(), graph.canonical_edges());
+    }
+    // Out-of-range and unknown-id lookups are clean 404s.
+    assert_eq!(get(addr, &format!("/v1/jobs/{id}/samples/99")).0, 404);
+    assert_eq!(get(addr, "/v1/jobs/4242").0, 404);
+
+    // A long-running generated job can be cancelled mid-flight.
+    let long_body = r#"{
+        "generate": {"family": "pld", "edges": 4000, "seed": 2},
+        "algorithm": "seq-global-es",
+        "supersteps": 50000,
+        "seed": 9
+    }"#;
+    let (status, _, response) = http(addr, "POST", "/v1/jobs", None, Some(long_body));
+    assert_eq!(status, 202);
+    let long_doc: serde_json::Value =
+        serde_json::from_str(&String::from_utf8(response).unwrap()).unwrap();
+    let long_id = long_doc.get("id").and_then(|v| v.as_u64()).unwrap();
+    let (status, _, _) = http(addr, "DELETE", &format!("/v1/jobs/{long_id}"), None, None);
+    assert_eq!(status, 202);
+    let mut label = String::new();
+    for _ in 0..400 {
+        let (_, _, body) = get(addr, &format!("/v1/jobs/{long_id}"));
+        let doc: serde_json::Value =
+            serde_json::from_str(&String::from_utf8(body).unwrap()).unwrap();
+        label = doc.get("status").and_then(|v| v.as_str()).unwrap_or("").to_string();
+        if label == "cancelled" {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(label, "cancelled");
+    server.shutdown();
+}
+
+#[test]
+fn bad_requests_get_readable_errors_not_hangs() {
+    let server = boot(|c| c.max_sync_edges = 1_000);
+    let addr = server.local_addr();
+    for (path, expected) in [
+        ("/v1/sample", 400),                              // missing graph
+        ("/v1/sample?graph=tree:m=10", 400),              // unknown family
+        ("/v1/sample?graph=pld:m=5000", 413),             // over the sync edge limit
+        ("/v1/sample?graph=pld:n=2000000000,m=10", 413),  // over the sync node limit
+        ("/v1/sample?graph=pld:m=100&algo=quantum", 400), // unknown chain
+        ("/v1/sample?graph=pld:m=100,gamma=1", 400),      // pld needs gamma > 1
+        ("/v1/sample?graph=pld:m=100&supersteps=0", 400), // zero supersteps
+        ("/v1/sample?graph=pld:m=100&supersteps=notanumber", 400),
+        // An unencoded `&` inside an algo spec must be rejected, not
+        // silently dropped (the stray pair is an unknown parameter).
+        ("/v1/sample?graph=pld:m=100&algo=seq-es?pl=0.1&prefetch=off", 400),
+        ("/v1/jobs/notanid", 400),
+        ("/nope", 404),
+    ] {
+        let (status, _, body) = get(addr, path);
+        assert_eq!(status, expected, "{path}: {}", String::from_utf8_lossy(&body));
+        let doc: serde_json::Value =
+            serde_json::from_str(&String::from_utf8(body).unwrap()).unwrap();
+        assert!(doc.get("error").is_some(), "{path} must return the JSON error shape");
+    }
+    // Wrong method on a known path is 405.
+    assert_eq!(http(addr, "DELETE", "/healthz", None, None).0, 405);
+    // Malformed job bodies.
+    let (status, _, _) = http(addr, "POST", "/v1/jobs", None, Some("not json"));
+    assert_eq!(status, 400);
+    let (status, _, body) =
+        http(addr, "POST", "/v1/jobs", None, Some(r#"{"edges": [[0,1]], "nodes": 1}"#));
+    assert_eq!(status, 400, "{}", String::from_utf8_lossy(&body));
+    // Unbounded node counts must be rejected before any generator runs.
+    let (status, _, body) = http(
+        addr,
+        "POST",
+        "/v1/jobs",
+        None,
+        Some(r#"{"generate": {"family": "pld", "edges": 10, "nodes": 2000000000}}"#),
+    );
+    assert_eq!(status, 400, "{}", String::from_utf8_lossy(&body));
+    let (status, _, body) =
+        http(addr, "POST", "/v1/jobs", None, Some(r#"{"edges": [[0, 4000000000]]}"#));
+    assert_eq!(status, 400, "{}", String::from_utf8_lossy(&body));
+    // Seeds beyond 2^53 would silently round in the f64-backed JSON layer;
+    // the parser rejects them outright instead.
+    let (status, _, body) = http(
+        addr,
+        "POST",
+        "/v1/jobs",
+        None,
+        Some(r#"{"edges": [[0,1]], "seed": 9007199254740993}"#),
+    );
+    assert_eq!(status, 400, "{}", String::from_utf8_lossy(&body));
+    // Generator parameters that would panic a worker are rejected up front.
+    let (status, _, body) = http(
+        addr,
+        "POST",
+        "/v1/jobs",
+        None,
+        Some(r#"{"generate": {"family": "pld", "edges": 100, "gamma": 0.5}}"#),
+    );
+    assert_eq!(status, 400, "{}", String::from_utf8_lossy(&body));
+    // Edge count and sample count compose: a job within both individual
+    // limits but over the retained-bytes budget is rejected at submission.
+    let (status, _, body) = http(
+        addr,
+        "POST",
+        "/v1/jobs",
+        None,
+        Some(
+            r#"{"generate": {"family": "dense", "edges": 5000000},
+                "supersteps": 1000, "thinning": 1}"#,
+        ),
+    );
+    assert_eq!(status, 400, "{}", String::from_utf8_lossy(&body));
+    assert!(
+        String::from_utf8_lossy(&body).contains("retain"),
+        "rejection must explain the byte budget"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests_and_closes_the_socket() {
+    let server = Arc::new(boot(|_| {}));
+    let addr = server.local_addr();
+
+    // Launch a cold request, give it a moment to reach the engine pool, then
+    // shut down concurrently: the request must still complete with a valid
+    // sample (drain), not an error or a reset.
+    let client =
+        std::thread::spawn(move || get(addr, &sample_path(2_000, 77, "seq-global-es", 40)));
+    std::thread::sleep(Duration::from_millis(50));
+    server.shutdown();
+
+    let (status, _, body) = client.join().expect("in-flight client");
+    assert_eq!(status, 200, "in-flight requests must drain through shutdown");
+    let graph = read_edge_list(&body[..]).unwrap();
+    assert_eq!(graph.degrees(), expected_degrees(2_000, 77));
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+        "the listener must be closed after shutdown"
+    );
+}
