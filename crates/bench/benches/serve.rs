@@ -9,11 +9,15 @@
 //! * **cold cache** — every request uses a fresh graph seed, so each one
 //!   flows through the bounded admission queue and runs a chain on the
 //!   engine pool.
+//! * **cold-boot rehydration** — a durable server (`data_dir` set) is
+//!   restarted on a populated data dir and the first request for a spilled
+//!   key is timed: boot replay + lazy disk rehydration instead of a chain
+//!   run.
 //!
 //! Honours the harness' `--scale {smoke,small,paper}` knob (default
 //! `smoke`, so `cargo bench` stays fast offline).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 use gesmc_bench::Scale;
 use gesmc_serve::{ServeConfig, Server};
 use std::io::{Read, Write};
@@ -75,5 +79,50 @@ fn bench_serve(c: &mut Criterion) {
     server.shutdown();
 }
 
-criterion_group!(benches, bench_serve);
+/// Time a durable node coming back warm: boot on a populated data dir and
+/// fetch a spilled one-shot key (replayed journal + lazy disk rehydration,
+/// no chain run).
+fn bench_cold_boot_rehydration(c: &mut Criterion) {
+    let scale = scale_from_args();
+    let (edges, supersteps) = scale.pick((500usize, 5u64), (5_000, 10), (50_000, 20));
+
+    let data_dir =
+        std::env::temp_dir().join(format!("gesmc-bench-rehydrate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let durable_config = || ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        engine_workers: 2,
+        max_pending: 0,
+        data_dir: Some(data_dir.clone()),
+        ..ServeConfig::default()
+    };
+    let path =
+        format!("/v1/sample?graph=pld:m={edges},seed=2&algo=seq-global-es&supersteps={supersteps}");
+
+    // Populate the data dir once: compute the key so it spills to disk.
+    {
+        let server = Server::bind(durable_config()).expect("bind seed server");
+        request(server.local_addr(), &path);
+        server.shutdown();
+    }
+
+    let mut group = c.benchmark_group("serve_cold_boot");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("rehydrate_first_hit", edges), &edges, |b, _| {
+        b.iter_batched(
+            || Server::bind(durable_config()).expect("bind rebooted server"),
+            |server| {
+                // Timed: first request after a restart (served from the
+                // spilled cache entry, no chain run) plus the teardown.
+                request(server.local_addr(), &path);
+                server.shutdown();
+            },
+            BatchSize::PerIteration,
+        );
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&data_dir);
+}
+
+criterion_group!(benches, bench_serve, bench_cold_boot_rehydration);
 criterion_main!(benches);

@@ -16,6 +16,7 @@
 //!                    [--threads-per-job N] [--output-dir DIR] [--resume]
 //!   gesmc serve      [--addr HOST:PORT] [--workers N] [--http-workers N]
 //!                    [--cache-entries N] [--max-pending N] [--allow-shutdown]
+//!                    [--data-dir DIR [--checkpoint-every K]]
 //!   gesmc --version | gesmc <subcommand> --help
 //! ```
 //!
@@ -67,6 +68,7 @@ fn print_usage() {
                       [--threads-per-job P] [--output-dir DIR] [--resume]\n\
            serve      [--addr HOST:PORT] [--workers N] [--http-workers N]\n\
                       [--cache-entries N] [--max-pending N] [--allow-shutdown]\n\
+                      [--data-dir DIR [--checkpoint-every K]]\n\
          \n\
          Run `gesmc <subcommand> --help` for per-subcommand details and\n\
          `gesmc --version` for the version.\n\
@@ -182,7 +184,12 @@ fn command_help(command: &str) -> Option<&'static str> {
                --http-workers N     HTTP worker threads (default 4)\n\
                --cache-entries N    warm-cache capacity (default 256; 0 disables)\n\
                --max-pending N      admission queue bound before 429s (default 64; 0 = unbounded)\n\
-               --allow-shutdown     honour POST /v1/shutdown (graceful stop over HTTP)"
+               --allow-shutdown     honour POST /v1/shutdown (graceful stop over HTTP)\n\
+               --data-dir DIR       durability root: journal job submissions, checkpoint\n\
+                                    running jobs, spill finished samples; on boot the dir is\n\
+                                    replayed, resuming interrupted jobs bit-identically\n\
+               --checkpoint-every K checkpoint cadence in supersteps (default 25; 0 = only\n\
+                                    from-scratch recovery; needs --data-dir)"
         }
         _ => return None,
     })
@@ -664,7 +671,16 @@ fn cmd_serve(positional: &[String], flags: &HashMap<String, String>) -> Result<(
     reject_unknown_flags(
         "serve",
         flags,
-        &["addr", "workers", "http-workers", "cache-entries", "max-pending", "allow-shutdown"],
+        &[
+            "addr",
+            "workers",
+            "http-workers",
+            "cache-entries",
+            "max-pending",
+            "allow-shutdown",
+            "data-dir",
+            "checkpoint-every",
+        ],
     )?;
     let mut config = ServeConfig::default();
     if let Some(addr) = flags.get("addr") {
@@ -686,6 +702,15 @@ fn cmd_serve(positional: &[String], flags: &HashMap<String, String>) -> Result<(
         config.max_pending = pending;
     }
     config.allow_shutdown = flags.contains_key("allow-shutdown");
+    if let Some(dir) = flags.get("data-dir") {
+        config.data_dir = Some(std::path::PathBuf::from(dir));
+    }
+    if let Some(every) = parse_flag::<u64>(flags, "checkpoint-every")? {
+        if config.data_dir.is_none() {
+            return Err("--checkpoint-every needs --data-dir".to_string());
+        }
+        config.checkpoint_every = every;
+    }
 
     let server =
         Server::bind(config.clone()).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
@@ -702,6 +727,13 @@ fn cmd_serve(positional: &[String], flags: &HashMap<String, String>) -> Result<(
         config.cache_entries,
         config.max_pending
     );
+    if let Some(dir) = &config.data_dir {
+        eprintln!(
+            "durability on: data dir {}, checkpoint every {} supersteps",
+            dir.display(),
+            config.checkpoint_every
+        );
+    }
     if config.allow_shutdown {
         eprintln!("POST /v1/shutdown stops the server gracefully");
     }

@@ -43,6 +43,22 @@ const MAGIC: &[u8; 8] = b"GESMCKP1";
 const VERSION: u32 = 1;
 const FLAG_PREFETCH: u32 = 1;
 
+/// A consumer of the periodic checkpoints a running job captures at
+/// superstep boundaries.
+///
+/// [`JobSpec::checkpoint_every`](crate::JobSpec::checkpoint_every) sets the
+/// cadence; the driver ([`run_job_hooked`](crate::run_job_hooked)) calls
+/// `store` with each capture in addition to (or instead of) writing a
+/// `checkpoint_dir` file, so services can route checkpoints through their own
+/// storage — a journaled data directory, an object store, a test double.
+/// Returning an error fails the job; sinks that prefer to degrade (keep the
+/// job running when durable storage hiccups) should absorb their own I/O
+/// failures and return `Ok`.
+pub trait CheckpointSink: Send {
+    /// Persist one captured checkpoint.
+    fn store(&mut self, checkpoint: &Checkpoint) -> Result<(), EngineError>;
+}
+
 /// A resumable capture of a randomization job.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
@@ -286,11 +302,24 @@ impl Checkpoint {
 
     /// Write the checkpoint to a file (atomically via a sibling temp file, so
     /// an interruption mid-write never clobbers the previous checkpoint).
+    ///
+    /// The temp file is fsynced before the rename and the parent directory
+    /// after it (best-effort), so a checkpoint that this call acknowledged
+    /// survives a power cut, not just a process kill.
     pub fn write_to_file(&self, path: impl AsRef<Path>) -> Result<(), EngineError> {
         let path = path.as_ref();
         let tmp = path.with_extension("ckpt.tmp");
-        std::fs::write(&tmp, self.to_bytes())?;
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            std::io::Write::write_all(&mut file, &self.to_bytes())?;
+            file.sync_all()?;
+        }
         std::fs::rename(&tmp, path)?;
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Ok(dir) = std::fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
         Ok(())
     }
 

@@ -62,13 +62,15 @@ pub mod queue;
 pub mod service;
 pub mod sink;
 
-pub use checkpoint::Checkpoint;
+pub use checkpoint::{Checkpoint, CheckpointSink};
 pub use control::{JobControl, JobProgress};
 pub use error::EngineError;
 pub use gesmc_core::{ChainError, ChainInfo, ChainRegistry, ChainSpec, ParamValue};
 pub use job::{GraphSource, JobSpec, GRAPH_FAMILIES};
 pub use manifest::Manifest;
-pub use pool::{run_job, run_job_controlled, run_job_with, JobOutcome, JobReport, WorkerPool};
+pub use pool::{
+    run_job, run_job_controlled, run_job_hooked, run_job_with, JobOutcome, JobReport, WorkerPool,
+};
 pub use queue::{JobQueue, QueuedJob};
 pub use service::{JobHandle, JobState, ServicePool, SubmitError};
 pub use sink::{CallbackSink, EdgeListFileSink, MemorySink, NullSink, SampleContext, SampleSink};

@@ -1,6 +1,6 @@
 //! Job execution: the single-job driver and the multi-job worker pool.
 
-use crate::checkpoint::Checkpoint;
+use crate::checkpoint::{Checkpoint, CheckpointSink};
 use crate::control::JobControl;
 use crate::default_registry;
 use crate::error::EngineError;
@@ -110,6 +110,24 @@ pub fn run_job_controlled(
     resume: Option<&Checkpoint>,
     control: &JobControl,
 ) -> Result<JobReport, EngineError> {
+    run_job_hooked(registry, spec, sink, resume, control, None)
+}
+
+/// Like [`run_job_controlled`], additionally handing each periodic
+/// checkpoint to `checkpoint_sink`.
+///
+/// The cadence is [`JobSpec::checkpoint_every`]; with a sink present,
+/// checkpoints are captured even when [`JobSpec::checkpoint_dir`] is unset
+/// (the sink owns storage).  When both are set, each capture is first written
+/// to the directory, then offered to the sink.
+pub fn run_job_hooked(
+    registry: &ChainRegistry,
+    spec: &JobSpec,
+    sink: &mut dyn SampleSink,
+    resume: Option<&Checkpoint>,
+    control: &JobControl,
+    mut checkpoint_sink: Option<&mut (dyn CheckpointSink + '_)>,
+) -> Result<JobReport, EngineError> {
     let start = Instant::now();
 
     // The spec a resumed run re-checkpoints under is the checkpoint's own
@@ -168,19 +186,25 @@ pub fn run_job_controlled(
             samples_emitted += 1;
         }
 
-        if let (Some(every), Some(dir)) = (spec.checkpoint_every, &spec.checkpoint_dir) {
-            if every > 0 && step % every == 0 && step < spec.supersteps {
-                let checkpoint = Checkpoint::capture(
-                    &spec.name,
-                    chain.as_ref(),
-                    &algorithm_spec,
-                    spec.supersteps,
-                    spec.thinning,
-                    samples_emitted,
-                )?;
+        let due = spec
+            .checkpoint_every
+            .is_some_and(|every| every > 0 && step % every == 0 && step < spec.supersteps);
+        if due && (spec.checkpoint_dir.is_some() || checkpoint_sink.is_some()) {
+            let checkpoint = Checkpoint::capture(
+                &spec.name,
+                chain.as_ref(),
+                &algorithm_spec,
+                spec.supersteps,
+                spec.thinning,
+                samples_emitted,
+            )?;
+            if let Some(dir) = &spec.checkpoint_dir {
                 checkpoint.write_to_file(dir.join(format!("{}.ckpt", spec.name)))?;
-                checkpoints += 1;
             }
+            if let Some(hook) = checkpoint_sink.as_deref_mut() {
+                hook.store(&checkpoint)?;
+            }
+            checkpoints += 1;
         }
     }
 
@@ -277,25 +301,32 @@ pub(crate) fn run_claimed(
     job: &mut QueuedJob,
     control: &JobControl,
 ) -> Result<JobReport, EngineError> {
-    match job.spec.threads {
+    let QueuedJob { spec, sink, resume, checkpoints } = job;
+    match spec.threads {
         Some(threads) => {
             let pool = rayon::ThreadPoolBuilder::new()
                 .num_threads(threads)
                 .build()
                 .map_err(|e| EngineError::Graph(format!("cannot build rayon pool: {e}")))?;
             pool.install(|| {
-                run_job_controlled(
+                run_job_hooked(
                     registry,
-                    &job.spec,
-                    job.sink.as_mut(),
-                    job.resume.as_ref(),
+                    spec,
+                    sink.as_mut(),
+                    resume.as_ref(),
                     control,
+                    checkpoints.as_deref_mut(),
                 )
             })
         }
-        None => {
-            run_job_controlled(registry, &job.spec, job.sink.as_mut(), job.resume.as_ref(), control)
-        }
+        None => run_job_hooked(
+            registry,
+            spec,
+            sink.as_mut(),
+            resume.as_ref(),
+            control,
+            checkpoints.as_deref_mut(),
+        ),
     }
 }
 

@@ -1,6 +1,6 @@
 //! The work queue feeding the [`WorkerPool`](crate::WorkerPool).
 
-use crate::checkpoint::Checkpoint;
+use crate::checkpoint::{Checkpoint, CheckpointSink};
 use crate::job::JobSpec;
 use crate::sink::SampleSink;
 use std::collections::VecDeque;
@@ -15,17 +15,27 @@ pub struct QueuedJob {
     pub sink: Box<dyn SampleSink>,
     /// Resume point (`None` = start from superstep 0).
     pub resume: Option<Checkpoint>,
+    /// Where periodic checkpoints go, in addition to (or instead of) the
+    /// spec's `checkpoint_dir` (`None` = directory files only).
+    pub checkpoints: Option<Box<dyn CheckpointSink>>,
 }
 
 impl QueuedJob {
     /// A job starting from scratch.
     pub fn new(spec: JobSpec, sink: Box<dyn SampleSink>) -> Self {
-        Self { spec, sink, resume: None }
+        Self { spec, sink, resume: None, checkpoints: None }
     }
 
     /// A job continuing from `checkpoint`.
     pub fn resuming(spec: JobSpec, sink: Box<dyn SampleSink>, checkpoint: Checkpoint) -> Self {
-        Self { spec, sink, resume: Some(checkpoint) }
+        Self { spec, sink, resume: Some(checkpoint), checkpoints: None }
+    }
+
+    /// Builder-style attachment of a [`CheckpointSink`] receiving this job's
+    /// periodic checkpoints.
+    pub fn with_checkpoint_sink(mut self, sink: Box<dyn CheckpointSink>) -> Self {
+        self.checkpoints = Some(sink);
+        self
     }
 }
 

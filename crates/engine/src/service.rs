@@ -137,6 +137,27 @@ impl JobHandle {
         self.state().is_terminal()
     }
 
+    /// A handle that is not connected to a live pool job, seeded with a
+    /// fixed state and progress snapshot.
+    ///
+    /// Used to represent jobs restored from a persistent store after a
+    /// restart: the job already reached `state` in a previous process, so
+    /// the handle only needs to report it (and a plausible progress
+    /// snapshot), never transition.  Terminal states behave exactly like a
+    /// finished live handle (`wait` returns immediately).
+    pub fn detached(name: impl Into<String>, state: JobState, superstep: u64, total: u64) -> Self {
+        let control = Arc::new(JobControl::new());
+        control.set_total(total);
+        if superstep > 0 {
+            control.record_start(superstep);
+        }
+        Self {
+            name: name.into(),
+            control,
+            slot: Arc::new(JobSlot { state: Mutex::new(state), done: Condvar::new() }),
+        }
+    }
+
     /// Block until the job reaches a terminal state, returning it.
     pub fn wait(&self) -> JobState {
         let mut state = self.slot.state.lock().expect("job slot mutex poisoned");

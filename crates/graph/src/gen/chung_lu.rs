@@ -15,9 +15,16 @@ use rand::RngCore;
 ///
 /// Runs in `O(n + m)` expected time using the standard per-node geometric
 /// skipping over candidate partners sorted by weight.
+///
+/// Degenerate weights — NaN, infinities, negatives — contribute nothing: a
+/// node with such a weight is treated as weight `0.0` (isolated) instead of
+/// panicking or poisoning the weight sum.
 pub fn chung_lu<R: RngCore + ?Sized>(rng: &mut R, weights: &[f64]) -> EdgeListGraph {
     let n = weights.len();
-    assert!(weights.iter().all(|&w| w >= 0.0 && w.is_finite()), "weights must be non-negative");
+    // Sanitize instead of asserting: a single NaN would poison `total` and
+    // previously panicked the weight sort.
+    let weights: Vec<f64> =
+        weights.iter().map(|&w| if w.is_finite() && w > 0.0 { w } else { 0.0 }).collect();
     if n < 2 {
         return EdgeListGraph::from_edges_unchecked(n, Vec::new());
     }
@@ -28,9 +35,10 @@ pub fn chung_lu<R: RngCore + ?Sized>(rng: &mut R, weights: &[f64]) -> EdgeListGr
 
     // Sort nodes by non-increasing weight; the skipping argument requires the
     // per-partner probabilities to be non-increasing along the scan.
+    // `total_cmp` is a total order, so degenerate inputs can never panic it.
     let mut order: Vec<Node> = (0..n as Node).collect();
     order.sort_unstable_by(|&a, &b| {
-        weights[b as usize].partial_cmp(&weights[a as usize]).unwrap().then(a.cmp(&b))
+        weights[b as usize].total_cmp(&weights[a as usize]).then(a.cmp(&b))
     });
 
     let mut edges = Vec::new();
@@ -80,6 +88,29 @@ mod tests {
         assert_eq!(chung_lu(&mut rng, &[]).num_edges(), 0);
         assert_eq!(chung_lu(&mut rng, &[3.0]).num_edges(), 0);
         assert_eq!(chung_lu(&mut rng, &[0.0; 10]).num_edges(), 0);
+    }
+
+    #[test]
+    fn degenerate_weights_are_isolated_not_panics() {
+        let mut rng = rng_from_seed(7);
+        // All-degenerate input: no finite positive mass, empty graph.
+        let g = chung_lu(&mut rng, &[f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -3.0]);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.num_nodes(), 4);
+
+        // Mixed input: the degenerate nodes stay isolated, the healthy ones
+        // still form a valid simple graph.
+        let mut weights = vec![6.0; 300];
+        weights[0] = f64::NAN;
+        weights[1] = -1.0;
+        weights[2] = f64::INFINITY;
+        let g = chung_lu(&mut rng, &weights);
+        assert!(g.validate().is_ok());
+        let deg = g.degrees();
+        for node in 0..3 {
+            assert_eq!(deg.degree(node), 0, "degenerate-weight node {node} must stay isolated");
+        }
+        assert!(g.num_edges() > 0, "healthy nodes must still connect");
     }
 
     #[test]

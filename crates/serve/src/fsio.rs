@@ -1,0 +1,206 @@
+//! The injectable filesystem seam under the persistence layer.
+//!
+//! Every durable byte [`persist`](crate::persist) writes goes through a
+//! [`PersistIo`] — plain `std::fs` in production ([`StdFs`]), a scripted
+//! fault injector in tests ([`FaultIo`]).  The seam covers exactly the
+//! operations whose failure modes matter for the durability contract:
+//! `write` (create/truncate), `append`, `fsync`, and `rename`.  Tests fail
+//! any of them deterministically and assert the store degrades instead of
+//! panicking or acknowledging work it then loses.
+
+use std::io;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// The persistence operations a [`PersistIo`] mediates (and a [`FaultIo`]
+/// can fail).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoOp {
+    /// Create-or-truncate write of a whole file.
+    Write,
+    /// Append to the end of a file (created if absent).
+    Append,
+    /// Flush a file's data and metadata to stable storage.
+    Fsync,
+    /// Atomic rename within one directory.
+    Rename,
+}
+
+impl std::fmt::Display for IoOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            IoOp::Write => "write",
+            IoOp::Append => "append",
+            IoOp::Fsync => "fsync",
+            IoOp::Rename => "rename",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Filesystem operations of the persistence layer, as an injectable seam.
+///
+/// Implementations must be usable from many threads at once (journal
+/// appends, sample spills, and checkpoint writes race).
+pub trait PersistIo: Send + Sync + std::fmt::Debug {
+    /// Create (or truncate) `path` and write `bytes`.
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Append `bytes` to `path`, creating it if absent.
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Flush `path` (a file or a directory) to stable storage.
+    fn fsync(&self, path: &Path) -> io::Result<()>;
+    /// Atomically rename `from` to `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+}
+
+/// The production [`PersistIo`]: straight `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdFs;
+
+impl PersistIo for StdFs {
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        std::fs::write(path, bytes)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        file.write_all(bytes)
+    }
+
+    fn fsync(&self, path: &Path) -> io::Result<()> {
+        // Opening read-only suffices for fsync on both files and directories
+        // (Linux allows O_RDONLY + fsync on directories).
+        std::fs::File::open(path)?.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+}
+
+/// One scripted fault: fail the next `remaining` occurrences of `op` on
+/// paths containing `path_contains`.
+#[derive(Debug)]
+struct Fault {
+    op: IoOp,
+    path_contains: String,
+    remaining: usize,
+}
+
+/// A [`PersistIo`] wrapping [`StdFs`] with a scripted fault plan.
+///
+/// `fail(op, substr, times)` arms a fault; the next `times` calls of `op`
+/// whose path contains `substr` return an injected `io::Error` (and perform
+/// no filesystem work).  Unmatched calls pass through.  Tests use this to
+/// fail any single persistence step deterministically.
+#[derive(Debug, Default)]
+pub struct FaultIo {
+    inner: StdFs,
+    plan: Mutex<Vec<Fault>>,
+}
+
+impl FaultIo {
+    /// A fault injector with an empty plan (all calls pass through).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm a fault: the next `times` `op` calls on paths containing
+    /// `path_contains` fail with an injected error.
+    pub fn fail(&self, op: IoOp, path_contains: &str, times: usize) {
+        self.plan.lock().expect("fault plan mutex poisoned").push(Fault {
+            op,
+            path_contains: path_contains.to_string(),
+            remaining: times,
+        });
+    }
+
+    /// Disarm every scripted fault.
+    pub fn clear(&self) {
+        self.plan.lock().expect("fault plan mutex poisoned").clear();
+    }
+
+    fn check(&self, op: IoOp, path: &Path) -> io::Result<()> {
+        let mut plan = self.plan.lock().expect("fault plan mutex poisoned");
+        let text = path.to_string_lossy();
+        for fault in plan.iter_mut() {
+            if fault.op == op && fault.remaining > 0 && text.contains(&fault.path_contains) {
+                fault.remaining -= 1;
+                return Err(io::Error::other(format!("injected {op} fault on {}", path.display())));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl PersistIo for FaultIo {
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.check(IoOp::Write, path)?;
+        self.inner.write(path, bytes)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.check(IoOp::Append, path)?;
+        self.inner.append(path, bytes)
+    }
+
+    fn fsync(&self, path: &Path) -> io::Result<()> {
+        self.check(IoOp::Fsync, path)?;
+        self.inner.fsync(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.check(IoOp::Rename, to)?;
+        self.inner.rename(from, to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_fs_roundtrips_and_appends() {
+        let dir = std::env::temp_dir().join("gesmc-fsio-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let io = StdFs;
+        let file = dir.join("a.bin");
+        io.write(&file, b"hello").unwrap();
+        io.append(&file, b" world").unwrap();
+        io.fsync(&file).unwrap();
+        assert_eq!(std::fs::read(&file).unwrap(), b"hello world");
+        let renamed = dir.join("b.bin");
+        io.rename(&file, &renamed).unwrap();
+        assert!(!file.exists());
+        assert_eq!(std::fs::read(&renamed).unwrap(), b"hello world");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faults_fire_by_op_and_path_then_expire() {
+        let dir = std::env::temp_dir().join("gesmc-fsio-fault-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let io = FaultIo::new();
+        io.fail(IoOp::Append, "journal", 2);
+        let journal = dir.join("jobs.journal");
+        let other = dir.join("other.bin");
+        // Unmatched op and unmatched path both pass through.
+        io.write(&journal, b"x").unwrap();
+        io.append(&other, b"y").unwrap();
+        // Matched calls fail exactly `times` times, then pass.
+        assert!(io.append(&journal, b"z").is_err());
+        assert!(io.append(&journal, b"z").is_err());
+        io.append(&journal, b"z").unwrap();
+        // Rename faults match on the destination path.
+        io.fail(IoOp::Rename, "final", 1);
+        io.write(&other, b"v").unwrap();
+        assert!(io.rename(&other, &dir.join("final.bin")).is_err());
+        assert!(other.exists(), "failed rename must not move the file");
+        io.clear();
+        io.rename(&other, &dir.join("final.bin")).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

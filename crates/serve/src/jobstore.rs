@@ -118,6 +118,12 @@ impl JobStore {
         self.next_id.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Raise the id counter to at least `floor` (no-op when already past
+    /// it).  Boot replay uses this so restored job ids are never reissued.
+    pub fn ensure_next_id(&self, floor: u64) {
+        self.next_id.fetch_max(floor, Ordering::Relaxed);
+    }
+
     /// Register a record under its id, evicting the oldest finished record
     /// when at capacity.  Fails with [`StoreError::Full`] when every
     /// resident record is still queued or running.

@@ -51,14 +51,21 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod fsio;
 pub mod http;
 pub mod jobstore;
 pub mod metrics;
+pub mod persist;
 pub(crate) mod router;
 pub mod server;
 
 pub use cache::{CacheKey, CacheStats, CachedSample, SampleCache};
+pub use fsio::{FaultIo, IoOp, PersistIo, StdFs};
+pub use persist::{PersistMetrics, Persistence};
 pub use server::Server;
+
+use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Server configuration; every field has a production-ish default.
 #[derive(Debug, Clone)]
@@ -95,6 +102,22 @@ pub struct ServeConfig {
     /// Whether `POST /v1/shutdown` is honoured (CI and tests; off by
     /// default so a stray request cannot stop a production server).
     pub allow_shutdown: bool,
+    /// Durability root (`--data-dir`).  When set, job submissions are
+    /// journaled before they are acknowledged, running jobs checkpoint
+    /// every [`checkpoint_every`](Self::checkpoint_every) supersteps, and
+    /// one-shot cache entries spill to disk; on boot the directory is
+    /// replayed — finished jobs come back queryable, interrupted jobs
+    /// resume bit-identically.  `None` (the default) keeps the server
+    /// fully in-memory.
+    pub data_dir: Option<PathBuf>,
+    /// Checkpoint cadence for persistent jobs, in supersteps (ignored
+    /// without [`data_dir`](Self::data_dir); `0` disables checkpointing,
+    /// leaving from-scratch recomputation as the recovery path).
+    pub checkpoint_every: u64,
+    /// The filesystem seam persistence writes through; `None` uses
+    /// [`StdFs`].  Tests inject a [`FaultIo`] here to fail any durable
+    /// step deterministically.
+    pub persist_io: Option<Arc<dyn PersistIo>>,
 }
 
 impl Default for ServeConfig {
@@ -113,6 +136,9 @@ impl Default for ServeConfig {
             max_retained_sample_bytes: 256 * 1024 * 1024,
             max_jobs: 1_024,
             allow_shutdown: false,
+            data_dir: None,
+            checkpoint_every: 25,
+            persist_io: None,
         }
     }
 }

@@ -1,6 +1,7 @@
 //! Service counters and their Prometheus text rendering (`GET /metrics`).
 
 use crate::cache::SampleCache;
+use crate::persist::PersistMetrics;
 use gesmc_engine::ServicePool;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -58,8 +59,16 @@ impl Metrics {
         self.responses_shed.load(Ordering::Relaxed)
     }
 
-    /// Render the Prometheus exposition text.
-    pub fn render(&self, pool: &ServicePool, cache: &SampleCache, jobs_resident: usize) -> String {
+    /// Render the Prometheus exposition text.  `persist` is the durability
+    /// layer's counters; `None` (no `--data-dir`) omits the
+    /// `gesmc_persist_*` family entirely.
+    pub fn render(
+        &self,
+        pool: &ServicePool,
+        cache: &SampleCache,
+        jobs_resident: usize,
+        persist: Option<&PersistMetrics>,
+    ) -> String {
         fn gauge(out: &mut String, name: &str, help: &str, value: f64) {
             let _ = writeln!(out, "# HELP {name} {help}");
             let _ = writeln!(out, "# TYPE {name} gauge");
@@ -164,6 +173,53 @@ impl Metrics {
         );
         let rate = if uptime > 0.0 { supersteps as f64 / uptime } else { 0.0 };
         gauge(&mut out, "gesmc_supersteps_per_second", "Lifetime average superstep rate.", rate);
+
+        if let Some(persist) = persist {
+            for (name, help, value) in [
+                (
+                    "gesmc_persist_errors_total",
+                    "Persistence operations that failed (absorbed or refused).",
+                    persist.errors(),
+                ),
+                (
+                    "gesmc_persist_journal_entries_total",
+                    "Job journal entries appended.",
+                    persist.journal_entries(),
+                ),
+                (
+                    "gesmc_persist_journal_skipped_total",
+                    "Journal entries skipped during boot replay (torn or corrupt).",
+                    persist.journal_skipped(),
+                ),
+                (
+                    "gesmc_persist_checkpoints_total",
+                    "Checkpoints written for running jobs.",
+                    persist.checkpoints(),
+                ),
+                (
+                    "gesmc_persist_samples_spilled_total",
+                    "Samples spilled to disk (job samples and cache entries).",
+                    persist.samples_spilled(),
+                ),
+                (
+                    "gesmc_persist_cache_rehydrated_total",
+                    "Cache entries rehydrated from disk.",
+                    persist.cache_rehydrated(),
+                ),
+                (
+                    "gesmc_persist_jobs_resumed_total",
+                    "In-flight jobs resumed on boot.",
+                    persist.jobs_resumed(),
+                ),
+                (
+                    "gesmc_persist_jobs_restored_total",
+                    "Finished job records restored on boot.",
+                    persist.jobs_restored(),
+                ),
+            ] {
+                gauge(&mut out, name, help, value as f64);
+            }
+        }
         out
     }
 }
@@ -194,7 +250,15 @@ mod tests {
         pool.submit(QueuedJob::new(spec, Box::new(NullSink::default()))).unwrap().wait();
         let cache = SampleCache::new(4);
 
-        let text = metrics.render(&pool, &cache, 3);
+        let text = metrics.render(&pool, &cache, 3, None);
+        assert!(
+            !text.contains("gesmc_persist_"),
+            "persistence gauges must be absent without a data dir"
+        );
+        let persist = PersistMetrics::default();
+        let text_with_persist = metrics.render(&pool, &cache, 3, Some(&persist));
+        assert!(text_with_persist.contains("gesmc_persist_errors_total 0"));
+        assert!(text_with_persist.contains("gesmc_persist_journal_entries_total 0"));
         assert!(text.contains("gesmc_http_requests_total 2"));
         assert!(text.contains("gesmc_http_responses_total{class=\"2xx\"} 1"));
         assert!(text.contains("gesmc_http_responses_total{class=\"429\"} 1"));

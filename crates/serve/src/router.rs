@@ -7,12 +7,15 @@
 
 use crate::cache::{derive_sample_seed, CacheKey, CachedSample};
 use crate::http::{Method, Request, Response};
-use crate::jobstore::{JobRecord, StoredSample};
+use crate::jobstore::JobRecord;
+use crate::persist::{
+    make_job_sink, spawn_reaper, FinishedMeta, JobCheckpointSink, JobMeta, PersistedGraph,
+    Persistence,
+};
 use crate::server::{ColdError, Lease, LeaseGuard, ServerState};
 use gesmc_core::{ChainRegistry, ChainSpec};
 use gesmc_engine::{
-    CallbackSink, GraphSource, JobSpec, JobState, MemorySink, QueuedJob, SubmitError,
-    GRAPH_FAMILIES,
+    GraphSource, JobSpec, JobState, MemorySink, QueuedJob, SubmitError, GRAPH_FAMILIES,
 };
 use gesmc_graph::io::{write_edge_list, write_edge_list_binary};
 use gesmc_graph::EdgeListGraph;
@@ -42,9 +45,15 @@ pub(crate) fn route(state: &Arc<ServerState>, request: &Request) -> Response {
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method, segments.as_slice()) {
         (Method::Get, ["healthz"]) => Response::text(200, "ok\n"),
-        (Method::Get, ["metrics"]) => {
-            Response::text(200, state.metrics.render(&state.pool, &state.cache, state.jobs.len()))
-        }
+        (Method::Get, ["metrics"]) => Response::text(
+            200,
+            state.metrics.render(
+                &state.pool,
+                &state.cache,
+                state.jobs.len(),
+                state.persist.as_deref().map(Persistence::metrics),
+            ),
+        ),
         (Method::Get, ["v1", "algorithms"]) => algorithms(state.registry),
         (Method::Get, ["v1", "sample"]) => sample(state, request),
         (Method::Post, ["v1", "jobs"]) => submit_job(state, request),
@@ -222,6 +231,11 @@ fn generate_into_cache(
                 .ok_or_else(|| ColdError::Failed("job emitted no sample".to_string()))?;
             let sample = encode_sample(graph, seed);
             state.cache.insert(key.clone(), sample.clone());
+            if let Some(persist) = &state.persist {
+                // Write-through spill: the key survives both LRU eviction
+                // and process restarts.  Failures degrade to in-memory-only.
+                persist.spill_cache(key, &sample);
+            }
             Ok(sample)
         }
         JobState::Failed(msg) => Err(ColdError::Failed(msg)),
@@ -311,6 +325,20 @@ fn sample(state: &Arc<ServerState>, request: &Request) -> Response {
             );
         }
         return sample_response(request, &cached, "hit");
+    }
+    // LRU miss: a restarted (or evicted) node may still hold this key
+    // spilled on disk — rehydrate lazily and serve it as a hit.
+    if let Some(persist) = &state.persist {
+        if let Some(cached) = persist.load_cached(&key) {
+            state.cache.insert(key.clone(), cached.clone());
+            if warm {
+                return Response::json(
+                    200,
+                    &json_object(vec![("status", Value::String("warm".to_string()))]),
+                );
+            }
+            return sample_response(request, &cached, "hit");
+        }
     }
 
     if warm {
@@ -565,33 +593,96 @@ fn submit_job(state: &Arc<ServerState>, request: &Request) -> Response {
         .map(str::to_string)
         .unwrap_or_else(|| format!("job{id}"));
 
-    let spec = JobSpec::new(name.clone(), source, chain.clone())
+    // Durability gate: persist the input and journal the submission BEFORE
+    // acknowledging anything.  If any durable step fails, refuse with 503 —
+    // an acknowledged job is never lost.
+    if let Some(persist) = &state.persist {
+        let graph_meta = match &source {
+            GraphSource::Generated { family, nodes, edges, gamma, seed } => {
+                PersistedGraph::Generated {
+                    family: family.clone(),
+                    nodes: *nodes,
+                    edges: *edges,
+                    gamma: *gamma,
+                    seed: *seed,
+                }
+            }
+            GraphSource::InMemory(graph) => {
+                if persist.write_job_input(id, graph).is_err() {
+                    return Response::error(
+                        503,
+                        "persistence unavailable: could not store the job input; retry later",
+                    )
+                    .with_header("Retry-After", "1");
+                }
+                PersistedGraph::File
+            }
+            GraphSource::File(_) => PersistedGraph::File, // not constructible through this API
+        };
+        let meta = JobMeta {
+            id,
+            name: name.clone(),
+            chain: chain.to_string(),
+            supersteps,
+            thinning,
+            seed,
+            graph: graph_meta,
+        };
+        if persist.journal_submitted(&meta).is_err() {
+            return Response::error(
+                503,
+                "persistence unavailable: could not journal the submission; retry later",
+            )
+            .with_header("Retry-After", "1");
+        }
+    }
+
+    let mut spec = JobSpec::new(name.clone(), source, chain.clone())
         .supersteps(supersteps)
         .thinning(thinning)
         .seed(seed);
+    if state.persist.is_some() && state.config.checkpoint_every > 0 {
+        spec.checkpoint_every = Some(state.config.checkpoint_every);
+    }
     let samples: crate::jobstore::SharedSamples = Arc::new(std::sync::Mutex::new(Vec::new()));
-    let samples_in_sink = Arc::clone(&samples);
-    let sink =
-        CallbackSink::new(move |ctx: &gesmc_engine::SampleContext<'_>, g: &EdgeListGraph| {
-            let encoded = encode_sample(g, 0);
-            samples_in_sink.lock().expect("samples mutex poisoned").push(StoredSample {
-                superstep: ctx.superstep,
-                text: encoded.text,
-                binary: encoded.binary,
-            });
-            Ok(())
-        });
+    let sink = make_job_sink(state.persist.clone(), id, Arc::clone(&samples));
 
-    let handle = match state.pool.submit(QueuedJob::new(spec, Box::new(sink))) {
+    let mut queued = QueuedJob::new(spec, sink);
+    if let Some(persist) = &state.persist {
+        queued = queued
+            .with_checkpoint_sink(Box::new(JobCheckpointSink { persist: Arc::clone(persist), id }));
+    }
+
+    // The journal already holds a `submitted` entry; if admission fails now,
+    // close it out as cancelled so a restart does not resurrect the job.
+    let journal_cancelled = |superstep: u64| {
+        if let Some(persist) = &state.persist {
+            persist.journal_finished(
+                id,
+                &FinishedMeta {
+                    status: "cancelled".to_string(),
+                    samples: 0,
+                    superstep,
+                    error: None,
+                },
+            );
+        }
+    };
+
+    let handle = match state.pool.submit(queued) {
         Ok(handle) => handle,
         Err(SubmitError::Saturated { pending }) => {
+            journal_cancelled(0);
             return Response::error(
                 429,
                 &format!("admission queue is full ({pending} jobs pending); retry later"),
             )
-            .with_header("Retry-After", "1")
+            .with_header("Retry-After", "1");
         }
-        Err(SubmitError::ShuttingDown) => return Response::error(503, "server is shutting down"),
+        Err(SubmitError::ShuttingDown) => {
+            journal_cancelled(0);
+            return Response::error(503, "server is shutting down");
+        }
     };
 
     let handle_for_rollback = handle.clone();
@@ -602,23 +693,27 @@ fn submit_job(state: &Arc<ServerState>, request: &Request) -> Response {
         supersteps,
         thinning,
         seed,
-        handle,
-        samples,
+        handle: handle.clone(),
+        samples: Arc::clone(&samples),
     };
     match state.jobs.register(record) {
-        Ok(record) => Response::json(
-            202,
-            &json_object(vec![
-                ("id", Value::Number(id as f64)),
-                ("name", Value::String(name)),
-                ("status", Value::String(record.handle.state().label().to_string())),
-                ("url", Value::String(format!("/v1/jobs/{id}"))),
-            ]),
-        ),
+        Ok(record) => {
+            spawn_reaper(state, id, handle, samples);
+            Response::json(
+                202,
+                &json_object(vec![
+                    ("id", Value::Number(id as f64)),
+                    ("name", Value::String(name)),
+                    ("status", Value::String(record.handle.state().label().to_string())),
+                    ("url", Value::String(format!("/v1/jobs/{id}"))),
+                ]),
+            )
+        }
         Err(e) => {
             // No room to track the job: cancel the untracked submission and
             // shed.
             handle_for_rollback.cancel();
+            journal_cancelled(0);
             Response::error(429, &format!("{e}; retry once jobs finish"))
                 .with_header("Retry-After", "5")
         }

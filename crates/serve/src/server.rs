@@ -20,9 +20,11 @@
 //! aborted mid-request and no sample is lost.
 
 use crate::cache::{CacheKey, CachedSample, SampleCache};
+use crate::fsio::StdFs;
 use crate::http::{read_request, Response};
 use crate::jobstore::JobStore;
 use crate::metrics::Metrics;
+use crate::persist::{boot_replay, Persistence};
 use crate::router::route;
 use crate::ServeConfig;
 use gesmc_engine::{default_registry, ChainRegistry, ServicePool};
@@ -139,6 +141,11 @@ pub(crate) struct ServerState {
     pub(crate) cache: SampleCache,
     pub(crate) jobs: JobStore,
     pub(crate) metrics: Metrics,
+    /// The durability layer; `Some` only when the config sets a data dir.
+    pub(crate) persist: Option<Arc<Persistence>>,
+    /// Reaper threads journaling `finished` events for persistent jobs;
+    /// joined during teardown (after the pool drained, so all terminal).
+    pub(crate) reapers: Mutex<Vec<JoinHandle<()>>>,
     inflight: Mutex<HashMap<CacheKey, Arc<InflightSlot>>>,
     shutdown_requested: Mutex<bool>,
     shutdown_cv: Condvar,
@@ -204,12 +211,22 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
 
+        let persist = match &config.data_dir {
+            Some(dir) => {
+                let io = config.persist_io.clone().unwrap_or_else(|| Arc::new(StdFs));
+                Some(Arc::new(Persistence::open(dir.clone(), io)?))
+            }
+            None => None,
+        };
+
         let state = Arc::new(ServerState {
             pool: ServicePool::start(config.engine_workers, config.max_pending),
             cache: SampleCache::new(config.cache_entries),
             jobs: JobStore::new(config.max_jobs),
             metrics: Metrics::new(),
             registry: default_registry(),
+            persist,
+            reapers: Mutex::new(Vec::new()),
             inflight: Mutex::new(HashMap::new()),
             shutdown_requested: Mutex::new(false),
             shutdown_cv: Condvar::new(),
@@ -218,6 +235,10 @@ impl Server {
             conn_available: Condvar::new(),
             config,
         });
+
+        // Recover before the socket serves traffic: restore finished job
+        // records, resume interrupted jobs, compact the journal.
+        boot_replay(&state);
 
         let http_workers = (0..state.config.http_workers.max(1))
             .map(|_| {
@@ -294,6 +315,13 @@ impl Server {
             let _ = worker.join();
         }
         self.state.pool.shutdown();
+        // The pool drained, so every job is terminal and every reaper is
+        // about to (or already did) journal its `finished` event.
+        let reapers =
+            std::mem::take(&mut *self.state.reapers.lock().expect("reaper handles mutex poisoned"));
+        for reaper in reapers {
+            let _ = reaper.join();
+        }
         *done = true;
     }
 }

@@ -68,11 +68,12 @@ pub mod prelude {
         ParES, ParGlobalES, ParamValue, SeqES, SeqGlobalES, SwitchingConfig,
     };
     pub use gesmc_engine::{
-        default_registry, run_batch, run_job, run_job_with, Checkpoint, GraphSource, JobControl,
-        JobHandle, JobSpec, JobState, Manifest, MemorySink, SampleSink, ServicePool, WorkerPool,
+        default_registry, run_batch, run_job, run_job_hooked, run_job_with, Checkpoint,
+        CheckpointSink, GraphSource, JobControl, JobHandle, JobSpec, JobState, Manifest,
+        MemorySink, SampleSink, ServicePool, WorkerPool,
     };
     pub use gesmc_graph::{DegreeSequence, Edge, EdgeListGraph};
-    pub use gesmc_serve::{ServeConfig, Server};
+    pub use gesmc_serve::{PersistIo, ServeConfig, Server, StdFs};
     pub use gesmc_study::{run_study, MetricsSink, StudyOptions, StudyReport, StudySpec};
 }
 

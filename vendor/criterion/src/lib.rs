@@ -10,9 +10,63 @@
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// One finished benchmark, collected for the optional JSON report.
+#[derive(Debug, Clone)]
+struct BenchResult {
+    name: String,
+    mean_ns: u128,
+    min_ns: u128,
+    max_ns: u128,
+    samples: usize,
+}
+
+fn results() -> &'static Mutex<Vec<BenchResult>> {
+    static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+    &RESULTS
+}
+
+/// Write every benchmark result recorded so far as a JSON array to the path
+/// in `$GESMC_BENCH_JSON` (no-op when the variable is unset).  Called by
+/// `criterion_main!` after all groups ran, so
+/// `GESMC_BENCH_JSON=BENCH_foo.json cargo bench --bench foo` checks in a
+/// machine-readable baseline alongside the stdout report.
+pub fn write_json_report() {
+    let Ok(path) = std::env::var("GESMC_BENCH_JSON") else { return };
+    if path.is_empty() {
+        return;
+    }
+    let mut results = results().lock().expect("bench results mutex poisoned").clone();
+    results.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        // Names come from benchmark ids; escape the JSON specials anyway.
+        let name: String = r
+            .name
+            .chars()
+            .flat_map(|c| match c {
+                '"' => vec!['\\', '"'],
+                '\\' => vec!['\\', '\\'],
+                c if c.is_control() => vec![' '],
+                c => vec![c],
+            })
+            .collect();
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+             \"samples\": {}}}{}\n",
+            name, r.mean_ns, r.min_ns, r.max_ns, r.samples, comma
+        ));
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion shim: cannot write {path}: {e}");
+    }
+}
 
 /// Measurement types (mirrors `criterion::measurement`).
 pub mod measurement {
@@ -174,6 +228,13 @@ impl<M> BenchmarkGroup<'_, M> {
             durations.len(),
             rate
         );
+        results().lock().expect("bench results mutex poisoned").push(BenchResult {
+            name: format!("{}/{}", self.name, id),
+            mean_ns: mean.as_nanos(),
+            min_ns: min.as_nanos(),
+            max_ns: max.as_nanos(),
+            samples: durations.len(),
+        });
     }
 }
 
@@ -230,11 +291,14 @@ macro_rules! criterion_group {
 }
 
 /// Declare the benchmark `main` (mirrors `criterion::criterion_main!`).
+/// After all groups ran, the shim writes the machine-readable report if
+/// `$GESMC_BENCH_JSON` names a path (see [`write_json_report`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_report();
         }
     };
 }
@@ -258,6 +322,19 @@ mod tests {
         group.finish();
         // sample_size(5) clamped by max_samples = 3.
         assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn report_records_results_for_the_json_report() {
+        let mut c = Criterion { max_samples: 2 };
+        let mut group = c.benchmark_group("jsoncheck");
+        group.bench_function(BenchmarkId::from_parameter("noop"), |b| b.iter(|| 1 + 1));
+        group.finish();
+        let recorded = results().lock().unwrap();
+        assert!(
+            recorded.iter().any(|r| r.name == "jsoncheck/noop" && r.samples == 2),
+            "report() must record results for write_json_report"
+        );
     }
 
     #[test]
