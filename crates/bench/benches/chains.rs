@@ -1,7 +1,7 @@
 //! Criterion benchmark: one superstep of every chain implementation on the
 //! same mesh-like graph (the head-to-head comparison underlying Fig. 4).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use gesmc_baselines::{AdjacencyListES, GlobalCurveball, SortedAdjacencyES};
 use gesmc_core::{
     EdgeSwitching, NaiveParES, ParES, ParGlobalES, SeqES, SeqGlobalES, SwitchingConfig,
@@ -51,4 +51,26 @@ fn bench_chains(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_chains);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    criterion::write_json_report();
+    // The timed loop above calls `superstep()` directly, below the engine's
+    // instrumentation, so it records no histograms (that hot path carries
+    // zero observability overhead by construction).  Run one short job
+    // through the instrumented engine path afterwards so the sidecar still
+    // carries a superstep-duration distribution; this does not perturb the
+    // timings, which are already written.
+    let corpus = family_graph(2, GraphFamily::Mesh, 2_000);
+    let spec = gesmc_engine::JobSpec::new(
+        "bench-sidecar",
+        gesmc_engine::GraphSource::InMemory(corpus.graph),
+        gesmc_core::ChainSpec::new("seq-es"),
+    )
+    .supersteps(8);
+    let mut sink = gesmc_engine::NullSink::default();
+    gesmc_engine::run_job(&spec, &mut sink, None).expect("sidecar job");
+    // Latency-histogram sidecar (`<report stem>.hist.json`) for trajectory
+    // entries that pair throughput with per-phase distributions.
+    gesmc_bench::dump_obs_histograms();
+}

@@ -17,7 +17,7 @@
 //! Honours the harness' `--scale {smoke,small,paper}` knob (default
 //! `smoke`, so `cargo bench` stays fast offline).
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BatchSize, BenchmarkId, Criterion, Throughput};
 use gesmc_bench::Scale;
 use gesmc_serve::{ServeConfig, Server};
 use std::io::{Read, Write};
@@ -125,4 +125,12 @@ fn bench_cold_boot_rehydration(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_serve, bench_cold_boot_rehydration);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    criterion::write_json_report();
+    // The serve benchmarks drive the full request pipeline, so the sidecar
+    // (`<report stem>.hist.json`) captures request-phase, cache-probe, and
+    // persistence latency distributions for the checked-in baseline.
+    gesmc_bench::dump_obs_histograms();
+}

@@ -166,6 +166,23 @@ impl BenchWriter {
     }
 }
 
+/// Write a JSON snapshot of the observability registry (every latency
+/// histogram and event counter the benchmarked code recorded) next to the
+/// `GESMC_BENCH_JSON` report, as `<report stem>.hist.json`.
+///
+/// Benchmarks call this after `write_json_report` so a checked-in baseline
+/// carries its per-phase latency distributions alongside the mean/min/max
+/// rows.  A no-op (returning `None`) when `GESMC_BENCH_JSON` is unset or
+/// empty, mirroring the report writer.
+pub fn dump_obs_histograms() -> Option<PathBuf> {
+    let report = std::env::var("GESMC_BENCH_JSON").ok().filter(|p| !p.is_empty())?;
+    let report = PathBuf::from(report);
+    let stem = report.file_stem()?.to_string_lossy().into_owned();
+    let path = report.with_file_name(format!("{stem}.hist.json"));
+    fs::write(&path, gesmc_obs::render_json()).ok()?;
+    Some(path)
+}
+
 /// Time `supersteps` supersteps of `chain` (including data-structure
 /// initialisation happening inside the chain constructor is the caller's
 /// business, mirroring Sec. 6.2's methodology of measuring init + 20

@@ -17,6 +17,7 @@
 //!   gesmc serve      [--addr HOST:PORT] [--workers N] [--http-workers N]
 //!                    [--cache-entries N] [--max-pending N] [--allow-shutdown]
 //!                    [--data-dir DIR [--checkpoint-every K]]
+//!                    [--log-format {text,json}] [--log-level L]
 //!   gesmc --version | gesmc <subcommand> --help
 //! ```
 //!
@@ -53,7 +54,7 @@ use std::process::ExitCode;
 use std::str::FromStr;
 
 fn print_usage() {
-    eprintln!(
+    println!(
         "gesmc — uniform sampling of simple graphs with prescribed degrees\n\
          \n\
          Subcommands:\n\
@@ -69,6 +70,7 @@ fn print_usage() {
            serve      [--addr HOST:PORT] [--workers N] [--http-workers N]\n\
                       [--cache-entries N] [--max-pending N] [--allow-shutdown]\n\
                       [--data-dir DIR [--checkpoint-every K]]\n\
+                      [--log-format {{text,json}}] [--log-level L]\n\
          \n\
          Run `gesmc <subcommand> --help` for per-subcommand details and\n\
          `gesmc --version` for the version.\n\
@@ -189,7 +191,11 @@ fn command_help(command: &str) -> Option<&'static str> {
                                     running jobs, spill finished samples; on boot the dir is\n\
                                     replayed, resuming interrupted jobs bit-identically\n\
                --checkpoint-every K checkpoint cadence in supersteps (default 25; 0 = only\n\
-                                    from-scratch recovery; needs --data-dir)"
+                                    from-scratch recovery; needs --data-dir)\n\
+               --log-format FMT     log line shape: text (default) or json\n\
+               --log-level L        default log level: trace, debug, info (default),\n\
+                                    warn, or error; a non-empty GESMC_LOG env var\n\
+                                    (e.g. GESMC_LOG=gesmc_serve::http=debug) overrides"
         }
         _ => return None,
     })
@@ -336,7 +342,8 @@ fn cmd_randomize(positional: &[String], flags: &HashMap<String, String>) -> Resu
 
     let graph = read_edge_list_file(input).map_err(|e| format!("{e}"))?;
     let degrees = graph.degrees();
-    eprintln!(
+    gesmc_obs::info!(
+        target: "gesmc::randomize",
         "loaded {}: n = {}, m = {}, max degree = {}",
         input,
         graph.num_nodes(),
@@ -355,7 +362,8 @@ fn cmd_randomize(positional: &[String], flags: &HashMap<String, String>) -> Resu
     }
 
     write_edge_list_file(output, &result).map_err(|e| format!("{e}"))?;
-    eprintln!(
+    gesmc_obs::info!(
+        target: "gesmc::randomize",
         "{}: {} supersteps, {:.1}% of {} switches legal, {:.3} s total",
         chain.name(),
         stats.num_supersteps(),
@@ -363,7 +371,7 @@ fn cmd_randomize(positional: &[String], flags: &HashMap<String, String>) -> Resu
         stats.total_requested(),
         stats.total_duration().as_secs_f64()
     );
-    eprintln!("wrote {output}");
+    gesmc_obs::info!(target: "gesmc::randomize", "wrote {output}");
     Ok(())
 }
 
@@ -391,7 +399,8 @@ fn cmd_generate(positional: &[String], flags: &HashMap<String, String>) -> Resul
         other => return Err(format!("unknown family {other:?}")),
     };
     write_edge_list_file(output, &graph).map_err(|e| format!("{e}"))?;
-    eprintln!(
+    gesmc_obs::info!(
+        target: "gesmc::generate",
         "generated {family}: n = {}, m = {}, avg degree = {:.2} -> {output}",
         graph.num_nodes(),
         graph.num_edges(),
@@ -487,7 +496,8 @@ fn cmd_batch(positional: &[String], flags: &HashMap<String, String>) -> Result<(
     if let Some(workers) = parse_flag::<usize>(flags, "workers")? {
         manifest.workers = workers;
     }
-    eprintln!(
+    gesmc_obs::info!(
+        target: "gesmc::batch",
         "batch {}: {} jobs over {} workers -> {}",
         manifest_path,
         manifest.jobs.len(),
@@ -499,17 +509,19 @@ fn cmd_batch(positional: &[String], flags: &HashMap<String, String>) -> Result<(
     let mut failures = 0usize;
     for outcome in &outcomes {
         match &outcome.result {
-            Ok(report) => eprintln!("  {}", report.summary()),
+            Ok(report) => {
+                gesmc_obs::info!(target: "gesmc::batch", id: outcome.job, "{}", report.summary());
+            }
             Err(e) => {
                 failures += 1;
-                eprintln!("  {}: FAILED: {e}", outcome.job);
+                gesmc_obs::error!(target: "gesmc::batch", id: outcome.job, "FAILED: {e}");
             }
         }
     }
     if failures > 0 {
         return Err(format!("{failures} of {} jobs failed", outcomes.len()));
     }
-    eprintln!("all {} jobs finished", outcomes.len());
+    gesmc_obs::info!(target: "gesmc::batch", "all {} jobs finished", outcomes.len());
     Ok(())
 }
 
@@ -560,8 +572,9 @@ fn cmd_resume(positional: &[String], flags: &HashMap<String, String>) -> Result<
     // `NaiveParES::snapshot`).  The registry's capability flags identify
     // them.
     if info.parallel && !info.exact && spec.threads != Some(1) {
-        eprintln!(
-            "warning: resuming a {} checkpoint with more than one thread; \
+        gesmc_obs::warn!(
+            target: "gesmc::resume",
+            "resuming a {} checkpoint with more than one thread; \
              the interleaving of switches is racy, so the resumed run will NOT be \
              bit-identical to the uninterrupted one (pass --threads 1 for reproducibility)",
             info.name
@@ -585,18 +598,20 @@ fn cmd_resume(positional: &[String], flags: &HashMap<String, String>) -> Result<
     }
 
     let samples_dir = flags.get("samples-dir").map(String::as_str).unwrap_or("samples");
-    eprintln!(
-        "resuming {:?} ({}) at superstep {} of {}, samples -> {samples_dir}",
-        checkpoint.job_name, info.name, checkpoint.snapshot.supersteps_done, spec.supersteps
+    gesmc_obs::info!(
+        target: "gesmc::resume",
+        id: checkpoint.job_name,
+        "resuming ({}) at superstep {} of {}, samples -> {samples_dir}",
+        info.name, checkpoint.snapshot.supersteps_done, spec.supersteps
     );
 
     let mut sink =
         EdgeListFileSink::new(samples_dir, &checkpoint.job_name).map_err(|e| format!("{e}"))?;
     let report =
         gesmc_engine::run_job(&spec, &mut sink, Some(&checkpoint)).map_err(|e| format!("{e}"))?;
-    eprintln!("{}", report.summary());
+    gesmc_obs::info!(target: "gesmc::resume", id: checkpoint.job_name, "{}", report.summary());
     for path in sink.written() {
-        eprintln!("wrote {}", path.display());
+        gesmc_obs::info!(target: "gesmc::resume", "wrote {}", path.display());
     }
     Ok(())
 }
@@ -629,7 +644,8 @@ fn cmd_study(positional: &[String], flags: &HashMap<String, String>) -> Result<(
         output_dir: flags.get("output-dir").map(PathBuf::from),
         resume: flags.contains_key("resume"),
     };
-    eprintln!(
+    gesmc_obs::info!(
+        target: "gesmc::study",
         "study {:?}: {} cells ({} chains x {} graphs) at {} scale, {} supersteps each",
         spec.name,
         spec.chains.len() * spec.graphs.len(),
@@ -641,16 +657,21 @@ fn cmd_study(positional: &[String], flags: &HashMap<String, String>) -> Result<(
 
     let run = run_study(&spec, &opts).map_err(|e| format!("{e}"))?;
     if run.resumed_cells > 0 {
-        eprintln!("  reused {} completed cells from an earlier run", run.resumed_cells);
+        gesmc_obs::info!(
+            target: "gesmc::study",
+            "reused {} completed cells from an earlier run",
+            run.resumed_cells
+        );
     }
     for cell in &run.report.cells {
         let first = cell.points.first().map(|&(_, f)| f).unwrap_or(0.0);
         let last = cell.points.last().map(|&(_, f)| f).unwrap_or(0.0);
         let timing =
             cell.wall_clock_secs.map_or_else(|| "cached".to_string(), |s| format!("{s:.3} s"));
-        eprintln!(
-            "  {}: n = {}, m = {}, non-independent {:.3} (k = {}) -> {:.3} (k = {}), {timing}",
-            cell.job,
+        gesmc_obs::info!(
+            target: "gesmc::study",
+            id: cell.job,
+            "n = {}, m = {}, non-independent {:.3} (k = {}) -> {:.3} (k = {}), {timing}",
             cell.nodes,
             cell.edges,
             first,
@@ -659,7 +680,7 @@ fn cmd_study(positional: &[String], flags: &HashMap<String, String>) -> Result<(
             cell.points.last().map(|&(k, _)| k).unwrap_or(0),
         );
     }
-    eprintln!("wrote {}", run.json_path.display());
+    gesmc_obs::info!(target: "gesmc::study", "wrote {}", run.json_path.display());
     Ok(())
 }
 
@@ -680,8 +701,26 @@ fn cmd_serve(positional: &[String], flags: &HashMap<String, String>) -> Result<(
             "allow-shutdown",
             "data-dir",
             "checkpoint-every",
+            "log-format",
+            "log-level",
         ],
     )?;
+    // Configure logging first so every line below (and the server's own
+    // request logs) comes out in the requested shape.  A non-empty
+    // `GESMC_LOG` still overrides `--log-level` for filtering.
+    let format = match flags.get("log-format") {
+        None => gesmc_obs::LogFormat::Text,
+        Some(raw) => gesmc_obs::LogFormat::parse(raw).ok_or_else(|| {
+            format!("invalid value {raw:?} for --log-format (expected text or json)")
+        })?,
+    };
+    let level = match flags.get("log-level") {
+        None => gesmc_obs::Level::Info,
+        Some(raw) => gesmc_obs::Level::parse(raw).ok_or_else(|| {
+            format!("invalid value {raw:?} for --log-level (expected trace, debug, info, warn, or error)")
+        })?,
+    };
+    gesmc_obs::log::configure(format, level);
     let mut config = ServeConfig::default();
     if let Some(addr) = flags.get("addr") {
         config.addr = addr.clone();
@@ -714,7 +753,8 @@ fn cmd_serve(positional: &[String], flags: &HashMap<String, String>) -> Result<(
 
     let server =
         Server::bind(config.clone()).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
-    eprintln!(
+    gesmc_obs::info!(
+        target: "gesmc::serve",
         "serving on http://{} ({} engine workers, {} http workers, cache {} entries, \
          admission bound {})",
         server.local_addr(),
@@ -728,17 +768,18 @@ fn cmd_serve(positional: &[String], flags: &HashMap<String, String>) -> Result<(
         config.max_pending
     );
     if let Some(dir) = &config.data_dir {
-        eprintln!(
+        gesmc_obs::info!(
+            target: "gesmc::serve",
             "durability on: data dir {}, checkpoint every {} supersteps",
             dir.display(),
             config.checkpoint_every
         );
     }
     if config.allow_shutdown {
-        eprintln!("POST /v1/shutdown stops the server gracefully");
+        gesmc_obs::info!(target: "gesmc::serve", "POST /v1/shutdown stops the server gracefully");
     }
     server.wait();
-    eprintln!("shut down cleanly");
+    gesmc_obs::info!(target: "gesmc::serve", "shut down cleanly");
     Ok(())
 }
 
@@ -756,7 +797,7 @@ fn main() -> ExitCode {
     {
         Ok(parsed) => parsed,
         Err(e) => {
-            eprintln!("error: {e}");
+            gesmc_obs::error!(target: "gesmc", "{e}");
             print_usage();
             return ExitCode::FAILURE;
         }
@@ -798,7 +839,7 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
+            gesmc_obs::error!(target: "gesmc", "{e}");
             ExitCode::FAILURE
         }
     }

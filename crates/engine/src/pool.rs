@@ -154,6 +154,23 @@ pub fn run_job_hooked(
     // the reference once.
     let degrees = chain.graph().degrees();
 
+    // Per-chain superstep latency plus workspace-wide emit/capture meters.
+    // Resolved once per job; the per-superstep cost is two clock reads and
+    // three relaxed atomic adds into a thread-private histogram shard.
+    let superstep_hist = gesmc_obs::histogram_with(
+        "gesmc_superstep_duration_seconds",
+        "Wall time of one Markov-chain superstep.",
+        &[("chain", chain.name())],
+    );
+    let samples_counter = gesmc_obs::counter(
+        "gesmc_samples_emitted_total",
+        "Thinned samples emitted to sinks by the engine.",
+    );
+    let capture_hist = gesmc_obs::histogram(
+        "gesmc_checkpoint_capture_duration_seconds",
+        "Wall time to capture (and optionally write) one engine checkpoint.",
+    );
+
     let mut requested = 0u64;
     let mut legal = 0u64;
     let mut checkpoints = 0u64;
@@ -165,7 +182,7 @@ pub fn run_job_hooked(
         if control.is_cancel_requested() {
             return Err(EngineError::Cancelled { job: spec.name.clone(), superstep: step - 1 });
         }
-        let stats = chain.superstep();
+        let stats = gesmc_obs::span!(superstep_hist, { chain.superstep() });
         requested += stats.requested as u64;
         legal += stats.legal as u64;
         control.record(step);
@@ -184,12 +201,14 @@ pub fn run_job_hooked(
                 SampleContext { job: &spec.name, superstep: step, sample_index: samples_emitted };
             sink.emit(&ctx, &sample)?;
             samples_emitted += 1;
+            samples_counter.inc();
         }
 
         let due = spec
             .checkpoint_every
             .is_some_and(|every| every > 0 && step % every == 0 && step < spec.supersteps);
         if due && (spec.checkpoint_dir.is_some() || checkpoint_sink.is_some()) {
+            let capture_timer = gesmc_obs::Timer::start(&capture_hist);
             let checkpoint = Checkpoint::capture(
                 &spec.name,
                 chain.as_ref(),
@@ -204,6 +223,7 @@ pub fn run_job_hooked(
             if let Some(hook) = checkpoint_sink.as_deref_mut() {
                 hook.store(&checkpoint)?;
             }
+            drop(capture_timer);
             checkpoints += 1;
         }
     }
@@ -219,6 +239,16 @@ pub fn run_job_hooked(
         checkpoints,
         duration: start.elapsed(),
     };
+    gesmc_obs::debug!(
+        target: "gesmc_engine",
+        id: spec.name,
+        "job finished: chain={} resumed_from={} supersteps={} samples={} elapsed={:.3}s",
+        report.algorithm,
+        report.resumed_from,
+        report.supersteps,
+        report.samples,
+        report.duration.as_secs_f64()
+    );
     sink.finish(&report)?;
     Ok(report)
 }

@@ -1,0 +1,353 @@
+//! Fixed-bucket latency histograms and the [`Timer`]/[`span!`](crate::span!) API.
+//!
+//! ## Design
+//!
+//! A [`Histogram`] has a fixed set of log2 buckets: bucket `i` counts
+//! observations `≤ 2^(8+i)` nanoseconds, for `i` in `0..31` (256 ns up to
+//! ~275 s), plus an implicit `+Inf` bucket.  Power-of-two boundaries make
+//! bucket selection a `leading_zeros` instruction — no search, no float math
+//! on the record path.
+//!
+//! Recording is lock-free and contention-cheap: each histogram owns
+//! `SHARDS` cache-line-aligned shards, every thread is assigned a stable
+//! shard index on first use (a per-thread counter, so up to `SHARDS`
+//! threads never share a cache line), and one observation is three `Relaxed`
+//! atomic adds into that shard.  Shards are merged only when a scrape calls
+//! [`Histogram::snapshot`], so the hot path never synchronises with
+//! `/metrics`.
+//!
+//! Snapshots are internally consistent by construction: the total `count` is
+//! derived from the merged bucket counters (not a separate atomic), so the
+//! rendered Prometheus `_count` always equals the `+Inf` cumulative bucket.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Number of finite log2 buckets (`≤ 2^(8+i)` ns for `i in 0..BUCKETS`).
+pub const BUCKETS: usize = 31;
+
+/// Exponent of the first bucket boundary: bucket 0 is `≤ 2^LOW_EXP` ns.
+const LOW_EXP: u32 = 8;
+
+/// Number of shards; threads are striped across them by a per-thread index.
+const SHARDS: usize = 16;
+
+/// One shard of bucket counters, aligned so shards never share a cache line.
+#[repr(align(128))]
+#[derive(Debug)]
+struct Shard {
+    buckets: [AtomicU64; BUCKETS],
+    overflow: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            overflow: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Stable per-thread shard index: the first [`SHARDS`] threads each get a
+/// private shard; later threads wrap around and share.
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static INDEX: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+    }
+    INDEX.with(|cell| {
+        let mut index = cell.get();
+        if index == usize::MAX {
+            index = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            cell.set(index);
+        }
+        index
+    })
+}
+
+/// The inclusive upper bound of finite bucket `i`, in nanoseconds.
+pub(crate) fn bucket_bound_ns(i: usize) -> u64 {
+    1u64 << (LOW_EXP + i as u32)
+}
+
+/// Index of the finite bucket for `value_ns`, or `None` for the `+Inf`
+/// overflow bucket.
+fn bucket_index(value_ns: u64) -> Option<usize> {
+    if value_ns <= bucket_bound_ns(0) {
+        return Some(0);
+    }
+    // ceil(log2(v)) for v ≥ 2: position of the highest set bit of v-1, +1.
+    let ceil_log2 = 64 - (value_ns - 1).leading_zeros();
+    let index = (ceil_log2 - LOW_EXP) as usize;
+    if index < BUCKETS {
+        Some(index)
+    } else {
+        None
+    }
+}
+
+/// A fixed log2-bucket latency histogram; see the [module docs](self).
+///
+/// Histograms are usually obtained from the process-global registry via
+/// [`crate::histogram`]/[`crate::histogram_with`], which deduplicates by
+/// `(name, labels)` and makes them visible to `/metrics` and snapshots.
+#[derive(Debug)]
+pub struct Histogram {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    shards: Vec<Shard>,
+}
+
+impl Histogram {
+    /// Create an unregistered histogram (tests; production code should use
+    /// the registry constructors so scrapes can see it).
+    pub fn new(name: &str, help: &str, labels: &[(&str, &str)]) -> Self {
+        Self {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            shards: (0..SHARDS).map(|_| Shard::new()).collect(),
+        }
+    }
+
+    /// Metric family name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Help text (first registration wins).
+    pub fn help(&self) -> &str {
+        &self.help
+    }
+
+    /// Label pairs of this series (empty for an unlabeled family).
+    pub fn labels(&self) -> &[(String, String)] {
+        &self.labels
+    }
+
+    /// Record one observation of `value_ns` nanoseconds.
+    pub fn record_ns(&self, value_ns: u64) {
+        let shard = &self.shards[shard_index()];
+        match bucket_index(value_ns) {
+            Some(i) => shard.buckets[i].fetch_add(1, Ordering::Relaxed),
+            None => shard.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        shard.sum_ns.fetch_add(value_ns, Ordering::Relaxed);
+    }
+
+    /// Record one observation of a [`Duration`].
+    pub fn observe(&self, duration: Duration) {
+        self.record_ns(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Merge all shards into a consistent snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut per_bucket = [0u64; BUCKETS];
+        let mut overflow = 0u64;
+        let mut sum_ns = 0u64;
+        for shard in &self.shards {
+            for (total, bucket) in per_bucket.iter_mut().zip(&shard.buckets) {
+                *total += bucket.load(Ordering::Relaxed);
+            }
+            overflow += shard.overflow.load(Ordering::Relaxed);
+            sum_ns = sum_ns.saturating_add(shard.sum_ns.load(Ordering::Relaxed));
+        }
+        let mut buckets = Vec::with_capacity(BUCKETS);
+        let mut cumulative = 0u64;
+        for (i, count) in per_bucket.iter().enumerate() {
+            cumulative += count;
+            buckets.push(BucketCount { le_ns: bucket_bound_ns(i), count: cumulative });
+        }
+        HistogramSnapshot {
+            name: self.name.clone(),
+            help: self.help.clone(),
+            labels: self.labels.clone(),
+            buckets,
+            count: cumulative + overflow,
+            sum_ns,
+        }
+    }
+}
+
+/// One cumulative bucket of a [`HistogramSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketCount {
+    /// Inclusive upper bound in nanoseconds.
+    pub le_ns: u64,
+    /// Cumulative count of observations `≤ le_ns`.
+    pub count: u64,
+}
+
+/// A point-in-time merged view of one histogram series.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Metric family name.
+    pub name: String,
+    /// Help text.
+    pub help: String,
+    /// Label pairs of this series.
+    pub labels: Vec<(String, String)>,
+    /// Cumulative finite buckets, ascending by bound.
+    pub buckets: Vec<BucketCount>,
+    /// Total observations (the `+Inf` cumulative bucket).
+    pub count: u64,
+    /// Sum of all observed values, in nanoseconds (saturating).
+    pub sum_ns: u64,
+}
+
+impl HistogramSnapshot {
+    /// Sum of all observed values in seconds (Prometheus `_sum`).
+    pub fn sum_seconds(&self) -> f64 {
+        self.sum_ns as f64 / 1e9
+    }
+}
+
+/// Times a region into a [`Histogram`]; records on drop unless
+/// [`cancel`](Timer::cancel)led.
+#[derive(Debug)]
+pub struct Timer<'a> {
+    histogram: &'a Histogram,
+    start: Instant,
+    armed: bool,
+}
+
+impl<'a> Timer<'a> {
+    /// Start timing into `histogram`.
+    pub fn start(histogram: &'a Histogram) -> Self {
+        Self { histogram, start: Instant::now(), armed: true }
+    }
+
+    /// Stop now, record, and return the elapsed time.
+    pub fn stop(mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        self.armed = false;
+        self.histogram.observe(elapsed);
+        elapsed
+    }
+
+    /// Discard the timer without recording.
+    pub fn cancel(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for Timer<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.histogram.observe(self.start.elapsed());
+        }
+    }
+}
+
+/// Time a block into a histogram: `span!(hist, { work() })` evaluates the
+/// block, records its wall time, and yields the block's value (also on early
+/// `return`/panic unwind, via [`Timer`]'s drop).
+#[macro_export]
+macro_rules! span {
+    ($histogram:expr, $body:block) => {{
+        let __gesmc_obs_timer = $crate::Timer::start(&$histogram);
+        $body
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundary_goldens() {
+        // Bucket 0 is ≤ 256 ns and also absorbs 0.
+        assert_eq!(bucket_index(0), Some(0));
+        assert_eq!(bucket_index(1), Some(0));
+        assert_eq!(bucket_index(256), Some(0));
+        // One past a power-of-two boundary moves up exactly one bucket.
+        assert_eq!(bucket_index(257), Some(1));
+        assert_eq!(bucket_index(512), Some(1));
+        assert_eq!(bucket_index(513), Some(2));
+        // 1 ms = 1_000_000 ns: 2^19 = 524288 < 1e6 ≤ 2^20, bucket 20-8 = 12.
+        assert_eq!(bucket_index(1_000_000), Some(12));
+        // Last finite bucket is ≤ 2^38 ns (~274.9 s).
+        assert_eq!(bucket_index(1 << 38), Some(BUCKETS - 1));
+        assert_eq!(bucket_index((1 << 38) + 1), None);
+        assert_eq!(bucket_index(u64::MAX), None);
+    }
+
+    #[test]
+    fn snapshot_is_cumulative_and_counts_overflow() {
+        let h = Histogram::new("t", "test", &[]);
+        h.record_ns(1); // bucket 0
+        h.record_ns(300); // bucket 1
+        h.record_ns(300); // bucket 1
+        h.record_ns(u64::MAX); // +Inf
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0].count, 1);
+        assert_eq!(s.buckets[1].count, 3);
+        assert_eq!(s.buckets.last().unwrap().count, 3);
+        assert_eq!(s.count, 4);
+        // The shard's atomic sum wraps on the u64::MAX add: 601 + MAX ≡ 600.
+        assert_eq!(s.sum_ns, 600);
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_wrapping_across_shards() {
+        let h = Histogram::new("t", "test", &[]);
+        h.record_ns(u64::MAX);
+        h.record_ns(u64::MAX);
+        // Per-shard atomics wrap, but a single thread lands in one shard, so
+        // the merged sum reflects that shard's (wrapped) value; the merge
+        // itself must still saturate rather than panic in debug builds.
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        let _ = s.sum_seconds();
+    }
+
+    #[test]
+    fn concurrent_recording_merges_across_thread_shards() {
+        let h = std::sync::Arc::new(Histogram::new("t", "test", &[]));
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        h.record_ns(1 + (i + t) % 4096);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, threads * per_thread);
+        assert_eq!(s.buckets.last().unwrap().count, threads * per_thread);
+        // Every recorded value was ≤ 4096 = 2^12, bucket index 4.
+        assert_eq!(s.buckets[4].count, threads * per_thread);
+        assert!(s.sum_ns > 0);
+    }
+
+    #[test]
+    fn timer_records_and_cancel_does_not() {
+        let h = Histogram::new("t", "test", &[]);
+        let elapsed = Timer::start(&h).stop();
+        assert!(elapsed.as_nanos() > 0 || elapsed.is_zero());
+        Timer::start(&h).cancel();
+        {
+            let _implicit = Timer::start(&h);
+        }
+        assert_eq!(h.snapshot().count, 2); // stop + drop, not cancel
+    }
+
+    #[test]
+    fn span_macro_yields_block_value() {
+        let h = Histogram::new("t", "test", &[]);
+        let v = span!(h, { 21 * 2 });
+        assert_eq!(v, 42);
+        assert_eq!(h.snapshot().count, 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! `gesmc-obs` — the workspace's dependency-free observability layer.
+//!
+//! Three pieces, all built on `std` only so every crate in the workspace can
+//! depend on it without pulling anything in:
+//!
+//! * **Structured leveled logging** ([`log`]) — a process-global logger with
+//!   text and JSON line formats, RFC 3339 timestamps, per-target level
+//!   filtering (`GESMC_LOG=info,gesmc_serve=debug`), and optional
+//!   per-request/job correlation ids.  The [`trace!`]/[`debug!`]/[`info!`]/
+//!   [`warn!`]/[`error!`] macros are the only sanctioned way to emit
+//!   diagnostics; raw `eprintln!` is banned in `cli`, `serve`, and `engine`
+//!   (CI greps for it).
+//! * **Latency histograms + spans** ([`hist`]) — a lock-cheap [`Histogram`]
+//!   with fixed log2 (power-of-two nanosecond) buckets.  Recording picks one
+//!   of a small set of cache-line-aligned shards by a per-thread index and
+//!   does three relaxed atomic adds; shards are only merged when a scrape
+//!   takes a [`HistogramSnapshot`].  [`Timer`] and the [`span!`] macro time a
+//!   region into a histogram.
+//! * **A process-global registry** ([`registry`]) — histograms and counters
+//!   register themselves by `(name, labels)` on first use, so `/metrics`
+//!   (Prometheus text with `_bucket`/`_sum`/`_count`), `/v1/debug/stats`
+//!   (JSON), and `gesmc-bench`'s snapshot dumps can enumerate everything
+//!   recorded anywhere in the process without wiring.
+//!
+//! ```
+//! let requests = gesmc_obs::histogram("doc_request_seconds", "Example latency.");
+//! {
+//!     let _t = gesmc_obs::Timer::start(&requests);
+//!     // ... timed region ...
+//! }
+//! assert_eq!(requests.snapshot().count, 1);
+//! gesmc_obs::info!(target: "doc", "handled one request");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod log;
+pub mod registry;
+
+pub use hist::{BucketCount, Histogram, HistogramSnapshot, Timer, BUCKETS};
+pub use log::{next_request_id, Level, LogFormat};
+pub use registry::{
+    counter, counter_with, histogram, histogram_with, render_json, render_prometheus, snapshot,
+    Counter, CounterSnapshot, ObsSnapshot,
+};

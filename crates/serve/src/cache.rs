@@ -14,10 +14,12 @@
 //! stored behind `Arc`s, so a hit is one map lookup plus two atomic
 //! increments — no copying, no re-encoding.
 
+use gesmc_obs::Histogram;
 use gesmc_randx::{fnv1a_64, mix64};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// The triple identifying one cacheable sample.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -72,6 +74,10 @@ pub struct SampleCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    // Registry handles cached here so the hot path never takes the registry
+    // lock; all caches in a process share the same global series.
+    probe_hit: Arc<Histogram>,
+    probe_miss: Arc<Histogram>,
 }
 
 /// A snapshot of the cache counters: hits, misses, evictions, entries.
@@ -90,12 +96,23 @@ pub struct CacheStats {
 impl SampleCache {
     /// A cache holding at most `capacity` entries.
     pub fn new(capacity: usize) -> Self {
+        const PROBE_HELP: &str = "Wall time of one warm-cache lookup, by outcome.";
         Self {
             capacity,
             inner: Mutex::new(CacheInner { map: HashMap::new(), tick: 0 }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            probe_hit: gesmc_obs::histogram_with(
+                "gesmc_cache_probe_duration_seconds",
+                PROBE_HELP,
+                &[("result", "hit")],
+            ),
+            probe_miss: gesmc_obs::histogram_with(
+                "gesmc_cache_probe_duration_seconds",
+                PROBE_HELP,
+                &[("result", "miss")],
+            ),
         }
     }
 
@@ -106,8 +123,10 @@ impl SampleCache {
 
     /// Look `key` up, refreshing its recency on a hit.
     pub fn get(&self, key: &CacheKey) -> Option<CachedSample> {
+        let probe_start = Instant::now();
         if self.capacity == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            self.probe_miss.observe(probe_start.elapsed());
             return None;
         }
         let mut inner = self.inner.lock().expect("cache mutex poisoned");
@@ -117,10 +136,12 @@ impl SampleCache {
             Some(entry) => {
                 entry.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.probe_hit.observe(probe_start.elapsed());
                 Some(entry.sample.clone())
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                self.probe_miss.observe(probe_start.elapsed());
                 None
             }
         }

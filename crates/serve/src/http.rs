@@ -36,6 +36,15 @@ pub enum Method {
 }
 
 impl Method {
+    /// The wire spelling (for request log lines).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Delete => "DELETE",
+        }
+    }
+
     fn parse(raw: &str) -> Option<Self> {
         match raw {
             "GET" => Some(Method::Get),
@@ -387,6 +396,16 @@ impl Response {
         self
     }
 
+    /// Replace the `Content-Type` set by the constructor (e.g. the
+    /// Prometheus exposition type on `/metrics`).
+    pub fn with_content_type(mut self, value: &str) -> Self {
+        match self.headers.iter_mut().find(|(name, _)| name == "Content-Type") {
+            Some(slot) => slot.1 = value.to_string(),
+            None => self.headers.insert(0, ("Content-Type".to_string(), value.to_string())),
+        }
+        self
+    }
+
     /// Serialise the response (status line, headers, `Content-Length`,
     /// `Connection: close`, body) onto `writer`.
     pub fn write_to<W: Write>(&self, writer: &mut W) -> std::io::Result<()> {
@@ -480,6 +499,19 @@ mod tests {
         assert!(text.contains("Content-Length: 3\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\nok\n"));
+    }
+
+    #[test]
+    fn content_type_can_be_overridden_without_duplication() {
+        let mut out = Vec::new();
+        Response::text(200, "x")
+            .with_content_type("text/plain; version=0.0.4; charset=utf-8")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"));
+        assert_eq!(text.matches("Content-Type:").count(), 1);
+        assert_eq!(Method::Get.as_str(), "GET");
     }
 
     #[test]

@@ -149,6 +149,11 @@ impl JobStore {
         self.inner.lock().expect("job store mutex poisoned").get(&id).cloned()
     }
 
+    /// Every resident record, in ascending id order (`/v1/debug/stats`).
+    pub fn records(&self) -> Vec<Arc<JobRecord>> {
+        self.inner.lock().expect("job store mutex poisoned").values().cloned().collect()
+    }
+
     /// Number of resident records.
     pub fn len(&self) -> usize {
         self.inner.lock().expect("job store mutex poisoned").len()

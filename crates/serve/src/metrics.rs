@@ -80,6 +80,9 @@ impl Metrics {
         }
         let mut out = String::with_capacity(2048);
 
+        let _ = writeln!(out, "# HELP gesmc_build_info Build metadata as constant labels.");
+        let _ = writeln!(out, "# TYPE gesmc_build_info gauge");
+        let _ = writeln!(out, "gesmc_build_info{{version=\"{}\"}} 1", env!("CARGO_PKG_VERSION"));
         let uptime = self.start.elapsed().as_secs_f64();
         gauge(&mut out, "gesmc_uptime_seconds", "Seconds since the server started.", uptime);
         gauge(
@@ -88,6 +91,9 @@ impl Metrics {
             "Requests parsed off the wire.",
             self.requests.load(Ordering::Relaxed) as f64,
         );
+        let _ =
+            writeln!(out, "# HELP gesmc_http_responses_total Responses written, by status class.");
+        let _ = writeln!(out, "# TYPE gesmc_http_responses_total gauge");
         for (class, counter) in [
             ("2xx", &self.responses_2xx),
             ("4xx", &self.responses_4xx),
@@ -220,6 +226,11 @@ impl Metrics {
                 gauge(&mut out, name, help, value as f64);
             }
         }
+
+        // The observability registry (latency histograms and event counters
+        // from obs-instrumented code paths) renders last so the gauge lines
+        // above keep their exact shape for line-anchored scrapers.
+        out.push_str(&gesmc_obs::render_prometheus());
         out
     }
 }
@@ -269,6 +280,18 @@ mod tests {
         assert!(text.contains("gesmc_supersteps_total 5"));
         assert!(text.contains("gesmc_cache_capacity 4"));
         assert!(text.contains("# TYPE gesmc_uptime_seconds gauge"));
+        assert!(text
+            .contains(&format!("gesmc_build_info{{version=\"{}\"}} 1", env!("CARGO_PKG_VERSION"))));
+        // The obs registry render is appended after every gauge above.
+        gesmc_obs::histogram("gesmc_metrics_render_test_seconds", "Test-only series.")
+            .record_ns(512);
+        let text = metrics.render(&pool, &cache, 3, None);
+        assert!(text.contains("# TYPE gesmc_metrics_render_test_seconds histogram"));
+        assert!(
+            text.find("gesmc_uptime_seconds").unwrap()
+                < text.find("gesmc_metrics_render_test_seconds").unwrap(),
+            "obs families must render after the built-in gauges"
+        );
         pool.shutdown();
     }
 }

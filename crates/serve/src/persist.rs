@@ -178,6 +178,11 @@ pub struct Persistence {
     /// Serialises journal appends so concurrent submissions cannot
     /// interleave their frames.
     journal_lock: Mutex<()>,
+    // Latency histograms of the durable-write paths, cached so the
+    // ack-gating journal append never takes the obs registry lock.
+    journal_hist: Arc<gesmc_obs::Histogram>,
+    checkpoint_hist: Arc<gesmc_obs::Histogram>,
+    spill_hist: Arc<gesmc_obs::Histogram>,
 }
 
 impl std::fmt::Debug for Persistence {
@@ -242,7 +247,7 @@ fn encode_finished(id: u64, fin: &FinishedMeta) -> Value {
 }
 
 fn warn(what: &str, err: &dyn std::fmt::Display) {
-    eprintln!("gesmc-serve: persistence: {what}: {err}");
+    gesmc_obs::warn!(target: "gesmc_serve::persist", "{what}: {err}");
 }
 
 impl Persistence {
@@ -256,6 +261,18 @@ impl Persistence {
             io,
             metrics: Arc::new(PersistMetrics::default()),
             journal_lock: Mutex::new(()),
+            journal_hist: gesmc_obs::histogram(
+                "gesmc_journal_append_duration_seconds",
+                "Wall time of one journal append including its fsync.",
+            ),
+            checkpoint_hist: gesmc_obs::histogram(
+                "gesmc_checkpoint_write_duration_seconds",
+                "Wall time of one atomic checkpoint write for a running job.",
+            ),
+            spill_hist: gesmc_obs::histogram(
+                "gesmc_spill_write_duration_seconds",
+                "Wall time of one sample spill to disk (job samples and cache entries).",
+            ),
         })
     }
 
@@ -303,7 +320,9 @@ impl Persistence {
         let path = self.journal_path();
         let result = {
             let _guard = self.journal_lock.lock().expect("journal mutex poisoned");
-            self.io.append(&path, &bytes).and_then(|()| self.io.fsync(&path))
+            gesmc_obs::span!(self.journal_hist, {
+                self.io.append(&path, &bytes).and_then(|()| self.io.fsync(&path))
+            })
         };
         match result {
             Ok(()) => {
@@ -357,10 +376,12 @@ impl Persistence {
     /// Persist the latest checkpoint of a running job.  Absorbs failures —
     /// a storage hiccup must not kill a healthy job.
     pub(crate) fn write_checkpoint(&self, id: u64, checkpoint: &Checkpoint) {
-        let result = (|| {
-            std::fs::create_dir_all(self.job_dir(id))?;
-            self.write_atomic(&self.checkpoint_path(id), &checkpoint.to_bytes())
-        })();
+        let result = gesmc_obs::span!(self.checkpoint_hist, {
+            (|| {
+                std::fs::create_dir_all(self.job_dir(id))?;
+                self.write_atomic(&self.checkpoint_path(id), &checkpoint.to_bytes())
+            })()
+        });
         match result {
             Ok(()) => {
                 self.metrics.checkpoints.fetch_add(1, Ordering::Relaxed);
@@ -374,10 +395,12 @@ impl Persistence {
 
     /// Spill one thinned job sample to disk.  Absorbs failures.
     pub(crate) fn spill_job_sample(&self, id: u64, index: u64, superstep: u64, binary: &[u8]) {
-        let result = (|| {
-            std::fs::create_dir_all(self.job_dir(id))?;
-            self.write_atomic(&self.sample_path(id, index, superstep), binary)
-        })();
+        let result = gesmc_obs::span!(self.spill_hist, {
+            (|| {
+                std::fs::create_dir_all(self.job_dir(id))?;
+                self.write_atomic(&self.sample_path(id, index, superstep), binary)
+            })()
+        });
         match result {
             Ok(()) => {
                 self.metrics.samples_spilled.fetch_add(1, Ordering::Relaxed);
@@ -391,7 +414,9 @@ impl Persistence {
 
     /// Spill a one-shot cache entry to disk.  Absorbs failures.
     pub(crate) fn spill_cache(&self, key: &CacheKey, sample: &CachedSample) {
-        match self.write_atomic(&self.cache_path(key), &sample.binary) {
+        match gesmc_obs::span!(self.spill_hist, {
+            self.write_atomic(&self.cache_path(key), &sample.binary)
+        }) {
             Ok(()) => {
                 self.metrics.samples_spilled.fetch_add(1, Ordering::Relaxed);
             }
@@ -762,6 +787,12 @@ pub(crate) fn spawn_reaper(
 pub(crate) fn boot_replay(state: &Arc<ServerState>) {
     let Some(persist) = state.persist.clone() else { return };
     let jobs = persist.replay_journal();
+    gesmc_obs::info!(
+        target: "gesmc_serve::persist",
+        "boot replay: {} journaled jobs ({} already finished)",
+        jobs.len(),
+        jobs.iter().filter(|job| job.finished.is_some()).count()
+    );
     if let Some(max_id) = jobs.iter().map(|job| job.meta.id).max() {
         state.jobs.ensure_next_id(max_id + 1);
     }

@@ -40,8 +40,9 @@ fn json_object(entries: Vec<(&str, Value)>) -> Value {
     Value::Object(map)
 }
 
-/// Dispatch a parsed request.
-pub(crate) fn route(state: &Arc<ServerState>, request: &Request) -> Response {
+/// Dispatch a parsed request.  `request_id` is the correlation id the
+/// worker minted for this request; handlers that log pass it along.
+pub(crate) fn route(state: &Arc<ServerState>, request: &Request, request_id: &str) -> Response {
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method, segments.as_slice()) {
         (Method::Get, ["healthz"]) => Response::text(200, "ok\n"),
@@ -53,13 +54,15 @@ pub(crate) fn route(state: &Arc<ServerState>, request: &Request) -> Response {
                 state.jobs.len(),
                 state.persist.as_deref().map(Persistence::metrics),
             ),
-        ),
+        )
+        .with_content_type("text/plain; version=0.0.4; charset=utf-8"),
         (Method::Get, ["v1", "algorithms"]) => algorithms(state.registry),
         (Method::Get, ["v1", "sample"]) => sample(state, request),
-        (Method::Post, ["v1", "jobs"]) => submit_job(state, request),
+        (Method::Post, ["v1", "jobs"]) => submit_job(state, request, request_id),
         (Method::Get, ["v1", "jobs", id]) => job_status(state, id),
         (Method::Delete, ["v1", "jobs", id]) => cancel_job(state, id),
         (Method::Get, ["v1", "jobs", id, "samples", k]) => job_sample(state, request, id, k),
+        (Method::Get, ["v1", "debug", "stats"]) => debug_stats(state),
         (Method::Post, ["v1", "shutdown"]) => shutdown(state),
         (_, path) => {
             let known = matches!(
@@ -71,6 +74,7 @@ pub(crate) fn route(state: &Arc<ServerState>, request: &Request) -> Response {
                     | ["v1", "jobs"]
                     | ["v1", "jobs", _]
                     | ["v1", "jobs", _, "samples", _]
+                    | ["v1", "debug", "stats"]
                     | ["v1", "shutdown"]
             );
             if known {
@@ -223,7 +227,8 @@ fn generate_into_cache(
         SubmitError::Saturated { .. } => ColdError::Saturated,
         SubmitError::ShuttingDown => ColdError::ShuttingDown,
     })?;
-    match handle.wait() {
+    let waited = gesmc_obs::span!(state.phases.compute, { handle.wait() });
+    match waited {
         JobState::Done(_) => {
             let samples = store.lock().expect("sample store mutex poisoned");
             let (_, graph) = samples
@@ -496,8 +501,19 @@ fn parse_job_graph(state: &ServerState, body: &Value) -> Result<GraphSource, Res
     }
 }
 
+/// `GET /v1/debug/stats` — one JSON document combining every resident
+/// job's status with a full snapshot of the observability registry
+/// (counters and latency histograms, same data `/metrics` exposes in
+/// Prometheus text format).
+fn debug_stats(state: &ServerState) -> Response {
+    let jobs: Vec<Value> = state.jobs.records().iter().map(|r| r.status_json()).collect();
+    let metrics =
+        serde_json::from_str(&gesmc_obs::render_json()).expect("obs registry JSON must parse");
+    Response::json(200, &json_object(vec![("jobs", Value::Array(jobs)), ("metrics", metrics)]))
+}
+
 /// `POST /v1/jobs` — submit an asynchronous randomization job.
-fn submit_job(state: &Arc<ServerState>, request: &Request) -> Response {
+fn submit_job(state: &Arc<ServerState>, request: &Request, request_id: &str) -> Response {
     let Ok(text) = std::str::from_utf8(&request.body) else {
         return Response::error(400, "body must be UTF-8 JSON");
     };
@@ -699,6 +715,12 @@ fn submit_job(state: &Arc<ServerState>, request: &Request) -> Response {
     match state.jobs.register(record) {
         Ok(record) => {
             spawn_reaper(state, id, handle, samples);
+            gesmc_obs::info!(
+                target: "gesmc_serve::jobs",
+                id: request_id,
+                "job {id} ({name:?}) accepted: chain={}, supersteps={supersteps}, thinning={thinning}",
+                record.chain
+            );
             Response::json(
                 202,
                 &json_object(vec![

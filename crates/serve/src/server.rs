@@ -28,13 +28,14 @@ use crate::persist::{boot_replay, Persistence};
 use crate::router::route;
 use crate::ServeConfig;
 use gesmc_engine::{default_registry, ChainRegistry, ServicePool};
+use gesmc_obs::Histogram;
 use std::collections::{HashMap, VecDeque};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Per-connection socket timeout: a stalled peer cannot pin a worker.
 const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
@@ -77,6 +78,11 @@ impl InflightSlot {
     }
 
     pub(crate) fn wait(&self) -> Result<CachedSample, ColdError> {
+        let coalesce_hist = gesmc_obs::histogram(
+            "gesmc_coalesce_wait_duration_seconds",
+            "Time coalesced followers spent waiting on the leader's sample.",
+        );
+        let _timer = gesmc_obs::Timer::start(&coalesce_hist);
         let mut result = self.result.lock().expect("inflight mutex poisoned");
         while result.is_none() {
             result = self.ready.wait(result).expect("inflight mutex poisoned");
@@ -133,6 +139,37 @@ impl Drop for LeaseGuard<'_> {
     }
 }
 
+/// Cached handles of the `gesmc_request_phase_duration_seconds` family, one
+/// series per pipeline phase, so the per-request hot path never takes the
+/// obs registry lock.
+pub(crate) struct PhaseHists {
+    pub(crate) queue_wait: Arc<Histogram>,
+    pub(crate) read: Arc<Histogram>,
+    pub(crate) handle: Arc<Histogram>,
+    pub(crate) write: Arc<Histogram>,
+    pub(crate) compute: Arc<Histogram>,
+}
+
+impl PhaseHists {
+    fn new() -> Self {
+        const HELP: &str = "Wall time of each HTTP request pipeline phase.";
+        let phase = |name| {
+            gesmc_obs::histogram_with(
+                "gesmc_request_phase_duration_seconds",
+                HELP,
+                &[("phase", name)],
+            )
+        };
+        Self {
+            queue_wait: phase("queue_wait"),
+            read: phase("read"),
+            handle: phase("handle"),
+            write: phase("write"),
+            compute: phase("compute"),
+        }
+    }
+}
+
 /// Everything the handlers share.
 pub(crate) struct ServerState {
     pub(crate) config: ServeConfig,
@@ -141,6 +178,8 @@ pub(crate) struct ServerState {
     pub(crate) cache: SampleCache,
     pub(crate) jobs: JobStore,
     pub(crate) metrics: Metrics,
+    /// Per-phase request latency histograms (obs registry handles).
+    pub(crate) phases: PhaseHists,
     /// The durability layer; `Some` only when the config sets a data dir.
     pub(crate) persist: Option<Arc<Persistence>>,
     /// Reaper threads journaling `finished` events for persistent jobs;
@@ -150,7 +189,9 @@ pub(crate) struct ServerState {
     shutdown_requested: Mutex<bool>,
     shutdown_cv: Condvar,
     stopping: AtomicBool,
-    conns: Mutex<VecDeque<TcpStream>>,
+    /// Accepted connections with their enqueue instants (the queue-wait
+    /// phase measures the pop-side delta).
+    conns: Mutex<VecDeque<(TcpStream, Instant)>>,
     conn_available: Condvar,
 }
 
@@ -224,6 +265,7 @@ impl Server {
             cache: SampleCache::new(config.cache_entries),
             jobs: JobStore::new(config.max_jobs),
             metrics: Metrics::new(),
+            phases: PhaseHists::new(),
             registry: default_registry(),
             persist,
             reapers: Mutex::new(Vec::new()),
@@ -368,7 +410,7 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
             if conns.len() >= conn_bound {
                 Err(stream)
             } else {
-                conns.push_back(stream);
+                conns.push_back((stream, Instant::now()));
                 Ok(())
             }
         };
@@ -378,9 +420,16 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
                 // Shed at the connection level too: answer 429 inline
                 // without occupying a worker.
                 state.metrics.count_response(429);
+                let request_id = gesmc_obs::next_request_id();
+                gesmc_obs::warn!(
+                    target: "gesmc_serve::http",
+                    id: request_id,
+                    "connection queue full ({conn_bound}); shedding with 429"
+                );
                 let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
                 let _ = Response::error(429, "connection queue is full; retry later")
                     .with_header("Retry-After", "1")
+                    .with_header("X-Gesmc-Request-Id", request_id)
                     .write_to(&mut stream);
             }
         }
@@ -401,35 +450,55 @@ fn http_worker(state: &Arc<ServerState>) {
                 conns = state.conn_available.wait(conns).expect("conn queue mutex poisoned");
             }
         };
-        let Some(mut stream) = stream else {
+        let Some((mut stream, queued_at)) = stream else {
             state.conn_available.notify_all();
             return;
         };
+        state.phases.queue_wait.observe(queued_at.elapsed());
+        let request_id = gesmc_obs::next_request_id();
         let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
         let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
         let Ok(read_half) = stream.try_clone() else { continue };
         let mut reader = BufReader::new(read_half);
-        let response = match read_request(&mut reader, state.config.max_body_bytes) {
+        let read_start = Instant::now();
+        let parsed = read_request(&mut reader, state.config.max_body_bytes);
+        state.phases.read.observe(read_start.elapsed());
+        let (response, request_line) = match parsed {
             Ok(request) => {
                 state.metrics.count_request();
+                let line = format!("{} {}", request.method.as_str(), request.path);
                 // A panicking handler must cost one response, not a worker
                 // thread: answer 500 and keep serving.  (LeaseGuard already
                 // unstranded any followers of a panicked leader.)
+                let handle_start = Instant::now();
                 let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    route(state, &request)
+                    route(state, &request, &request_id)
                 }));
-                match handled {
+                state.phases.handle.observe(handle_start.elapsed());
+                let response = match handled {
                     Ok(response) => response,
                     Err(_) => Response::error(500, "internal error: request handler panicked"),
-                }
+                };
+                (response, line)
             }
             Err(error) => match error.into_response() {
-                Some(response) => response,
+                Some(response) => (response, "<unparsed request>".to_string()),
                 None => continue, // peer went away; nothing to answer
             },
         };
         state.metrics.count_response(response.status);
+        let response = response.with_header("X-Gesmc-Request-Id", request_id.as_str());
+        let write_start = Instant::now();
         let _ = response.write_to(&mut stream);
+        state.phases.write.observe(write_start.elapsed());
+        gesmc_obs::info!(
+            target: "gesmc_serve::http",
+            id: request_id,
+            "{request_line} -> {} ({} B in {:.1} ms)",
+            response.status,
+            response.body().len(),
+            read_start.elapsed().as_secs_f64() * 1e3
+        );
     }
 }
 

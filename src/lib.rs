@@ -21,6 +21,9 @@
 //! * [`serve`] — the HTTP sampling service (`gesmc serve`): hand-rolled
 //!   `std::net` server, warm LRU sample cache, bounded admission with load
 //!   shedding, Prometheus metrics;
+//! * [`obs`] — dependency-free observability: structured leveled logging
+//!   with per-request correlation ids, fixed-bucket latency histograms with
+//!   lock-cheap sharded recording, and Prometheus/JSON rendering;
 //! * [`study`] — end-to-end mixing-time experiments (Figs. 2-3): sweep
 //!   specs, streaming metric sinks, deterministic JSON/CSV reports.
 //!
@@ -53,6 +56,7 @@ pub use gesmc_core as chains;
 pub use gesmc_datasets as datasets;
 pub use gesmc_engine as engine;
 pub use gesmc_graph as graph;
+pub use gesmc_obs as obs;
 pub use gesmc_randx as randx;
 pub use gesmc_serve as serve;
 pub use gesmc_study as study;
