@@ -17,7 +17,10 @@
 //!   gesmc serve      [--addr HOST:PORT] [--workers N] [--http-workers N]
 //!                    [--cache-entries N] [--max-pending N] [--allow-shutdown]
 //!                    [--data-dir DIR [--checkpoint-every K]]
+//!                    [--peers A,B,C [--advertise ADDR]]
 //!                    [--log-format {text,json}] [--log-level L]
+//!   gesmc loadgen    --endpoints A[,B,...] [--clients M] [--duration-secs S]
+//!                    [--keys K] [--edges M] [--algo SPEC] [--supersteps K] [--json]
 //!   gesmc --version | gesmc <subcommand> --help
 //! ```
 //!
@@ -70,7 +73,10 @@ fn print_usage() {
            serve      [--addr HOST:PORT] [--workers N] [--http-workers N]\n\
                       [--cache-entries N] [--max-pending N] [--allow-shutdown]\n\
                       [--data-dir DIR [--checkpoint-every K]]\n\
+                      [--peers A,B,C [--advertise ADDR]]\n\
                       [--log-format {{text,json}}] [--log-level L]\n\
+           loadgen    --endpoints A[,B,...] [--clients M] [--duration-secs S]\n\
+                      [--keys K] [--edges M] [--algo SPEC] [--supersteps K] [--json]\n\
          \n\
          Run `gesmc <subcommand> --help` for per-subcommand details and\n\
          `gesmc --version` for the version.\n\
@@ -94,6 +100,7 @@ const SUBCOMMANDS: &[&str] = &[
     "resume",
     "study",
     "serve",
+    "loadgen",
     "help",
     "version",
 ];
@@ -192,10 +199,32 @@ fn command_help(command: &str) -> Option<&'static str> {
                                     replayed, resuming interrupted jobs bit-identically\n\
                --checkpoint-every K checkpoint cadence in supersteps (default 25; 0 = only\n\
                                     from-scratch recovery; needs --data-dir)\n\
+               --peers A,B,C        static cluster membership: every node's address,\n\
+                                    comma-separated and identical on every node; sample\n\
+                                    keys are sharded over a consistent-hash ring and\n\
+                                    misrouted requests are forwarded to their owner\n\
+               --advertise ADDR     this node's own entry in --peers (default: --addr)\n\
                --log-format FMT     log line shape: text (default) or json\n\
                --log-level L        default log level: trace, debug, info (default),\n\
                                     warn, or error; a non-empty GESMC_LOG env var\n\
                                     (e.g. GESMC_LOG=gesmc_serve::http=debug) overrides"
+        }
+        "loadgen" => {
+            "gesmc loadgen --endpoints A[,B,...] [options]\n\
+             Drive a serve node (or cluster) with concurrent sample requests and\n\
+             report throughput and latency percentiles.\n\
+             \n\
+             Required:\n\
+               --endpoints A[,B,..] serve addresses; a multi-endpoint list routes by the\n\
+                                    cluster's consistent-hash ring and fails over\n\
+             Options:\n\
+               --clients M          concurrent client threads (default 4)\n\
+               --duration-secs S    how long to generate load (default 5)\n\
+               --keys K             distinct sample keys in the workload (default 8)\n\
+               --edges M            edge count per generated graph (default 200)\n\
+               --algo SPEC          chain spec (default par-global-es)\n\
+               --supersteps K       supersteps per sample (default 20)\n\
+               --json               print the summary as one JSON object (for CI)"
         }
         _ => return None,
     })
@@ -701,6 +730,8 @@ fn cmd_serve(positional: &[String], flags: &HashMap<String, String>) -> Result<(
             "allow-shutdown",
             "data-dir",
             "checkpoint-every",
+            "peers",
+            "advertise",
             "log-format",
             "log-level",
         ],
@@ -750,6 +781,23 @@ fn cmd_serve(positional: &[String], flags: &HashMap<String, String>) -> Result<(
         }
         config.checkpoint_every = every;
     }
+    match (flags.get("peers"), flags.get("advertise")) {
+        (Some(raw), advertise) => {
+            let peers: Vec<String> =
+                raw.split(',').map(str::trim).filter(|p| !p.is_empty()).map(String::from).collect();
+            if peers.len() < 2 {
+                return Err("--peers needs at least two comma-separated addresses".to_string());
+            }
+            // The advertise address is how *other* nodes reach this one; it
+            // must match a peers entry byte-for-byte so all ring positions
+            // agree.  Defaulting to --addr covers the common spelling where
+            // the bind address doubles as the public one.
+            let advertise = advertise.cloned().unwrap_or_else(|| config.addr.clone());
+            config.cluster = Some(gesmc_serve::ClusterConfig { advertise, peers });
+        }
+        (None, Some(_)) => return Err("--advertise needs --peers".to_string()),
+        (None, None) => {}
+    }
 
     let server =
         Server::bind(config.clone()).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
@@ -775,11 +823,197 @@ fn cmd_serve(positional: &[String], flags: &HashMap<String, String>) -> Result<(
             config.checkpoint_every
         );
     }
+    if let Some(cluster) = &config.cluster {
+        gesmc_obs::info!(
+            target: "gesmc::serve",
+            "cluster of {}: advertising as {} among [{}]",
+            cluster.peers.len(),
+            cluster.advertise,
+            cluster.peers.join(", ")
+        );
+    }
     if config.allow_shutdown {
         gesmc_obs::info!(target: "gesmc::serve", "POST /v1/shutdown stops the server gracefully");
     }
     server.wait();
     gesmc_obs::info!(target: "gesmc::serve", "shut down cleanly");
+    Ok(())
+}
+
+/// Per-thread tallies of one loadgen worker, merged after the run.
+#[derive(Default)]
+struct LoadgenTally {
+    latencies_us: Vec<u64>,
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+    errors: u64,
+    /// First few error messages, for the summary.
+    error_samples: Vec<String>,
+}
+
+/// The `p`-th percentile (0..=1) of an already-sorted latency list.
+fn percentile_us(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// `gesmc loadgen`: drive one or more serve nodes with concurrent sample
+/// requests through the typed client (ring routing, failover, backoff) and
+/// report request rate, latency percentiles, and cache behaviour.
+fn cmd_loadgen(positional: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+    no_positionals("loadgen", positional)?;
+    reject_unknown_flags(
+        "loadgen",
+        flags,
+        &["endpoints", "clients", "duration-secs", "keys", "edges", "algo", "supersteps", "json"],
+    )?;
+    let endpoints: Vec<String> = require(flags, "endpoints")?
+        .split(',')
+        .map(str::trim)
+        .filter(|e| !e.is_empty())
+        .map(String::from)
+        .collect();
+    if endpoints.is_empty() {
+        return Err("--endpoints needs at least one address".to_string());
+    }
+    let clients: usize = parse_flag_or(flags, "clients", 4)?;
+    if clients == 0 {
+        return Err("--clients must be at least 1".to_string());
+    }
+    let duration_secs: u64 = parse_flag_or(flags, "duration-secs", 5)?;
+    let keys: u64 = parse_flag_or(flags, "keys", 8)?;
+    if keys == 0 {
+        return Err("--keys must be at least 1".to_string());
+    }
+    let edges: usize = parse_flag_or(flags, "edges", 200)?;
+    let algo = flags.get("algo").map(String::as_str).unwrap_or("par-global-es");
+    let supersteps: u64 = parse_flag_or(flags, "supersteps", 20)?;
+
+    let client = gesmc_client::Client::builder(endpoints.clone())
+        .build()
+        .map_err(|e| format!("cannot build client: {e}"))?;
+    // The workload: `keys` distinct cache keys (seed varies), spread over
+    // the ring when several endpoints are given.  Validate them eagerly so a
+    // bad --algo fails before any thread spawns.
+    let specs: Vec<gesmc_client::SampleSpec> = (0..keys)
+        .map(|i| {
+            gesmc_client::SampleSpec::new(format!("pld:m={edges},seed={}", i + 1))
+                .algo(algo)
+                .supersteps(supersteps)
+        })
+        .collect();
+    for spec in &specs {
+        spec.key().map_err(|e| format!("bad workload spec: {e}"))?;
+    }
+    let specs = std::sync::Arc::new(specs);
+
+    let start = std::time::Instant::now();
+    let deadline = start + std::time::Duration::from_secs(duration_secs);
+    let tallies: Vec<LoadgenTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|worker| {
+                let client = client.clone();
+                let specs = std::sync::Arc::clone(&specs);
+                scope.spawn(move || {
+                    let mut tally = LoadgenTally::default();
+                    let mut n = worker; // stagger the key order across workers
+                    while std::time::Instant::now() < deadline {
+                        let spec = &specs[n % specs.len()];
+                        n += 1;
+                        let t0 = std::time::Instant::now();
+                        match client.samples().get(spec) {
+                            Ok(sample) => {
+                                tally.latencies_us.push(t0.elapsed().as_micros() as u64);
+                                match sample.cache.as_str() {
+                                    "hit" => tally.hits += 1,
+                                    "coalesced" => tally.coalesced += 1,
+                                    _ => tally.misses += 1,
+                                }
+                            }
+                            Err(e) => {
+                                tally.errors += 1;
+                                if tally.error_samples.len() < 3 {
+                                    tally.error_samples.push(e.to_string());
+                                }
+                            }
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("loadgen worker panicked")).collect()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut merged = LoadgenTally::default();
+    for tally in tallies {
+        latencies.extend(&tally.latencies_us);
+        merged.hits += tally.hits;
+        merged.misses += tally.misses;
+        merged.coalesced += tally.coalesced;
+        merged.errors += tally.errors;
+        for msg in tally.error_samples {
+            if merged.error_samples.len() < 3 {
+                merged.error_samples.push(msg);
+            }
+        }
+    }
+    latencies.sort_unstable();
+    let requests = latencies.len() as u64;
+    let rps = if elapsed > 0.0 { requests as f64 / elapsed } else { 0.0 };
+    let (p50, p90, p99) = (
+        percentile_us(&latencies, 0.50),
+        percentile_us(&latencies, 0.90),
+        percentile_us(&latencies, 0.99),
+    );
+
+    if flags.contains_key("json") {
+        let mut map = serde_json::Map::new();
+        map.insert("endpoints".to_string(), serde_json::Value::Number(endpoints.len() as f64));
+        map.insert("clients".to_string(), serde_json::Value::Number(clients as f64));
+        map.insert("seconds".to_string(), serde_json::Value::Number(elapsed));
+        map.insert("requests".to_string(), serde_json::Value::Number(requests as f64));
+        map.insert("errors".to_string(), serde_json::Value::Number(merged.errors as f64));
+        map.insert("rps".to_string(), serde_json::Value::Number(rps));
+        map.insert("hits".to_string(), serde_json::Value::Number(merged.hits as f64));
+        map.insert("misses".to_string(), serde_json::Value::Number(merged.misses as f64));
+        map.insert("coalesced".to_string(), serde_json::Value::Number(merged.coalesced as f64));
+        map.insert("p50_us".to_string(), serde_json::Value::Number(p50 as f64));
+        map.insert("p90_us".to_string(), serde_json::Value::Number(p90 as f64));
+        map.insert("p99_us".to_string(), serde_json::Value::Number(p99 as f64));
+        println!("{}", serde_json::to_string(&serde_json::Value::Object(map)).expect("flat JSON"));
+    } else {
+        println!(
+            "loadgen: {requests} requests in {elapsed:.2} s ({rps:.0} req/s), {} errors",
+            merged.errors
+        );
+        println!(
+            "  cache: {} hits, {} misses, {} coalesced over {} keys",
+            merged.hits, merged.misses, merged.coalesced, keys
+        );
+        println!(
+            "  latency: p50 {:.2} ms, p90 {:.2} ms, p99 {:.2} ms",
+            p50 as f64 / 1e3,
+            p90 as f64 / 1e3,
+            p99 as f64 / 1e3
+        );
+    }
+    for msg in &merged.error_samples {
+        gesmc_obs::warn!(target: "gesmc::loadgen", "sample error: {msg}");
+    }
+    if requests == 0 {
+        return Err(format!(
+            "no request succeeded against {} ({} errors)",
+            endpoints.join(", "),
+            merged.errors
+        ));
+    }
     Ok(())
 }
 
@@ -793,15 +1027,15 @@ fn main() -> ExitCode {
         println!("gesmc {}", env!("CARGO_PKG_VERSION"));
         return ExitCode::SUCCESS;
     }
-    let (positional, flags) = match parse_args(rest, &["resume", "names", "help", "allow-shutdown"])
-    {
-        Ok(parsed) => parsed,
-        Err(e) => {
-            gesmc_obs::error!(target: "gesmc", "{e}");
-            print_usage();
-            return ExitCode::FAILURE;
-        }
-    };
+    let (positional, flags) =
+        match parse_args(rest, &["resume", "names", "help", "allow-shutdown", "json"]) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                gesmc_obs::error!(target: "gesmc", "{e}");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        };
     // `gesmc <subcommand> --help` prints that subcommand's usage and exits
     // successfully, before any flag validation.
     if flags.contains_key("help") {
@@ -825,6 +1059,7 @@ fn main() -> ExitCode {
         "resume" => cmd_resume(&positional, &flags),
         "study" => cmd_study(&positional, &flags),
         "serve" => cmd_serve(&positional, &flags),
+        "loadgen" => cmd_loadgen(&positional, &flags),
         "--help" | "-h" | "help" => {
             print_usage();
             Ok(())

@@ -1,0 +1,97 @@
+//! Retry pacing: jittered exponential backoff, with `Retry-After` taking
+//! precedence when the server names a delay.
+//!
+//! The delay computation is a pure function of `(policy, attempt, unit)`
+//! where `unit` is a uniform draw in `[0, 1)`, so the unit tests pin the
+//! exact envelope — exponential ceiling growth, the cap, and the jitter
+//! band — without sleeping or sampling.
+
+/// Backoff envelope and the retry budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Ceiling of the first delay, in milliseconds.
+    pub base_ms: u64,
+    /// Upper bound every delay is clamped to, in milliseconds.
+    pub cap_ms: u64,
+    /// Total attempts (first try included) before a request is abandoned.
+    pub max_attempts: u32,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        Self { base_ms: 100, cap_ms: 5_000, max_attempts: 8 }
+    }
+}
+
+impl BackoffPolicy {
+    /// The delay before retry number `attempt` (0-based), given a uniform
+    /// draw `unit` in `[0, 1)`.  The ceiling doubles per attempt from
+    /// [`base_ms`](Self::base_ms) and clamps at [`cap_ms`](Self::cap_ms);
+    /// the actual delay is jittered uniformly over the upper half of the
+    /// ceiling (`[ceiling/2, ceiling)`), so concurrent clients desynchronise
+    /// without ever retrying unreasonably early.
+    pub fn delay_ms(&self, attempt: u32, unit: f64) -> u64 {
+        let doublings = attempt.min(32);
+        let ceiling =
+            self.base_ms.checked_shl(doublings).unwrap_or(self.cap_ms).min(self.cap_ms).max(1);
+        let half = ceiling / 2;
+        let span = (ceiling - half).max(1);
+        half + ((span as f64) * unit.clamp(0.0, 0.999_999)) as u64
+    }
+}
+
+/// The delay a `Retry-After: N` header demands, in milliseconds — honoured
+/// exactly, no jitter: the server knows its own drain rate better than any
+/// client-side guess.  `None` for absent or non-numeric values (the
+/// HTTP-date form is not emitted by this stack).
+pub fn retry_after_ms(header: Option<&str>) -> Option<u64> {
+    header.and_then(|v| v.trim().parse::<u64>().ok()).map(|secs| secs.saturating_mul(1_000))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_after_seconds_are_honoured_exactly() {
+        assert_eq!(retry_after_ms(Some("7")), Some(7_000));
+        assert_eq!(retry_after_ms(Some("0")), Some(0));
+        assert_eq!(retry_after_ms(Some(" 2 ")), Some(2_000));
+        assert_eq!(retry_after_ms(Some("soon")), None);
+        assert_eq!(retry_after_ms(None), None);
+    }
+
+    #[test]
+    fn ceiling_doubles_then_caps() {
+        let policy = BackoffPolicy { base_ms: 100, cap_ms: 1_000, max_attempts: 8 };
+        // unit → 1 gives (almost) the ceiling; unit = 0 gives exactly half.
+        for (attempt, ceiling) in [(0u32, 100u64), (1, 200), (2, 400), (3, 800), (4, 1_000)] {
+            assert_eq!(policy.delay_ms(attempt, 0.0), ceiling / 2, "attempt {attempt}");
+            assert!(policy.delay_ms(attempt, 0.999_999) < ceiling, "attempt {attempt}");
+            assert!(policy.delay_ms(attempt, 0.999_999) >= ceiling - ceiling / 64);
+        }
+        // Far past the cap the delay stays clamped (no shift overflow).
+        assert_eq!(policy.delay_ms(60, 0.0), 500);
+        assert!(policy.delay_ms(60, 0.999_999) < 1_000);
+    }
+
+    #[test]
+    fn jitter_stays_inside_the_half_ceiling_band() {
+        let policy = BackoffPolicy::default();
+        for attempt in 0..10 {
+            for unit in [0.0, 0.1, 0.5, 0.9, 0.999_999] {
+                let delay = policy.delay_ms(attempt, unit);
+                let ceiling =
+                    policy.base_ms.checked_shl(attempt).unwrap_or(policy.cap_ms).min(policy.cap_ms);
+                assert!(
+                    delay >= ceiling / 2 && delay < ceiling.max(1),
+                    "attempt {attempt} unit {unit}: {delay} outside [{}, {ceiling})",
+                    ceiling / 2
+                );
+            }
+        }
+        // Out-of-range units clamp instead of escaping the band.
+        assert_eq!(policy.delay_ms(0, -1.0), 50);
+        assert!(policy.delay_ms(0, 2.0) < 100);
+    }
+}

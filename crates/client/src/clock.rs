@@ -1,0 +1,45 @@
+//! Injectable time, so retry pacing and health transitions are unit-tested
+//! without a single real sleep.
+
+use std::time::{Duration, Instant};
+
+/// What the pool needs from a clock: a monotonic millisecond reading and a
+/// way to wait.  Production uses [`SystemClock`]; tests inject a fake that
+/// advances instantly and records every requested sleep.
+pub trait Clock: Send + Sync {
+    /// Milliseconds since an arbitrary fixed origin (monotonic).
+    fn now_ms(&self) -> u64;
+    /// Block the calling thread for `ms` milliseconds.
+    fn sleep_ms(&self, ms: u64);
+}
+
+/// The real clock: monotonic [`Instant`] readings and `thread::sleep`.
+#[derive(Debug)]
+pub struct SystemClock {
+    epoch: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose origin is the moment of construction.
+    pub fn new() -> Self {
+        Self { epoch: Instant::now() }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    fn sleep_ms(&self, ms: u64) {
+        if ms > 0 {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+    }
+}

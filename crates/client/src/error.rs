@@ -1,0 +1,52 @@
+//! The client error type.
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The client was misconfigured (empty endpoint list, duplicate
+    /// endpoints, …).
+    Config(String),
+    /// A request spec failed client-side validation before anything was
+    /// sent (bad graph grammar, bad algorithm spec).
+    Spec(String),
+    /// The server answered with a definitive 4xx — retrying will not help.
+    Api {
+        /// The endpoint that answered.
+        endpoint: String,
+        /// HTTP status code.
+        status: u16,
+        /// The server's `{"error": …}` message (or raw body).
+        message: String,
+    },
+    /// Every attempt failed; `failures` records one line per failed try.
+    Exhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// `endpoint: reason` per failed attempt, in order.
+        failures: Vec<String>,
+    },
+    /// The server answered 2xx but the body did not have the expected shape.
+    Decode(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Config(msg) => write!(f, "client misconfigured: {msg}"),
+            ClientError::Spec(msg) => write!(f, "bad request spec: {msg}"),
+            ClientError::Api { endpoint, status, message } => {
+                write!(f, "{endpoint} answered {status}: {message}")
+            }
+            ClientError::Exhausted { attempts, failures } => {
+                write!(f, "all {attempts} attempts failed")?;
+                if let Some(last) = failures.last() {
+                    write!(f, " (last: {last})")?;
+                }
+                Ok(())
+            }
+            ClientError::Decode(msg) => write!(f, "unexpected response shape: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}

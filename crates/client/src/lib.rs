@@ -1,0 +1,176 @@
+//! `gesmc-client` — the typed cluster client for the sampling service.
+//!
+//! One [`Client`] holds a pool of serve endpoints and exposes the service
+//! as typed resources:
+//!
+//! * [`Samples`] — one-shot sampling, routed by the same
+//!   consistent-hash ring the servers shard by, so a request usually lands
+//!   directly on the node whose cache owns the key;
+//! * [`Jobs`] — asynchronous jobs, pinned to the node that
+//!   accepted them (submit / get / cancel / list / sample);
+//! * [`Algorithms`] — registry metadata, answered by
+//!   any node.
+//!
+//! The pool fails over on connect errors and 5xx, ejects repeatedly failing
+//! endpoints (with timed probe re-admission), and honours `Retry-After` on
+//! 429 — falling back to jittered exponential backoff when the server does
+//! not name a delay.  Because sample bytes are bit-identical from every
+//! node, failover is invisible to correctness; it only costs cache locality.
+//!
+//! ```no_run
+//! use gesmc_client::{Client, SampleSpec};
+//!
+//! let client = Client::builder(["127.0.0.1:8080", "127.0.0.1:8081"]).build()?;
+//! let sample = client.samples().get(&SampleSpec::new("pld:m=2000").supersteps(40))?;
+//! println!("{} bytes from {} ({})", sample.bytes.len(), sample.endpoint, sample.cache);
+//! # Ok::<(), gesmc_client::ClientError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backoff;
+pub mod clock;
+pub mod error;
+mod pool;
+pub mod resources;
+
+pub use backoff::{retry_after_ms, BackoffPolicy};
+pub use clock::{Clock, SystemClock};
+pub use error::ClientError;
+pub use gesmc_cluster::{HealthPolicy, PeerStatus, SampleKey};
+pub use resources::{
+    AlgorithmInfo, Algorithms, JobRef, JobStatus, JobSubmit, Jobs, Sample, SampleSpec, Samples,
+};
+
+use gesmc_cluster::HashRing;
+use pool::EndpointPool;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configures and constructs a [`Client`].
+pub struct ClientBuilder {
+    endpoints: Vec<String>,
+    backoff: BackoffPolicy,
+    health: HealthPolicy,
+    connect_timeout: Duration,
+    io_timeout: Duration,
+}
+
+impl ClientBuilder {
+    /// Start a builder over the given serve endpoints (`host:port`).
+    pub fn new<I, S>(endpoints: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self {
+            endpoints: endpoints.into_iter().map(Into::into).collect(),
+            backoff: BackoffPolicy::default(),
+            health: HealthPolicy::default(),
+            connect_timeout: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Replace the retry pacing policy.
+    pub fn backoff(mut self, policy: BackoffPolicy) -> Self {
+        self.backoff = policy;
+        self
+    }
+
+    /// Replace the endpoint ejection policy.
+    pub fn health(mut self, policy: HealthPolicy) -> Self {
+        self.health = policy;
+        self
+    }
+
+    /// Replace the connect and read/write timeouts.
+    pub fn timeouts(mut self, connect: Duration, io: Duration) -> Self {
+        self.connect_timeout = connect;
+        self.io_timeout = io;
+        self
+    }
+
+    /// Build the client.  Fails on an empty or duplicated endpoint list.
+    pub fn build(self) -> Result<Client, ClientError> {
+        let ring = HashRing::new(self.endpoints).map_err(|e| ClientError::Config(e.to_string()))?;
+        // Seed the jitter stream from the wall clock so concurrent client
+        // processes desynchronise; determinism is never needed here (tests
+        // pin the backoff envelope through the pure policy function).
+        let seed = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5eed);
+        let pool = EndpointPool::with_parts(
+            ring,
+            self.backoff,
+            self.health,
+            Box::new(SystemClock::new()),
+            EndpointPool::wire_transport(self.connect_timeout, self.io_timeout),
+            seed,
+        );
+        Ok(Client { pool: Arc::new(pool) })
+    }
+}
+
+/// A thread-safe handle on a cluster of serve endpoints.  Cloning is cheap
+/// (the pool — ring, health state, transport — is shared), so one client
+/// can be hammered from many threads, as `gesmc loadgen` does.
+#[derive(Clone)]
+pub struct Client {
+    pool: Arc<EndpointPool>,
+}
+
+impl Client {
+    /// Start building a client over the given endpoints.
+    pub fn builder<I, S>(endpoints: I) -> ClientBuilder
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        ClientBuilder::new(endpoints)
+    }
+
+    /// The `Samples` resource.
+    pub fn samples(&self) -> Samples<'_> {
+        Samples { pool: &self.pool }
+    }
+
+    /// The `Jobs` resource.
+    pub fn jobs(&self) -> Jobs<'_> {
+        Jobs { pool: &self.pool }
+    }
+
+    /// The `Algorithms` resource.
+    pub fn algorithms(&self) -> Algorithms<'_> {
+        Algorithms { pool: &self.pool }
+    }
+
+    /// The endpoints this client routes over, sorted.
+    pub fn endpoints(&self) -> &[String] {
+        self.pool.ring().nodes()
+    }
+
+    /// Health of every endpoint the client has talked to.
+    pub fn health(&self) -> Vec<(String, PeerStatus)> {
+        self.pool.health_snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_rejects_bad_endpoint_lists() {
+        assert!(matches!(
+            Client::builder(Vec::<String>::new()).build(),
+            Err(ClientError::Config(_))
+        ));
+        assert!(matches!(Client::builder(["a:1", "a:1"]).build(), Err(ClientError::Config(_))));
+        let client = Client::builder(["b:1", "a:1"]).build().unwrap();
+        assert_eq!(client.endpoints(), ["a:1", "b:1"]);
+        assert!(client.health().is_empty());
+    }
+}

@@ -1,0 +1,410 @@
+//! The multi-endpoint pool: ring routing, failover, and retry pacing.
+//!
+//! Every request resolves to an ordered candidate list — the ring's
+//! preference order for routed requests, a rotating scan for unrouted ones —
+//! and walks it under one policy:
+//!
+//! * **connect errors and 5xx** fail over to the next candidate immediately
+//!   and count against the peer's health (consecutive failures eject it);
+//! * **429** is backpressure, not ill health: the peer stays healthy, the
+//!   pool sleeps for exactly the server's `Retry-After` (or a jittered
+//!   exponential delay when absent) and retries the same routing;
+//! * **anything else**, including 4xx, is returned to the caller — a
+//!   definitive answer that retrying cannot improve.
+//!
+//! The transport and the clock are both injected, so the whole state machine
+//! is unit-tested with a scripted fake server and zero real sleeps.
+
+use crate::backoff::{retry_after_ms, BackoffPolicy};
+use crate::clock::Clock;
+use crate::error::ClientError;
+use gesmc_cluster::{HashRing, HealthPolicy, HealthTracker, PeerStatus, WireError, WireResponse};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One request as the pool sees it: the target endpoint is the pool's
+/// decision, everything else is the caller's.
+pub(crate) struct PoolRequest<'a> {
+    pub method: &'a str,
+    pub path: &'a str,
+    pub headers: &'a [(&'a str, &'a str)],
+    pub body: &'a [u8],
+}
+
+/// A response plus the endpoint that produced it.
+#[derive(Debug)]
+pub(crate) struct PoolResponse {
+    pub endpoint: String,
+    pub response: WireResponse,
+}
+
+pub(crate) type Transport =
+    Box<dyn Fn(&str, &PoolRequest<'_>) -> Result<WireResponse, WireError> + Send + Sync>;
+
+pub(crate) struct EndpointPool {
+    ring: HashRing,
+    backoff: BackoffPolicy,
+    health: Mutex<HealthTracker>,
+    clock: Box<dyn Clock>,
+    transport: Transport,
+    /// splitmix64 state feeding backoff jitter.
+    jitter: Mutex<u64>,
+    /// Rotates the starting endpoint of unrouted requests.
+    round_robin: AtomicUsize,
+}
+
+impl EndpointPool {
+    pub(crate) fn with_parts(
+        ring: HashRing,
+        backoff: BackoffPolicy,
+        health: HealthPolicy,
+        clock: Box<dyn Clock>,
+        transport: Transport,
+        jitter_seed: u64,
+    ) -> Self {
+        Self {
+            ring,
+            backoff,
+            health: Mutex::new(HealthTracker::new(health)),
+            clock,
+            transport,
+            jitter: Mutex::new(jitter_seed),
+            round_robin: AtomicUsize::new(0),
+        }
+    }
+
+    /// The real-socket transport with the given timeouts.
+    pub(crate) fn wire_transport(connect_timeout: Duration, io_timeout: Duration) -> Transport {
+        Box::new(move |endpoint, req| {
+            gesmc_cluster::request_with_timeouts(
+                endpoint,
+                req.method,
+                req.path,
+                req.headers,
+                req.body,
+                connect_timeout,
+                io_timeout,
+            )
+        })
+    }
+
+    pub(crate) fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// Health snapshot of every endpoint the pool has talked to.
+    pub(crate) fn health_snapshot(&self) -> Vec<(String, PeerStatus)> {
+        let now = self.clock.now_ms();
+        self.health.lock().expect("health mutex poisoned").snapshot(now)
+    }
+
+    /// Execute against the ring's preference order for `key_hash`.
+    pub(crate) fn routed(
+        &self,
+        key_hash: u64,
+        req: &PoolRequest<'_>,
+    ) -> Result<PoolResponse, ClientError> {
+        let order: Vec<String> =
+            self.ring.preference(key_hash).into_iter().map(str::to_string).collect();
+        self.execute(&order, req)
+    }
+
+    /// Execute against all endpoints, starting at a rotating offset so
+    /// unrouted traffic (job submits, listings) spreads across the cluster.
+    pub(crate) fn any(&self, req: &PoolRequest<'_>) -> Result<PoolResponse, ClientError> {
+        let nodes = self.ring.nodes();
+        let start = self.round_robin.fetch_add(1, Ordering::Relaxed) % nodes.len();
+        let order: Vec<String> =
+            (0..nodes.len()).map(|i| nodes[(start + i) % nodes.len()].clone()).collect();
+        self.execute(&order, req)
+    }
+
+    /// Execute against exactly one endpoint (node-local resources like
+    /// jobs); still paced by the 429 policy, but with nowhere to fail over.
+    pub(crate) fn at(
+        &self,
+        endpoint: &str,
+        req: &PoolRequest<'_>,
+    ) -> Result<PoolResponse, ClientError> {
+        self.execute(&[endpoint.to_string()], req)
+    }
+
+    fn jitter_unit(&self) -> f64 {
+        let mut state = self.jitter.lock().expect("jitter mutex poisoned");
+        let draw = gesmc_randx::splitmix64(&mut state);
+        (draw >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn execute(
+        &self,
+        order: &[String],
+        req: &PoolRequest<'_>,
+    ) -> Result<PoolResponse, ClientError> {
+        let mut failures: Vec<String> = Vec::new();
+        // Endpoints that failed hard during this request; cleared (with a
+        // backoff sleep) once the whole order has been exhausted.
+        let mut down = vec![false; order.len()];
+        let mut attempt = 0u32;
+        while attempt < self.backoff.max_attempts {
+            let picked = {
+                let mut health = self.health.lock().expect("health mutex poisoned");
+                let now = self.clock.now_ms();
+                order
+                    .iter()
+                    .enumerate()
+                    .find(|(i, e)| !down[*i] && health.is_available(e, now))
+                    // Everything left is ejected: try the first untried one
+                    // anyway rather than failing without sending a byte.
+                    .or_else(|| order.iter().enumerate().find(|(i, _)| !down[*i]))
+                    .map(|(i, e)| (i, e.clone()))
+            };
+            let Some((index, endpoint)) = picked else {
+                // Whole order burned this round: reset and pace the retry.
+                down.fill(false);
+                self.clock.sleep_ms(self.backoff.delay_ms(attempt, self.jitter_unit()));
+                attempt += 1;
+                continue;
+            };
+            attempt += 1;
+            match (self.transport)(&endpoint, req) {
+                Ok(resp) if resp.status == 429 => {
+                    // The peer is alive and shedding; honour its pacing.
+                    self.health.lock().expect("health mutex poisoned").record_success(&endpoint);
+                    let delay = retry_after_ms(resp.header("retry-after"))
+                        .unwrap_or_else(|| self.backoff.delay_ms(attempt - 1, self.jitter_unit()));
+                    failures.push(format!("{endpoint}: 429, retrying in {delay}ms"));
+                    self.clock.sleep_ms(delay);
+                }
+                Ok(resp) if resp.status >= 500 => {
+                    let now = self.clock.now_ms();
+                    self.health
+                        .lock()
+                        .expect("health mutex poisoned")
+                        .record_failure(&endpoint, now);
+                    down[index] = true;
+                    failures.push(format!("{endpoint}: HTTP {}", resp.status));
+                }
+                Ok(resp) => {
+                    self.health.lock().expect("health mutex poisoned").record_success(&endpoint);
+                    return Ok(PoolResponse { endpoint, response: resp });
+                }
+                Err(e) => {
+                    let now = self.clock.now_ms();
+                    self.health
+                        .lock()
+                        .expect("health mutex poisoned")
+                        .record_failure(&endpoint, now);
+                    down[index] = true;
+                    failures.push(format!("{endpoint}: {e}"));
+                }
+            }
+        }
+        Err(ClientError::Exhausted { attempts: self.backoff.max_attempts, failures })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    /// A clock that never blocks: sleeps advance it instantly and are
+    /// recorded for assertion.
+    struct FakeClock {
+        now: AtomicU64,
+        slept: Mutex<Vec<u64>>,
+    }
+
+    impl FakeClock {
+        fn new() -> Arc<Self> {
+            Arc::new(Self { now: AtomicU64::new(0), slept: Mutex::new(Vec::new()) })
+        }
+    }
+
+    impl Clock for Arc<FakeClock> {
+        fn now_ms(&self) -> u64 {
+            self.now.load(Ordering::SeqCst)
+        }
+
+        fn sleep_ms(&self, ms: u64) {
+            self.now.fetch_add(ms, Ordering::SeqCst);
+            self.slept.lock().unwrap().push(ms);
+        }
+    }
+
+    fn response(status: u16, headers: &[(&str, &str)], body: &[u8]) -> WireResponse {
+        WireResponse {
+            status,
+            headers: headers.iter().map(|(n, v)| (n.to_string(), v.to_string())).collect(),
+            body: body.to_vec(),
+        }
+    }
+
+    fn refused() -> WireError {
+        WireError::Connect(std::io::Error::from(std::io::ErrorKind::ConnectionRefused))
+    }
+
+    /// A pool over three endpoints whose transport runs `script` and logs
+    /// every endpoint contacted.
+    #[allow(clippy::type_complexity)]
+    fn pool_with(
+        script: impl Fn(&str, usize) -> Result<WireResponse, WireError> + Send + Sync + 'static,
+    ) -> (EndpointPool, Arc<FakeClock>, Arc<Mutex<Vec<String>>>) {
+        let clock = FakeClock::new();
+        let calls = Arc::new(Mutex::new(Vec::new()));
+        let calls_in = Arc::clone(&calls);
+        let counter = AtomicUsize::new(0);
+        let transport: Transport = Box::new(move |endpoint, _req| {
+            let n = counter.fetch_add(1, Ordering::SeqCst);
+            calls_in.lock().unwrap().push(endpoint.to_string());
+            script(endpoint, n)
+        });
+        let pool = EndpointPool::with_parts(
+            HashRing::new(["a:1", "b:1", "c:1"]).unwrap(),
+            BackoffPolicy { base_ms: 100, cap_ms: 1_000, max_attempts: 6 },
+            HealthPolicy { eject_after: 2, probe_after_ms: 5_000 },
+            Box::new(Arc::clone(&clock)),
+            transport,
+            42,
+        );
+        (pool, clock, calls)
+    }
+
+    fn req<'a>() -> PoolRequest<'a> {
+        PoolRequest { method: "GET", path: "/healthz", headers: &[], body: &[] }
+    }
+
+    #[test]
+    fn routed_requests_follow_the_preference_order_and_fail_over() {
+        let (pool, _clock, calls) = pool_with(|endpoint, _| {
+            if endpoint == "b:1" {
+                Ok(response(200, &[], b"ok"))
+            } else {
+                Err(refused())
+            }
+        });
+        // Find a hash whose preference order starts somewhere other than b.
+        let hash = (0..500u64)
+            .map(gesmc_randx::mix64)
+            .find(|&h| pool.ring().preference(h)[0] != "b:1")
+            .unwrap();
+        let expected: Vec<String> =
+            pool.ring().preference(hash).into_iter().map(str::to_string).collect();
+        let out = pool.routed(hash, &req()).unwrap();
+        assert_eq!(out.endpoint, "b:1");
+        assert_eq!(out.response.body, b"ok");
+        let calls = calls.lock().unwrap().clone();
+        // The pool walked the preference order until it reached b.
+        let reach = expected.iter().position(|e| e == "b:1").unwrap();
+        assert_eq!(calls, expected[..=reach].to_vec());
+    }
+
+    #[test]
+    fn retry_after_is_honoured_exactly_and_the_peer_stays_healthy() {
+        let (pool, clock, calls) = pool_with(|_, n| {
+            if n == 0 {
+                Ok(response(429, &[("retry-after", "7")], b""))
+            } else {
+                Ok(response(200, &[], b"done"))
+            }
+        });
+        let out = pool.any(&req()).unwrap();
+        assert_eq!(out.response.status, 200);
+        assert_eq!(clock.slept.lock().unwrap().as_slice(), &[7_000]);
+        // Backpressure retries the same endpoint rather than failing over.
+        let calls = calls.lock().unwrap().clone();
+        assert_eq!(calls[0], calls[1]);
+        assert!(matches!(pool.health_snapshot()[0].1, PeerStatus::Healthy));
+    }
+
+    #[test]
+    fn missing_retry_after_falls_back_to_jittered_exponential_backoff() {
+        let (pool, clock, _calls) = pool_with(|_, n| {
+            if n < 3 {
+                Ok(response(429, &[], b""))
+            } else {
+                Ok(response(200, &[], b""))
+            }
+        });
+        pool.any(&req()).unwrap();
+        let slept = clock.slept.lock().unwrap().clone();
+        assert_eq!(slept.len(), 3);
+        // Each delay sits in the jitter band [ceiling/2, ceiling) of its
+        // attempt, and the envelope doubles.
+        for (i, &ms) in slept.iter().enumerate() {
+            let ceiling = 100u64 << i;
+            assert!(
+                ms >= ceiling / 2 && ms < ceiling,
+                "delay {i} = {ms} outside [{}, {ceiling})",
+                ceiling / 2
+            );
+        }
+    }
+
+    #[test]
+    fn hard_failures_eject_and_exhaust_when_everyone_is_down() {
+        let (pool, _clock, calls) = pool_with(|_, _| Err(refused()));
+        let err = pool.any(&req()).unwrap_err();
+        let ClientError::Exhausted { attempts, failures } = err else {
+            panic!("expected Exhausted, got {err}");
+        };
+        assert_eq!(attempts, 6);
+        assert!(!failures.is_empty());
+        // All three endpoints were tried (eject_after = 2, so the scan kept
+        // cycling through the order before attempts ran out).
+        let tried: std::collections::HashSet<String> =
+            calls.lock().unwrap().iter().cloned().collect();
+        assert_eq!(tried.len(), 3);
+        // Six attempts over three peers: the first two revisited peers cross
+        // eject_after = 2 and are ejected; the third holds at one failure.
+        let snapshot = pool.health_snapshot();
+        let ejected =
+            snapshot.iter().filter(|(_, s)| matches!(s, PeerStatus::Ejected { .. })).count();
+        assert_eq!(snapshot.len(), 3);
+        assert_eq!(ejected, 2);
+    }
+
+    #[test]
+    fn ejected_peer_is_skipped_then_probed_after_the_window() {
+        let died = Arc::new(AtomicUsize::new(1)); // a:1 dead while 1
+        let died_in = Arc::clone(&died);
+        let (pool, clock, calls) = pool_with(move |endpoint, _| {
+            if endpoint == "a:1" && died_in.load(Ordering::SeqCst) == 1 {
+                Err(refused())
+            } else {
+                Ok(response(200, &[], b"ok"))
+            }
+        });
+        // Drive a:1 to ejection (eject_after = 2) with direct sends.
+        for _ in 0..2 {
+            let _ = pool.at("a:1", &req());
+        }
+        assert!(matches!(pool.health_snapshot()[0].1, PeerStatus::Ejected { .. }));
+        // While ejected, unrouted requests skip a:1 entirely.
+        calls.lock().unwrap().clear();
+        for _ in 0..4 {
+            pool.any(&req()).unwrap();
+        }
+        assert!(calls.lock().unwrap().iter().all(|e| e != "a:1"));
+        // Past the probe window a revived a:1 is re-admitted via one probe.
+        died.store(0, Ordering::SeqCst);
+        clock.now.store(10_000, Ordering::SeqCst);
+        calls.lock().unwrap().clear();
+        for _ in 0..6 {
+            pool.any(&req()).unwrap();
+        }
+        assert!(calls.lock().unwrap().iter().any(|e| e == "a:1"));
+        assert!(pool.health_snapshot().iter().all(|(_, s)| matches!(s, PeerStatus::Healthy)));
+    }
+
+    #[test]
+    fn definitive_4xx_is_returned_not_retried() {
+        let (pool, _clock, calls) =
+            pool_with(|_, _| Ok(response(400, &[], br#"{"error":"bad spec"}"#)));
+        let out = pool.any(&req()).unwrap();
+        assert_eq!(out.response.status, 400);
+        assert_eq!(calls.lock().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,198 @@
+//! Per-peer health: consecutive-failure ejection with timed probe
+//! re-admission.
+//!
+//! Both the forwarding server and the client SDK track each peer with the
+//! same tiny state machine.  A peer starts **healthy**; after
+//! [`HealthPolicy::eject_after`] consecutive failures it is **ejected** and
+//! skipped by routing.  After [`HealthPolicy::probe_after_ms`] milliseconds
+//! in ejection, exactly one request is allowed through as a **probe**: if it
+//! succeeds the peer is re-admitted, if it fails the ejection timer restarts.
+//!
+//! Every method takes `now_ms` explicitly rather than reading a clock, so
+//! the transition table is pinned by unit tests without a single sleep.
+
+use std::collections::HashMap;
+
+/// Ejection and re-admission thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthPolicy {
+    /// Consecutive failures before a peer is ejected.
+    pub eject_after: u32,
+    /// Milliseconds an ejected peer sits out before one probe is allowed.
+    pub probe_after_ms: u64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        Self { eject_after: 3, probe_after_ms: 2_000 }
+    }
+}
+
+/// A peer's externally visible health state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerStatus {
+    /// Taking traffic normally.
+    Healthy,
+    /// Ejected; routing skips it until the probe window opens.
+    Ejected {
+        /// Milliseconds the peer has been in ejection (relative to the
+        /// `now_ms` passed to [`HealthTracker::status`]).
+        for_ms: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum State {
+    Healthy { consecutive_failures: u32 },
+    Ejected { since_ms: u64, probing: bool },
+}
+
+/// Health state for a fixed set of peers.
+///
+/// Unknown peers are implicitly healthy with zero failures; state is created
+/// lazily on the first recorded outcome.
+#[derive(Debug)]
+pub struct HealthTracker {
+    policy: HealthPolicy,
+    peers: HashMap<String, State>,
+}
+
+impl HealthTracker {
+    /// A tracker with the given thresholds.
+    pub fn new(policy: HealthPolicy) -> Self {
+        Self { policy, peers: HashMap::new() }
+    }
+
+    /// The policy this tracker applies.
+    pub fn policy(&self) -> HealthPolicy {
+        self.policy
+    }
+
+    /// Whether routing may send `peer` a request at `now_ms`.  Returns true
+    /// for healthy peers, and **once** per open probe window for ejected
+    /// peers — the probe slot is claimed by this call, so concurrent callers
+    /// don't stampede a recovering peer.
+    pub fn is_available(&mut self, peer: &str, now_ms: u64) -> bool {
+        let policy = self.policy;
+        match self.peers.get_mut(peer) {
+            None | Some(State::Healthy { .. }) => true,
+            Some(state @ State::Ejected { .. }) => {
+                let State::Ejected { since_ms, probing } = *state else { unreachable!() };
+                if probing || now_ms.saturating_sub(since_ms) < policy.probe_after_ms {
+                    false
+                } else {
+                    *state = State::Ejected { since_ms, probing: true };
+                    true
+                }
+            }
+        }
+    }
+
+    /// Record a successful request to `peer`: resets the failure count and
+    /// re-admits the peer if it was ejected.
+    pub fn record_success(&mut self, peer: &str) {
+        self.peers.insert(peer.to_string(), State::Healthy { consecutive_failures: 0 });
+    }
+
+    /// Record a failed request to `peer` at `now_ms`.  Returns true when
+    /// this failure ejects the peer (either crossing the consecutive-failure
+    /// threshold or failing a probe, which restarts the ejection timer).
+    pub fn record_failure(&mut self, peer: &str, now_ms: u64) -> bool {
+        let state = self
+            .peers
+            .entry(peer.to_string())
+            .or_insert(State::Healthy { consecutive_failures: 0 });
+        match *state {
+            State::Healthy { consecutive_failures } => {
+                let failures = consecutive_failures + 1;
+                if failures >= self.policy.eject_after {
+                    *state = State::Ejected { since_ms: now_ms, probing: false };
+                    true
+                } else {
+                    *state = State::Healthy { consecutive_failures: failures };
+                    false
+                }
+            }
+            State::Ejected { .. } => {
+                // A failed probe (or a straggler in-flight failure): restart
+                // the ejection window from now.
+                *state = State::Ejected { since_ms: now_ms, probing: false };
+                true
+            }
+        }
+    }
+
+    /// The peer's status at `now_ms`, without claiming a probe slot.
+    pub fn status(&self, peer: &str, now_ms: u64) -> PeerStatus {
+        match self.peers.get(peer) {
+            None | Some(State::Healthy { .. }) => PeerStatus::Healthy,
+            Some(State::Ejected { since_ms, .. }) => {
+                PeerStatus::Ejected { for_ms: now_ms.saturating_sub(*since_ms) }
+            }
+        }
+    }
+
+    /// `(peer, status)` for every peer with recorded state, sorted by name.
+    pub fn snapshot(&self, now_ms: u64) -> Vec<(String, PeerStatus)> {
+        let mut all: Vec<(String, PeerStatus)> =
+            self.peers.keys().map(|p| (p.clone(), self.status(p, now_ms))).collect();
+        all.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> HealthTracker {
+        HealthTracker::new(HealthPolicy { eject_after: 3, probe_after_ms: 1_000 })
+    }
+
+    #[test]
+    fn ejects_after_consecutive_failures_only() {
+        let mut t = tracker();
+        assert!(!t.record_failure("p", 0));
+        assert!(!t.record_failure("p", 1));
+        t.record_success("p"); // resets the streak
+        assert!(!t.record_failure("p", 2));
+        assert!(!t.record_failure("p", 3));
+        assert!(t.record_failure("p", 4));
+        assert_eq!(t.status("p", 10), PeerStatus::Ejected { for_ms: 6 });
+        assert!(!t.is_available("p", 10));
+    }
+
+    #[test]
+    fn probe_window_admits_exactly_one_caller() {
+        let mut t = tracker();
+        for i in 0..3 {
+            t.record_failure("p", i);
+        }
+        assert!(!t.is_available("p", 500)); // window not open yet
+        assert!(t.is_available("p", 1_002)); // first caller claims the probe
+        assert!(!t.is_available("p", 1_003)); // second caller is still blocked
+        t.record_success("p");
+        assert_eq!(t.status("p", 1_004), PeerStatus::Healthy);
+        assert!(t.is_available("p", 1_004));
+    }
+
+    #[test]
+    fn failed_probe_restarts_the_ejection_timer() {
+        let mut t = tracker();
+        for i in 0..3 {
+            t.record_failure("p", i);
+        }
+        assert!(t.is_available("p", 1_500));
+        assert!(t.record_failure("p", 1_500)); // probe failed
+        assert!(!t.is_available("p", 2_000)); // timer restarted at 1500
+        assert!(t.is_available("p", 2_500)); // 1000ms after the failed probe
+    }
+
+    #[test]
+    fn unknown_peers_are_healthy() {
+        let mut t = tracker();
+        assert!(t.is_available("never-seen", 0));
+        assert_eq!(t.status("never-seen", 0), PeerStatus::Healthy);
+        assert!(t.snapshot(0).is_empty());
+    }
+}

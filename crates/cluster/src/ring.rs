@@ -1,0 +1,210 @@
+//! The consistent-hash ring mapping cluster keys to owning nodes.
+//!
+//! Every physical node contributes [`DEFAULT_VNODES`] virtual points, each
+//! placed at `mix64(fnv1a_64("{node}#{index}"))` on the 64-bit ring.  A key is
+//! owned by the node of the first virtual point at or clockwise after the
+//! key's hash (wrapping at `u64::MAX`).  Virtual nodes smooth the
+//! distribution (±20% of uniform is property-tested) and give the
+//! **minimal-disruption** guarantee: removing a node only remaps the keys
+//! that node owned; every other key keeps its owner.
+//!
+//! The ring is immutable after construction — membership in this PR is a
+//! static `--peers` list, so reconfiguration is a process restart.  Both the
+//! server (forwarding) and the client (routing) build the ring from the same
+//! node list, so they always agree on ownership.
+
+use gesmc_randx::{fnv1a_64, mix64};
+
+/// Virtual points each physical node contributes to the ring.
+pub const DEFAULT_VNODES: usize = 64;
+
+/// Why a ring could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RingError {
+    /// The node list was empty.
+    NoNodes,
+    /// The same node address appeared twice.
+    DuplicateNode(String),
+    /// Zero virtual nodes were requested.
+    NoVnodes,
+}
+
+impl std::fmt::Display for RingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RingError::NoNodes => write!(f, "a hash ring needs at least one node"),
+            RingError::DuplicateNode(node) => {
+                write!(f, "node {node:?} appears more than once in the ring")
+            }
+            RingError::NoVnodes => write!(f, "a hash ring needs at least one virtual node"),
+        }
+    }
+}
+
+impl std::error::Error for RingError {}
+
+/// An immutable consistent-hash ring over a set of node addresses.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Physical nodes, sorted for construction-order independence.
+    nodes: Vec<String>,
+    /// `(point hash, node index)` sorted by hash (ties broken by node index
+    /// so equal inputs always build the identical ring).
+    points: Vec<(u64, u32)>,
+}
+
+impl HashRing {
+    /// A ring with [`DEFAULT_VNODES`] virtual points per node.
+    pub fn new<I, S>(nodes: I) -> Result<Self, RingError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self::with_vnodes(nodes, DEFAULT_VNODES)
+    }
+
+    /// A ring with `vnodes` virtual points per node.  The node list is
+    /// sorted and deduplication is an error: the caller's membership list is
+    /// configuration, and a silent dedup would hide a config typo.
+    pub fn with_vnodes<I, S>(nodes: I, vnodes: usize) -> Result<Self, RingError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        if vnodes == 0 {
+            return Err(RingError::NoVnodes);
+        }
+        let mut nodes: Vec<String> = nodes.into_iter().map(Into::into).collect();
+        if nodes.is_empty() {
+            return Err(RingError::NoNodes);
+        }
+        nodes.sort_unstable();
+        if let Some(dup) = nodes.windows(2).find(|w| w[0] == w[1]) {
+            return Err(RingError::DuplicateNode(dup[0].clone()));
+        }
+        let mut points = Vec::with_capacity(nodes.len() * vnodes);
+        for (index, node) in nodes.iter().enumerate() {
+            for vnode in 0..vnodes {
+                // FNV-1a alone clusters badly here — sibling labels differ
+                // in a handful of bytes, and its weak avalanche leaves the
+                // points correlated (±35% load skew at 1024 vnodes).  The
+                // splitmix64 finalizer restores full-width diffusion.
+                let point = mix64(fnv1a_64(format!("{node}#{vnode}").as_bytes()));
+                points.push((point, index as u32));
+            }
+        }
+        // Sort by (hash, node index): hash collisions across nodes are
+        // astronomically unlikely but must still resolve deterministically.
+        points.sort_unstable();
+        Ok(Self { nodes, points })
+    }
+
+    /// The physical nodes, sorted.
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Number of physical nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the ring has no nodes (never true for a constructed ring).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Virtual points per physical node.
+    pub fn vnodes_per_node(&self) -> usize {
+        self.points.len() / self.nodes.len()
+    }
+
+    /// The owning node of `key_hash`: the node of the first virtual point at
+    /// or clockwise after the hash, wrapping past `u64::MAX` to the first
+    /// point.
+    pub fn owner(&self, key_hash: u64) -> &str {
+        &self.nodes[self.owner_index(key_hash)]
+    }
+
+    /// Index (into [`nodes`](Self::nodes)) of the owning node of `key_hash`.
+    pub fn owner_index(&self, key_hash: u64) -> usize {
+        let at = self.points.partition_point(|&(point, _)| point < key_hash);
+        let (_, node) = self.points[at % self.points.len()];
+        node as usize
+    }
+
+    /// The distinct nodes to try for `key_hash`, in ring order: the owner
+    /// first, then each successor.  This is the failover order — a client
+    /// that cannot reach the owner walks the successors, and every caller
+    /// derives the same order.
+    pub fn preference(&self, key_hash: u64) -> Vec<&str> {
+        let start = self.points.partition_point(|&(point, _)| point < key_hash);
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut seen = vec![false; self.nodes.len()];
+        for offset in 0..self.points.len() {
+            let (_, node) = self.points[(start + offset) % self.points.len()];
+            let node = node as usize;
+            if !seen[node] {
+                seen[node] = true;
+                order.push(self.nodes[node].as_str());
+                if order.len() == self.nodes.len() {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_is_order_independent_and_rejects_bad_input() {
+        let a = HashRing::new(["b:1", "a:1", "c:1"]).unwrap();
+        let b = HashRing::new(["c:1", "a:1", "b:1"]).unwrap();
+        assert_eq!(a.nodes(), b.nodes());
+        for key in [0u64, 1, u64::MAX, 0xdead_beef] {
+            assert_eq!(a.owner(key), b.owner(key));
+        }
+        assert_eq!(a.vnodes_per_node(), DEFAULT_VNODES);
+        assert!(matches!(HashRing::new(Vec::<String>::new()), Err(RingError::NoNodes)));
+        assert!(matches!(
+            HashRing::new(["a:1", "a:1"]),
+            Err(RingError::DuplicateNode(node)) if node == "a:1"
+        ));
+        assert!(matches!(HashRing::with_vnodes(["a:1"], 0), Err(RingError::NoVnodes)));
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let ring = HashRing::new(["only:1"]).unwrap();
+        for key in [0u64, 42, u64::MAX / 2, u64::MAX] {
+            assert_eq!(ring.owner(key), "only:1");
+        }
+    }
+
+    #[test]
+    fn preference_order_starts_at_the_owner_and_covers_all_nodes() {
+        let ring = HashRing::new(["a:1", "b:1", "c:1"]).unwrap();
+        for key in 0..200u64 {
+            let hash = gesmc_randx::mix64(key);
+            let order = ring.preference(hash);
+            assert_eq!(order.len(), 3);
+            assert_eq!(order[0], ring.owner(hash));
+            let mut sorted: Vec<&str> = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec!["a:1", "b:1", "c:1"]);
+        }
+    }
+
+    #[test]
+    fn wraparound_owner_is_the_first_point() {
+        let ring = HashRing::new(["a:1", "b:1"]).unwrap();
+        // u64::MAX is beyond (or at) the last virtual point with near
+        // certainty; the owner must be the node of the smallest point.
+        let first_node = ring.points.first().map(|&(_, n)| n as usize).unwrap();
+        assert_eq!(ring.owner(u64::MAX), ring.nodes()[first_node]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the consistent-hash ring: load uniformity, ownership
+//! totality, and the minimal-disruption remap invariant, over random node
+//! sets and 10k keys per case.
+
+use gesmc_cluster::{HashRing, DEFAULT_VNODES};
+use gesmc_randx::mix64;
+use proptest::prelude::*;
+
+const KEYS: u64 = 10_000;
+
+/// Unique node addresses for one generated cluster.
+fn node_names(n: usize, label: u64) -> Vec<String> {
+    (0..n).map(|i| format!("node-{label:08x}-{i}:8080")).collect()
+}
+
+/// The 10k-key workload for one case, salted so cases differ.
+fn keys(salt: u64) -> impl Iterator<Item = u64> {
+    (0..KEYS).map(move |i| mix64(i ^ salt))
+}
+
+fn owner_counts(ring: &HashRing, salt: u64) -> Vec<u64> {
+    let mut counts = vec![0u64; ring.len()];
+    for key in keys(salt) {
+        counts[ring.owner_index(key)] += 1;
+    }
+    counts
+}
+
+proptest! {
+    /// With enough virtual nodes every physical node's share of 10k keys
+    /// lands within ±20% of uniform, for any cluster size in 2..=16.  The
+    /// smoothness of consistent hashing scales as 1/√vnodes, so the bound
+    /// is asserted at 1024 vnodes; the 64-vnode default trades some
+    /// smoothness for an 16× smaller ring (see the companion bound below).
+    #[test]
+    fn load_is_within_20_percent_of_uniform(
+        n in 2usize..=16,
+        label in any::<u64>(),
+        salt in any::<u64>(),
+    ) {
+        let ring = HashRing::with_vnodes(node_names(n, label), 1024).unwrap();
+        let expected = KEYS as f64 / n as f64;
+        for (index, &count) in owner_counts(&ring, salt).iter().enumerate() {
+            let deviation = (count as f64 - expected) / expected;
+            prop_assert!(
+                deviation.abs() <= 0.20,
+                "node {index}/{n} owns {count} keys, {:+.1}% from uniform {expected:.0}",
+                deviation * 100.0
+            );
+        }
+    }
+
+    /// The default 64-vnode ring is coarser but still bounded: no node owns
+    /// more than twice or less than a quarter of its uniform share.
+    #[test]
+    fn default_ring_load_stays_bounded(
+        n in 2usize..=16,
+        label in any::<u64>(),
+        salt in any::<u64>(),
+    ) {
+        let ring = HashRing::new(node_names(n, label)).unwrap();
+        prop_assert_eq!(ring.vnodes_per_node(), DEFAULT_VNODES);
+        let expected = KEYS as f64 / n as f64;
+        for (index, &count) in owner_counts(&ring, salt).iter().enumerate() {
+            let share = count as f64 / expected;
+            prop_assert!(
+                (0.25..=2.0).contains(&share),
+                "node {index}/{n} owns {count} keys, {share:.2}× uniform"
+            );
+        }
+    }
+
+    /// Ownership is total and consistent: every key resolves to exactly one
+    /// node, that node heads the preference order, and the preference order
+    /// is a permutation of the cluster.
+    #[test]
+    fn every_key_has_exactly_one_owner(
+        n in 2usize..=16,
+        label in any::<u64>(),
+        salt in any::<u64>(),
+    ) {
+        let ring = HashRing::new(node_names(n, label)).unwrap();
+        for key in keys(salt).take(500) {
+            let owner = ring.owner(key);
+            prop_assert!(ring.nodes().iter().any(|node| node == owner));
+            prop_assert_eq!(owner, ring.owner(key), "ownership must be deterministic");
+            let preference = ring.preference(key);
+            prop_assert_eq!(preference[0], owner);
+            prop_assert_eq!(preference.len(), n);
+            let mut sorted: Vec<&str> = preference.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), n, "preference order must be a permutation");
+        }
+    }
+
+    /// Minimal disruption: removing one node remaps exactly the keys that
+    /// node owned — every other key keeps its owner, and the moved keys are
+    /// precisely the removed node's share.
+    #[test]
+    fn removing_a_node_remaps_only_its_keys(
+        n in 3usize..=16,
+        label in any::<u64>(),
+        salt in any::<u64>(),
+        removed_pick in any::<u64>(),
+    ) {
+        let nodes = node_names(n, label);
+        let removed = &nodes[(removed_pick % n as u64) as usize];
+        let full = HashRing::new(nodes.clone()).unwrap();
+        let reduced =
+            HashRing::new(nodes.iter().filter(|node| *node != removed).cloned()).unwrap();
+        let mut owned_by_removed = 0u64;
+        let mut moved = 0u64;
+        for key in keys(salt) {
+            let before = full.owner(key);
+            let after = reduced.owner(key);
+            if before == removed {
+                owned_by_removed += 1;
+                prop_assert_ne!(after, removed);
+            } else {
+                prop_assert_eq!(
+                    before, after,
+                    "key {key:#x} moved although its owner survived"
+                );
+            }
+            if before != after {
+                moved += 1;
+            }
+        }
+        prop_assert_eq!(moved, owned_by_removed);
+    }
+}

@@ -14,7 +14,9 @@
 //! | `DELETE /v1/jobs/{id}` | cancel a job |
 //! | `GET /v1/jobs/{id}/samples/{k}` | the `k`-th thinned sample (text, or binary under `Accept: application/octet-stream`) |
 //! | `GET /v1/sample?graph=…&algo=…` | synchronous one-shot sample for small graphs (the warm-cache hot path) |
+//! | `GET /v1/jobs` | list every job resident on this node |
 //! | `GET /v1/algorithms` | the chain registry |
+//! | `GET /v1/cluster` | ring membership, peer health, and forwarding counters |
 //! | `GET /healthz` | liveness |
 //! | `GET /metrics` | Prometheus-style counters |
 //! | `POST /v1/shutdown` | graceful shutdown (only with [`ServeConfig::allow_shutdown`]) |
@@ -37,6 +39,12 @@
 //! (concurrent misses for one key are coalesced into a single job), and
 //! `…&warm=true` pre-warms a key in the background without waiting.
 //!
+//! With [`ServeConfig::cluster`] set, nodes shard that cache over a
+//! consistent-hash ring ([`cluster`]): a node receiving a `/v1/sample`
+//! request for a key another node owns forwards it peer-to-peer (one hop at
+//! most) so each key is cached exactly once cluster-wide; unreachable owners
+//! are computed around locally, bit-identically.
+//!
 //! ```no_run
 //! use gesmc_serve::{ServeConfig, Server};
 //!
@@ -51,6 +59,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod cluster;
 pub mod fsio;
 pub mod http;
 pub mod jobstore;
@@ -60,6 +69,7 @@ pub(crate) mod router;
 pub mod server;
 
 pub use cache::{CacheKey, CacheStats, CachedSample, SampleCache};
+pub use cluster::{ClusterConfig, ClusterMetrics};
 pub use fsio::{FaultIo, IoOp, PersistIo, StdFs};
 pub use persist::{PersistMetrics, Persistence};
 pub use server::Server;
@@ -118,6 +128,10 @@ pub struct ServeConfig {
     /// [`StdFs`].  Tests inject a [`FaultIo`] here to fail any durable
     /// step deterministically.
     pub persist_io: Option<Arc<dyn PersistIo>>,
+    /// Cluster membership (`--peers`/`--advertise`); `None` (the default)
+    /// runs a standalone node.  When set, the advertise address must appear
+    /// in the peers list — [`Server::bind`] rejects the config otherwise.
+    pub cluster: Option<ClusterConfig>,
 }
 
 impl Default for ServeConfig {
@@ -139,6 +153,7 @@ impl Default for ServeConfig {
             data_dir: None,
             checkpoint_every: 25,
             persist_io: None,
+            cluster: None,
         }
     }
 }

@@ -1,6 +1,7 @@
 //! Service counters and their Prometheus text rendering (`GET /metrics`).
 
 use crate::cache::SampleCache;
+use crate::cluster::ClusterMetrics;
 use crate::persist::PersistMetrics;
 use gesmc_engine::ServicePool;
 use std::fmt::Write as _;
@@ -61,13 +62,16 @@ impl Metrics {
 
     /// Render the Prometheus exposition text.  `persist` is the durability
     /// layer's counters; `None` (no `--data-dir`) omits the
-    /// `gesmc_persist_*` family entirely.
+    /// `gesmc_persist_*` family entirely.  Likewise `cluster` is the ring's
+    /// snapshot; `None` (standalone node) omits the `gesmc_cluster_*`
+    /// family.
     pub fn render(
         &self,
         pool: &ServicePool,
         cache: &SampleCache,
         jobs_resident: usize,
         persist: Option<&PersistMetrics>,
+        cluster: Option<&ClusterMetrics>,
     ) -> String {
         fn gauge(out: &mut String, name: &str, help: &str, value: f64) {
             let _ = writeln!(out, "# HELP {name} {help}");
@@ -227,6 +231,45 @@ impl Metrics {
             }
         }
 
+        if let Some(cluster) = cluster {
+            gauge(
+                &mut out,
+                "gesmc_cluster_peers",
+                "Cluster size (peers, this node included).",
+                cluster.peers as f64,
+            );
+            let _ = writeln!(
+                out,
+                "# HELP gesmc_cluster_peer_healthy Whether a remote peer is healthy (1) or ejected (0)."
+            );
+            let _ = writeln!(out, "# TYPE gesmc_cluster_peer_healthy gauge");
+            for (peer, healthy) in &cluster.peer_health {
+                let _ = writeln!(
+                    out,
+                    "gesmc_cluster_peer_healthy{{peer=\"{peer}\"}} {}",
+                    u8::from(*healthy)
+                );
+            }
+            gauge(
+                &mut out,
+                "gesmc_cluster_forwarded_total",
+                "Sample requests forwarded to their ring owner.",
+                cluster.forwarded as f64,
+            );
+            gauge(
+                &mut out,
+                "gesmc_cluster_forward_fallbacks_total",
+                "Forwards that fell back to local computation.",
+                cluster.fallbacks as f64,
+            );
+            gauge(
+                &mut out,
+                "gesmc_cluster_forwards_received_total",
+                "Forwarded sample requests received from peers.",
+                cluster.received as f64,
+            );
+        }
+
         // The observability registry (latency histograms and event counters
         // from obs-instrumented code paths) renders last so the gauge lines
         // above keep their exact shape for line-anchored scrapers.
@@ -261,15 +304,33 @@ mod tests {
         pool.submit(QueuedJob::new(spec, Box::new(NullSink::default()))).unwrap().wait();
         let cache = SampleCache::new(4);
 
-        let text = metrics.render(&pool, &cache, 3, None);
+        let text = metrics.render(&pool, &cache, 3, None, None);
         assert!(
             !text.contains("gesmc_persist_"),
             "persistence gauges must be absent without a data dir"
         );
+        assert!(
+            !text.contains("gesmc_cluster_"),
+            "cluster gauges must be absent on a standalone node"
+        );
         let persist = PersistMetrics::default();
-        let text_with_persist = metrics.render(&pool, &cache, 3, Some(&persist));
+        let text_with_persist = metrics.render(&pool, &cache, 3, Some(&persist), None);
         assert!(text_with_persist.contains("gesmc_persist_errors_total 0"));
         assert!(text_with_persist.contains("gesmc_persist_journal_entries_total 0"));
+        let cluster = ClusterMetrics {
+            peers: 3,
+            peer_health: vec![("n2:1".to_string(), true), ("n3:1".to_string(), false)],
+            forwarded: 7,
+            fallbacks: 2,
+            received: 4,
+        };
+        let text_with_cluster = metrics.render(&pool, &cache, 3, None, Some(&cluster));
+        assert!(text_with_cluster.contains("gesmc_cluster_peers 3"));
+        assert!(text_with_cluster.contains("gesmc_cluster_peer_healthy{peer=\"n2:1\"} 1"));
+        assert!(text_with_cluster.contains("gesmc_cluster_peer_healthy{peer=\"n3:1\"} 0"));
+        assert!(text_with_cluster.contains("gesmc_cluster_forwarded_total 7"));
+        assert!(text_with_cluster.contains("gesmc_cluster_forward_fallbacks_total 2"));
+        assert!(text_with_cluster.contains("gesmc_cluster_forwards_received_total 4"));
         assert!(text.contains("gesmc_http_requests_total 2"));
         assert!(text.contains("gesmc_http_responses_total{class=\"2xx\"} 1"));
         assert!(text.contains("gesmc_http_responses_total{class=\"429\"} 1"));
@@ -285,7 +346,7 @@ mod tests {
         // The obs registry render is appended after every gauge above.
         gesmc_obs::histogram("gesmc_metrics_render_test_seconds", "Test-only series.")
             .record_ns(512);
-        let text = metrics.render(&pool, &cache, 3, None);
+        let text = metrics.render(&pool, &cache, 3, None, None);
         assert!(text.contains("# TYPE gesmc_metrics_render_test_seconds histogram"));
         assert!(
             text.find("gesmc_uptime_seconds").unwrap()

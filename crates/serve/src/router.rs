@@ -6,6 +6,7 @@
 //! bounded admission queue — a handler never runs a chain inline.
 
 use crate::cache::{derive_sample_seed, CacheKey, CachedSample};
+use crate::cluster::FORWARDED_HEADER;
 use crate::http::{Method, Request, Response};
 use crate::jobstore::JobRecord;
 use crate::persist::{
@@ -53,12 +54,15 @@ pub(crate) fn route(state: &Arc<ServerState>, request: &Request, request_id: &st
                 &state.cache,
                 state.jobs.len(),
                 state.persist.as_deref().map(Persistence::metrics),
+                state.cluster.as_ref().map(|c| c.metrics()).as_ref(),
             ),
         )
         .with_content_type("text/plain; version=0.0.4; charset=utf-8"),
         (Method::Get, ["v1", "algorithms"]) => algorithms(state.registry),
-        (Method::Get, ["v1", "sample"]) => sample(state, request),
+        (Method::Get, ["v1", "cluster"]) => cluster_status(state),
+        (Method::Get, ["v1", "sample"]) => sample(state, request, request_id),
         (Method::Post, ["v1", "jobs"]) => submit_job(state, request, request_id),
+        (Method::Get, ["v1", "jobs"]) => list_jobs(state),
         (Method::Get, ["v1", "jobs", id]) => job_status(state, id),
         (Method::Delete, ["v1", "jobs", id]) => cancel_job(state, id),
         (Method::Get, ["v1", "jobs", id, "samples", k]) => job_sample(state, request, id, k),
@@ -70,6 +74,7 @@ pub(crate) fn route(state: &Arc<ServerState>, request: &Request, request_id: &st
                 ["healthz"]
                     | ["metrics"]
                     | ["v1", "algorithms"]
+                    | ["v1", "cluster"]
                     | ["v1", "sample"]
                     | ["v1", "jobs"]
                     | ["v1", "jobs", _]
@@ -135,50 +140,27 @@ struct GraphSpec {
 
 /// Parse the compact generator grammar `family[:key=value,…]` with keys
 /// `n` (nodes), `m` (edges), `gamma`, `seed` — e.g. `pld:m=2000,gamma=2.5`.
+/// The grammar and canonical form live in [`gesmc_cluster::canonical_graph_spec`]
+/// (the client SDK routes by the same fingerprint); the server additionally
+/// validates the family against its generator registry.
 fn parse_graph_spec(raw: &str) -> Result<GraphSpec, String> {
-    let (family, params_raw) = match raw.split_once(':') {
-        Some((f, p)) => (f, p),
-        None => (raw, ""),
-    };
-    if !GRAPH_FAMILIES.contains(&family) {
+    let params = gesmc_cluster::canonical_graph_spec(raw)?;
+    if !GRAPH_FAMILIES.contains(&params.family.as_str()) {
         return Err(format!(
-            "unknown graph family {family:?} (expected {})",
+            "unknown graph family {:?} (expected {})",
+            params.family,
             GRAPH_FAMILIES.join(", ")
         ));
     }
-    let mut nodes = 0usize;
-    let mut edges = 1_000usize;
-    let mut gamma = 2.5f64;
-    let mut seed = 1u64;
-    for part in params_raw.split(',').filter(|p| !p.is_empty()) {
-        let (key, value) = part
-            .split_once('=')
-            .ok_or_else(|| format!("malformed graph parameter {part:?} (expected key=value)"))?;
-        let bad = |what: &str| format!("graph parameter {key}={value:?} is not a valid {what}");
-        match key {
-            "n" => nodes = value.parse().map_err(|_| bad("node count"))?,
-            "m" => edges = value.parse().map_err(|_| bad("edge count"))?,
-            "gamma" => {
-                gamma = value.parse().map_err(|_| bad("exponent"))?;
-                // The pld generator requires gamma strictly above 1.
-                if !(gamma > 1.0 && gamma <= 10.0) {
-                    return Err(format!("gamma must lie in (1, 10], got {gamma}"));
-                }
-            }
-            "seed" => seed = value.parse().map_err(|_| bad("seed"))?,
-            other => {
-                return Err(format!(
-                    "unknown graph parameter {other:?} (expected n, m, gamma, or seed)"
-                ))
-            }
-        }
-    }
-    if edges == 0 {
-        return Err("graph parameter m must be positive".to_string());
-    }
-    let canonical = format!("{family}:gamma={gamma},m={edges},n={nodes},seed={seed}");
-    let source = GraphSource::Generated { family: family.to_string(), nodes, edges, gamma, seed };
-    Ok(GraphSpec { source, canonical, nodes, edges })
+    let canonical = params.canonical();
+    let source = GraphSource::Generated {
+        family: params.family,
+        nodes: params.nodes,
+        edges: params.edges,
+        gamma: params.gamma,
+        seed: params.seed,
+    };
+    Ok(GraphSpec { source, canonical, nodes: params.nodes, edges: params.edges })
 }
 
 fn parse_u64_param(request: &Request, name: &str, default: u64) -> Result<u64, Response> {
@@ -253,7 +235,7 @@ fn generate_into_cache(
 
 /// `GET /v1/sample?graph=…&algo=…[&supersteps=…][&warm=true]` — the
 /// synchronous one-shot endpoint and warm-cache hot path.
-fn sample(state: &Arc<ServerState>, request: &Request) -> Response {
+fn sample(state: &Arc<ServerState>, request: &Request, request_id: &str) -> Response {
     // Reject unknown query parameters instead of silently dropping them: an
     // unencoded `&` inside an `algo=name?k=v&k=v` spec would otherwise split
     // into a never-read pair and serve a wrong-config sample with no
@@ -322,6 +304,23 @@ fn sample(state: &Arc<ServerState>, request: &Request) -> Response {
         chain_slug: chain.slug(),
         supersteps,
     };
+    // Cluster hook: keys another node owns are forwarded to it (one hop at
+    // most — a request that already carries the forwarded marker is always
+    // handled locally, whatever this node thinks about ownership).  A
+    // `None` from `forward` means the owner is unreachable; seeds derive
+    // from the key, so computing locally yields the identical bytes.
+    if let Some(cluster) = &state.cluster {
+        if request.header(FORWARDED_HEADER).is_some() {
+            cluster.note_received_forward();
+        } else {
+            let owner = cluster.owner_of(&key);
+            if owner != cluster.advertise() {
+                if let Some(response) = cluster.forward(owner, request, request_id) {
+                    return response;
+                }
+            }
+        }
+    }
     if let Some(cached) = state.cache.get(&key) {
         if warm {
             return Response::json(
@@ -744,6 +743,23 @@ fn submit_job(state: &Arc<ServerState>, request: &Request, request_id: &str) -> 
 
 fn parse_id(raw: &str) -> Result<u64, Response> {
     raw.parse().map_err(|_| Response::error(400, &format!("job id {raw:?} is not an integer")))
+}
+
+/// `GET /v1/jobs` — every job record resident on this node, newest-ID
+/// last.  Jobs are node-local (not sharded); a cluster client lists each
+/// node and merges.
+fn list_jobs(state: &ServerState) -> Response {
+    let jobs: Vec<Value> = state.jobs.records().iter().map(|r| r.status_json()).collect();
+    Response::json(200, &Value::Array(jobs))
+}
+
+/// `GET /v1/cluster` — ring membership, peer health, and forwarding
+/// counters (`{"enabled": false}` on a standalone node).
+fn cluster_status(state: &ServerState) -> Response {
+    match &state.cluster {
+        Some(cluster) => Response::json(200, &cluster.status_json()),
+        None => Response::json(200, &json_object(vec![("enabled", Value::Bool(false))])),
+    }
 }
 
 /// `GET /v1/jobs/{id}` — status document.

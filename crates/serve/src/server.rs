@@ -20,6 +20,7 @@
 //! aborted mid-request and no sample is lost.
 
 use crate::cache::{CacheKey, CachedSample, SampleCache};
+use crate::cluster::ClusterState;
 use crate::fsio::StdFs;
 use crate::http::{read_request, Response};
 use crate::jobstore::JobStore;
@@ -182,6 +183,8 @@ pub(crate) struct ServerState {
     pub(crate) phases: PhaseHists,
     /// The durability layer; `Some` only when the config sets a data dir.
     pub(crate) persist: Option<Arc<Persistence>>,
+    /// Ring, peer health, and forwarding; `Some` only with `--peers`.
+    pub(crate) cluster: Option<ClusterState>,
     /// Reaper threads journaling `finished` events for persistent jobs;
     /// joined during teardown (after the pool drained, so all terminal).
     pub(crate) reapers: Mutex<Vec<JoinHandle<()>>>,
@@ -260,6 +263,13 @@ impl Server {
             None => None,
         };
 
+        let cluster = match &config.cluster {
+            Some(cluster_config) => Some(ClusterState::new(cluster_config).map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("cluster: {e}"))
+            })?),
+            None => None,
+        };
+
         let state = Arc::new(ServerState {
             pool: ServicePool::start(config.engine_workers, config.max_pending),
             cache: SampleCache::new(config.cache_entries),
@@ -268,6 +278,7 @@ impl Server {
             phases: PhaseHists::new(),
             registry: default_registry(),
             persist,
+            cluster,
             reapers: Mutex::new(Vec::new()),
             inflight: Mutex::new(HashMap::new()),
             shutdown_requested: Mutex::new(false),

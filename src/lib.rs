@@ -21,6 +21,11 @@
 //! * [`serve`] — the HTTP sampling service (`gesmc serve`): hand-rolled
 //!   `std::net` server, warm LRU sample cache, bounded admission with load
 //!   shedding, Prometheus metrics;
+//! * [`cluster`] — consistent-hash ring primitives shared by the sharded
+//!   serving mode and the client: FNV-1a/mix64 hashing, virtual-node rings,
+//!   canonical cache keys, and a dependency-free blocking HTTP/1.1 client;
+//! * [`client`] — the typed SDK for the service: multi-endpoint pool with
+//!   ring-based routing, failover, and `Retry-After`-aware backoff;
 //! * [`obs`] — dependency-free observability: structured leveled logging
 //!   with per-request correlation ids, fixed-bucket latency histograms with
 //!   lock-cheap sharded recording, and Prometheus/JSON rendering;
@@ -51,6 +56,8 @@
 
 pub use gesmc_analysis as analysis;
 pub use gesmc_baselines as baselines;
+pub use gesmc_client as client;
+pub use gesmc_cluster as cluster;
 pub use gesmc_concurrent as concurrent;
 pub use gesmc_core as chains;
 pub use gesmc_datasets as datasets;
@@ -67,6 +74,8 @@ pub mod prelude {
     pub use gesmc_baselines::{
         register_baselines, AdjacencyListES, GlobalCurveball, SortedAdjacencyES,
     };
+    pub use gesmc_client::{Client, ClientError, Sample, SampleSpec};
+    pub use gesmc_cluster::{canonical_graph_spec, HashRing, SampleKey};
     pub use gesmc_core::{
         ChainError, ChainInfo, ChainRegistry, ChainSnapshot, ChainSpec, EdgeSwitching, NaiveParES,
         ParES, ParGlobalES, ParamValue, SeqES, SeqGlobalES, SwitchingConfig,
@@ -77,7 +86,7 @@ pub mod prelude {
         MemorySink, SampleSink, ServicePool, WorkerPool,
     };
     pub use gesmc_graph::{DegreeSequence, Edge, EdgeListGraph};
-    pub use gesmc_serve::{PersistIo, ServeConfig, Server, StdFs};
+    pub use gesmc_serve::{ClusterConfig, PersistIo, ServeConfig, Server, StdFs};
     pub use gesmc_study::{run_study, MetricsSink, StudyOptions, StudyReport, StudySpec};
 }
 

@@ -1,0 +1,388 @@
+//! End-to-end tests of the sharded serving mode: three real `gesmc-serve`
+//! processes joined by `--peers`, driven through the typed `gesmc-client`
+//! SDK.
+//!
+//! Each node is spawned as a **separate child process** (this test binary
+//! re-executing itself) with its own data dir, so the suite exercises the
+//! same process boundaries, sockets, and SIGKILL semantics production sees.
+//! The acceptance properties:
+//!
+//! * a request landing on the wrong node is forwarded to the ring owner
+//!   (`X-Gesmc-Forwarded-By` present, the owner's forward counters rise)
+//!   and the body is **bit-identical** to a plain single-node server's
+//!   answer for the same spec;
+//! * a mixed hot/cold workload through the client routes by the same ring
+//!   the servers shard by, so warm keys come back `hit` from the owner;
+//! * SIGKILL of one node loses **zero requests**: survivor-owned keys keep
+//!   flowing untouched, victim-owned keys fail over to a successor that
+//!   recomputes the identical bytes, and both the client pool and the
+//!   surviving servers eject the dead peer.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use gesmc::client::PeerStatus;
+use gesmc::prelude::{Client, ClusterConfig, HashRing, SampleSpec, ServeConfig, Server};
+
+/// The child half of the re-exec trick: boot one cluster node on the fixed
+/// address the parent preallocated, and serve until killed.  `#[ignore]`
+/// keeps it out of normal runs; the parent invokes it by name.
+#[test]
+#[ignore = "child process entry point, spawned by the cluster tests"]
+fn child_cluster_node_main() {
+    let addr = std::env::var("GESMC_CLUSTER_ADDR").expect("child needs GESMC_CLUSTER_ADDR");
+    let peers: Vec<String> = std::env::var("GESMC_CLUSTER_PEERS")
+        .expect("child needs GESMC_CLUSTER_PEERS")
+        .split(',')
+        .map(str::to_string)
+        .collect();
+    let data_dir = PathBuf::from(
+        std::env::var("GESMC_CLUSTER_DATA_DIR").expect("child needs GESMC_CLUSTER_DATA_DIR"),
+    );
+    let config = ServeConfig {
+        addr: addr.clone(),
+        http_workers: 2,
+        engine_workers: 2,
+        data_dir: Some(data_dir),
+        cluster: Some(ClusterConfig { advertise: addr, peers }),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(config).expect("child bind");
+    server.wait(); // blocks until SIGKILL
+}
+
+struct ClusterNode {
+    child: Child,
+    addr: SocketAddr,
+    endpoint: String,
+}
+
+impl ClusterNode {
+    /// SIGKILL — no graceful teardown.
+    fn kill(mut self) {
+        self.child.kill().expect("kill node");
+        self.child.wait().expect("reap node");
+    }
+}
+
+impl Drop for ClusterNode {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Reserve `n` distinct loopback ports by binding them all at once and then
+/// dropping the listeners.  The peers list must be known *before* any node
+/// boots, so the publish-an-ephemeral-port trick of the durability tests
+/// does not work here.
+fn free_ports(n: usize) -> Vec<u16> {
+    let listeners: Vec<TcpListener> =
+        (0..n).map(|_| TcpListener::bind("127.0.0.1:0").expect("reserve port")).collect();
+    listeners.iter().map(|l| l.local_addr().expect("port").port()).collect()
+}
+
+/// Spawn an `n`-node cluster, each node its own process with its own data
+/// dir, and wait until every node answers `/healthz`.
+fn spawn_cluster(tag: &str, n: usize) -> Vec<ClusterNode> {
+    let base = std::env::temp_dir().join(format!("gesmc-cluster-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let endpoints: Vec<String> =
+        free_ports(n).into_iter().map(|port| format!("127.0.0.1:{port}")).collect();
+    let peers = endpoints.join(",");
+    let nodes: Vec<ClusterNode> = endpoints
+        .iter()
+        .enumerate()
+        .map(|(i, endpoint)| {
+            let data_dir = base.join(format!("node{i}"));
+            std::fs::create_dir_all(&data_dir).expect("create data dir");
+            let child = Command::new(std::env::current_exe().expect("current exe"))
+                .args(["child_cluster_node_main", "--exact", "--ignored", "--nocapture"])
+                .env("GESMC_CLUSTER_ADDR", endpoint)
+                .env("GESMC_CLUSTER_PEERS", &peers)
+                .env("GESMC_CLUSTER_DATA_DIR", &data_dir)
+                .stdout(Stdio::null())
+                .stderr(Stdio::null())
+                .spawn()
+                .expect("spawn cluster node");
+            ClusterNode { child, addr: endpoint.parse().expect("addr"), endpoint: endpoint.clone() }
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    for node in &nodes {
+        loop {
+            if let Ok((200, _, _)) = try_http(node.addr, "GET", "/healthz", None) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "node {} never became healthy", node.endpoint);
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+    nodes
+}
+
+fn try_http(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    accept: Option<&str>,
+) -> std::io::Result<(u16, HashMap<String, String>, Vec<u8>)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    let mut request = format!("{method} {path} HTTP/1.1\r\nHost: e2e\r\n");
+    if let Some(accept) = accept {
+        request.push_str(&format!("Accept: {accept}\r\n"));
+    }
+    request.push_str("\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| std::io::Error::other("no header/body separator"))?;
+    let head = String::from_utf8_lossy(&raw[..header_end]).to_string();
+    let body = raw[header_end + 4..].to_vec();
+    let mut lines = head.lines();
+    let status: u16 = lines
+        .next()
+        .and_then(|line| line.split(' ').nth(1))
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| std::io::Error::other("bad status line"))?;
+    let headers = lines
+        .filter_map(|line| line.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Ok((status, headers, body))
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, HashMap<String, String>, Vec<u8>) {
+    try_http(addr, "GET", path, None).expect("http exchange")
+}
+
+fn get_binary(addr: SocketAddr, path: &str) -> (u16, HashMap<String, String>, Vec<u8>) {
+    try_http(addr, "GET", path, Some("application/octet-stream")).expect("http exchange")
+}
+
+fn metric(addr: SocketAddr, name: &str) -> u64 {
+    let (status, _, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    String::from_utf8_lossy(&body)
+        .lines()
+        .find(|line| line.starts_with(name) && !line.starts_with('#'))
+        .and_then(|line| line.split_whitespace().nth(1))
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or_else(|| panic!("metric {name} missing")) as u64
+}
+
+/// The workload: a spread of small power-law specs, distinct keys.
+fn workload_specs() -> Vec<SampleSpec> {
+    (1..=8u64)
+        .map(|seed| SampleSpec::new(format!("pld:m=120,seed={seed}")).supersteps(10))
+        .collect()
+}
+
+/// The raw sample path a spec resolves to (the client encodes the same way;
+/// the specs here contain no bytes that need escaping).
+fn sample_path(spec: &SampleSpec) -> String {
+    format!("/v1/sample?graph={}&algo={}&supersteps={}", spec.graph, spec.algo, spec.supersteps)
+}
+
+/// Run the same specs against a plain in-process single-node server (no
+/// cluster config) — the reference every sharded answer must match
+/// bit-identically.
+fn reference_bytes(specs: &[SampleSpec]) -> Vec<Vec<u8>> {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        http_workers: 2,
+        engine_workers: 2,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(config).expect("reference bind");
+    let addr = server.local_addr();
+    let bytes = specs
+        .iter()
+        .map(|spec| {
+            let (status, _, body) = get_binary(addr, &sample_path(spec));
+            assert_eq!(status, 200);
+            assert!(!body.is_empty());
+            body
+        })
+        .collect();
+    server.shutdown();
+    bytes
+}
+
+#[test]
+fn misrouted_requests_forward_to_the_owner_and_match_a_single_node_bit_for_bit() {
+    let nodes = spawn_cluster("forward", 3);
+    let endpoints: Vec<String> = nodes.iter().map(|n| n.endpoint.clone()).collect();
+    let specs = workload_specs();
+    let reference = reference_bytes(&specs);
+
+    let client = Client::builder(endpoints.clone()).build().expect("client");
+    let ring = HashRing::new(endpoints.clone()).expect("ring");
+
+    // Cold pass through the client: every key routes to its ring owner and
+    // computes fresh; every body must match the single-node reference.
+    for (spec, expected) in specs.iter().zip(&reference) {
+        let sample = client.samples().get(spec).expect("cold fetch");
+        assert_eq!(&sample.bytes, expected, "sharded answer diverged for {}", spec.graph);
+        assert_ne!(sample.cache, "hit", "first fetch of {} cannot be warm", spec.graph);
+        assert_eq!(sample.endpoint, client.samples().owner(spec).expect("owner"));
+    }
+
+    // Hot pass: the same keys again, now served from the owners' caches.
+    for (spec, expected) in specs.iter().zip(&reference) {
+        let sample = client.samples().get(spec).expect("hot fetch");
+        assert_eq!(&sample.bytes, expected);
+        assert_eq!(sample.cache, "hit", "second fetch of {} must hit", spec.graph);
+    }
+
+    // Misroute every key on purpose: ask a non-owner directly.  The wrong
+    // node must forward to the owner (one hop), stamp itself into
+    // `X-Gesmc-Forwarded-By`, and relay the owner's warm-cache answer
+    // bit-identically.
+    for (spec, expected) in specs.iter().zip(&reference) {
+        let key = spec.key().expect("key");
+        let owner = ring.owner(key.ring_hash()).to_string();
+        let wrong = nodes.iter().find(|n| n.endpoint != owner).expect("non-owner");
+        let owner_node = nodes.iter().find(|n| n.endpoint == owner).expect("owner node");
+        let received_before = metric(owner_node.addr, "gesmc_cluster_forwards_received_total");
+
+        let (status, headers, body) = get_binary(wrong.addr, &sample_path(spec));
+        assert_eq!(status, 200);
+        assert_eq!(&body, expected, "forwarded answer diverged for {}", spec.graph);
+        assert_eq!(
+            headers.get("x-gesmc-forwarded-by").map(String::as_str),
+            Some(wrong.endpoint.as_str()),
+            "misrouted fetch of {} must be forwarded",
+            spec.graph
+        );
+        assert_eq!(
+            headers.get("x-gesmc-cache").map(String::as_str),
+            Some("hit"),
+            "the owner's cache is warm, so the relayed verdict must be a hit"
+        );
+        let received_after = metric(owner_node.addr, "gesmc_cluster_forwards_received_total");
+        assert_eq!(received_after, received_before + 1, "owner must count the received forward");
+    }
+
+    // The ring status endpoint agrees: every node sees 3 peers, all healthy.
+    for node in &nodes {
+        let (status, _, body) = get(node.addr, "/v1/cluster");
+        assert_eq!(status, 200);
+        let text = String::from_utf8_lossy(&body).to_string();
+        assert!(text.contains("\"enabled\": true"), "{text}");
+        assert!(!text.contains("ejected"), "no peer may be ejected yet: {text}");
+        assert_eq!(metric(node.addr, "gesmc_cluster_peers"), 3);
+    }
+
+    for node in nodes {
+        node.kill();
+    }
+}
+
+#[test]
+fn killing_one_node_loses_no_requests_and_survivors_eject_it() {
+    let nodes = spawn_cluster("failover", 3);
+    let endpoints: Vec<String> = nodes.iter().map(|n| n.endpoint.clone()).collect();
+    let specs = workload_specs();
+    let reference = reference_bytes(&specs);
+    let ring = HashRing::new(endpoints.clone()).expect("ring");
+
+    // Fail over fast in the test: dead-node connects are refused instantly
+    // on loopback, but keep the timeouts tight anyway.
+    let client = Client::builder(endpoints.clone())
+        .timeouts(Duration::from_millis(500), Duration::from_secs(30))
+        .build()
+        .expect("client");
+
+    // Warm every key on its owner first.
+    for spec in &specs {
+        client.samples().get(spec).expect("warm fetch");
+    }
+
+    // Kill the owner of the first spec — guaranteed to own at least one key.
+    let victim_endpoint = ring.owner(specs[0].key().expect("key").ring_hash()).to_string();
+    let (mut victims, survivors): (Vec<ClusterNode>, Vec<ClusterNode>) =
+        nodes.into_iter().partition(|n| n.endpoint == victim_endpoint);
+    victims.pop().expect("victim").kill();
+
+    // Three full passes over the whole workload.  Every request must
+    // succeed: survivor-owned keys go straight to their live owner;
+    // victim-owned keys fail over to the next node in ring order, which
+    // recomputes (or re-serves) the identical bytes.
+    let mut failures = 0;
+    for _pass in 0..3 {
+        for (spec, expected) in specs.iter().zip(&reference) {
+            match client.samples().get(spec) {
+                Ok(sample) => {
+                    assert_eq!(&sample.bytes, expected, "failover diverged for {}", spec.graph);
+                    assert_ne!(sample.endpoint, victim_endpoint, "dead node answered");
+                }
+                Err(e) => {
+                    failures += 1;
+                    eprintln!("lost request for {}: {e}", spec.graph);
+                }
+            }
+        }
+    }
+    assert_eq!(failures, 0, "failover must lose zero requests");
+
+    // Survivor-owned keys never even noticed: they still come back as cache
+    // hits from their owner.
+    for (spec, expected) in specs.iter().zip(&reference) {
+        let key = spec.key().expect("key");
+        if ring.owner(key.ring_hash()) == victim_endpoint {
+            continue;
+        }
+        let sample = client.samples().get(spec).expect("survivor-owned fetch");
+        assert_eq!(sample.cache, "hit");
+        assert_eq!(&sample.bytes, expected);
+    }
+
+    // The survivor that keeps fielding victim-owned keys has tried to
+    // forward to the dead owner, fallen back to local compute, and — after
+    // enough consecutive failures — ejected the peer.  Hammer one
+    // victim-owned key a few more times to push it over the threshold, then
+    // check the counters and the status document.
+    let victim_spec = specs
+        .iter()
+        .find(|spec| ring.owner(spec.key().expect("key").ring_hash()) == victim_endpoint)
+        .expect("victim owns at least one key");
+    for _ in 0..4 {
+        client.samples().get(victim_spec).expect("hammer fetch");
+    }
+    let fallback_survivor = survivors
+        .iter()
+        .find(|survivor| metric(survivor.addr, "gesmc_cluster_forward_fallbacks_total") > 0)
+        .expect("some survivor must have fallen back from the dead owner");
+    let (status, _, body) = get(fallback_survivor.addr, "/v1/cluster");
+    assert_eq!(status, 200);
+    let text = String::from_utf8_lossy(&body).to_string();
+    assert!(
+        text.contains("ejected"),
+        "the dead peer must be ejected on {}: {text}",
+        fallback_survivor.endpoint
+    );
+    let healthy_gauge = format!("gesmc_cluster_peer_healthy{{peer=\"{victim_endpoint}\"}}");
+    assert_eq!(metric(fallback_survivor.addr, &healthy_gauge), 0, "dead peer must read unhealthy");
+
+    // The client noticed too: its pool health marks the dead endpoint.
+    assert!(
+        client.health().iter().any(|(endpoint, status)| {
+            endpoint == &victim_endpoint && matches!(status, PeerStatus::Ejected { .. })
+        }),
+        "client pool must eject the dead endpoint: {:?}",
+        client.health()
+    );
+
+    for node in survivors {
+        node.kill();
+    }
+}

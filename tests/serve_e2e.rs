@@ -160,8 +160,8 @@ fn concurrent_mixed_hot_cold_load_is_valid_and_never_sheds_below_saturation() {
 
 #[test]
 fn saturation_sheds_with_429_and_retry_after_while_hits_keep_flowing() {
-    // One engine worker and a single-slot admission queue: concurrent cold
-    // keys must overflow and shed.
+    // One engine worker and a single-slot admission queue: with the worker
+    // pinned, at most one cold key can wait and the rest must shed.
     let server = Arc::new(boot(|c| {
         c.engine_workers = 1;
         c.max_pending = 1;
@@ -173,6 +173,39 @@ fn saturation_sheds_with_429_and_retry_after_while_hits_keep_flowing() {
     let hot = sample_path(600, 7, "seq-global-es", 8);
     assert_eq!(get(addr, &hot).0, 200);
 
+    // The gate: a job far too long to finish on its own pins the single
+    // engine worker.  Polling it to `running` is the saturation barrier —
+    // no sleeps, no racing the worker.  Jobs and cold one-shot samples
+    // share the engine pool, so while the gate runs the pool has exactly
+    // one free queue slot and zero free workers.
+    let gate_body = r#"{
+        "name": "gate",
+        "generate": {"family": "pld", "edges": 4000, "seed": 2},
+        "algorithm": "seq-global-es",
+        "supersteps": 50000,
+        "seed": 9
+    }"#;
+    let (status, _, response) = http(addr, "POST", "/v1/jobs", None, Some(gate_body));
+    assert_eq!(status, 202, "{}", String::from_utf8_lossy(&response));
+    let gate: serde_json::Value =
+        serde_json::from_str(&String::from_utf8(response).unwrap()).unwrap();
+    let gate_id = gate.get("id").and_then(|v| v.as_u64()).expect("gate id");
+    let mut label = String::new();
+    for _ in 0..600 {
+        let (_, _, body) = get(addr, &format!("/v1/jobs/{gate_id}"));
+        let doc: serde_json::Value =
+            serde_json::from_str(&String::from_utf8(body).unwrap()).unwrap();
+        label = doc.get("status").and_then(|v| v.as_str()).unwrap_or("").to_string();
+        if label == "running" {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(label, "running", "the gate job must pin the engine worker");
+
+    // 12 concurrent cold keys against a pinned worker and a 1-slot queue:
+    // exactly one is admitted (and parks in the queue until the gate is
+    // cancelled below); the other 11 shed with `429 Retry-After`.
     let clients: Vec<_> = (0..12)
         .map(|i| {
             std::thread::spawn(move || {
@@ -195,17 +228,34 @@ fn saturation_sheds_with_429_and_retry_after_while_hits_keep_flowing() {
             })
         })
         .collect();
-    let statuses: Vec<u16> = clients.into_iter().map(|c| c.join().unwrap()).collect();
-    let shed = statuses.iter().filter(|&&s| s == 429).count();
-    assert!(
-        shed > 0,
-        "12 concurrent cold keys over a 1-worker/1-slot pool must shed: {statuses:?}"
-    );
 
-    // The warm key still answers from the cache while the pool is busy.
+    // While the shed is in progress the warm key still answers from the
+    // cache.  Wait for all 11 rejections first so the hot fetch provably
+    // overlaps saturation, then check it.
+    for _ in 0..600 {
+        let (_, _, metrics) = get(addr, "/metrics");
+        let metrics = String::from_utf8(metrics).unwrap();
+        if metrics.contains("gesmc_http_responses_total{class=\"429\"} 11") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
     let (status, headers, _) = get(addr, &hot);
     assert_eq!(status, 200);
     assert_eq!(headers.get("x-gesmc-cache").map(String::as_str), Some("hit"));
+
+    // Cancel the gate: the worker frees up, drains the one queued cold key,
+    // and every client thread comes home — 1 success, 11 sheds.
+    let (status, _, _) = http(addr, "DELETE", &format!("/v1/jobs/{gate_id}"), None, None);
+    assert_eq!(status, 202);
+    let statuses: Vec<u16> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    let shed = statuses.iter().filter(|&&s| s == 429).count();
+    let served = statuses.iter().filter(|&&s| s == 200).count();
+    assert_eq!(
+        (served, shed),
+        (1, 11),
+        "a pinned 1-worker/1-slot pool admits exactly one cold key: {statuses:?}"
+    );
     server.shutdown();
 }
 
