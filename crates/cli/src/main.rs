@@ -4,15 +4,17 @@
 //! USAGE:
 //!   gesmc randomize  --input graph.txt --output out.txt [--algo par-global-es?pl=0.001]
 //!                    [--supersteps 20] [--seed 1] [--threads N]
+//!                    [--mmap [--memory-budget BYTES]]
 //!   gesmc generate   --family {gnp,pld,road,mesh,dense} --edges M [--nodes N]
 //!                    [--gamma 2.5] --output graph.txt [--seed 1]
 //!   gesmc analyze    --input graph.txt [--algo seq-global-es] [--supersteps 30]
 //!                    [--seed 1]
 //!   gesmc algorithms [--names]
-//!   gesmc batch      manifest.json [--workers N]
+//!   gesmc batch      manifest.json [--workers N] [--mmap [--memory-budget BYTES]]
 //!   gesmc resume     job.ckpt [--samples-dir DIR] [--supersteps T] [--threads N]
 //!                    [--checkpoint-every K [--checkpoint-dir DIR]]
-//!   gesmc study      study.json [--scale smoke|paper] [--workers N]
+//!                    [--mmap [--memory-budget BYTES]]
+//!   gesmc study      study.json [--scale smoke|paper|xl] [--workers N]
 //!                    [--threads-per-job N] [--output-dir DIR] [--resume]
 //!   gesmc serve      [--addr HOST:PORT] [--workers N] [--http-workers N]
 //!                    [--cache-entries N] [--max-pending N] [--allow-shutdown]
@@ -43,11 +45,18 @@
 
 use gesmc_analysis::mixing_profile;
 use gesmc_core::{ChainSpec, EdgeSwitching};
-use gesmc_datasets::{netrep_like::family_graph, syn_gnp_graph, syn_pld_graph, GraphFamily};
-use gesmc_engine::{
-    default_registry, run_batch, Checkpoint, EdgeListFileSink, GraphSource, JobSpec, Manifest,
+use gesmc_datasets::{
+    netrep_like::family_graph, syn_gnp_graph, syn_pld_graph, write_syn_gnp_binary, GraphFamily,
 };
-use gesmc_graph::io::{read_edge_list_file, write_edge_list_file};
+use gesmc_engine::{
+    default_registry, resume_external_job, run_batch, run_external_job, Checkpoint,
+    CheckpointReader, EdgeListFileSink, ExternalJob, ExternalOutput, GraphSource, JobSpec,
+    Manifest,
+};
+use gesmc_graph::io::{
+    is_binary_edge_list_file, read_edge_list_binary_file, read_edge_list_file,
+    write_edge_list_binary_file, write_edge_list_file,
+};
 use gesmc_graph::EdgeListGraph;
 use gesmc_serve::{ServeConfig, Server};
 use gesmc_study::{run_study, StudyOptions, StudyScale, StudySpec};
@@ -62,13 +71,15 @@ fn print_usage() {
          \n\
          Subcommands:\n\
            randomize  --input FILE --output FILE [--algo SPEC] [--supersteps K] [--seed S] [--threads P]\n\
+                      [--mmap [--memory-budget BYTES]]\n\
            generate   --family {{gnp,pld,road,mesh,dense}} --edges M [--nodes N] [--gamma G] --output FILE [--seed S]\n\
            analyze    --input FILE [--algo SPEC] [--supersteps K] [--seed S]\n\
            algorithms [--names]\n\
-           batch      MANIFEST.json [--workers N]\n\
+           batch      MANIFEST.json [--workers N] [--mmap [--memory-budget BYTES]]\n\
            resume     JOB.ckpt [--samples-dir DIR] [--supersteps T] [--threads P]\n\
                       [--checkpoint-every K [--checkpoint-dir DIR]]\n\
-           study      STUDY.json [--scale {{smoke,paper}}] [--workers N]\n\
+                      [--mmap [--memory-budget BYTES]]\n\
+           study      STUDY.json [--scale {{smoke,paper,xl}}] [--workers N]\n\
                       [--threads-per-job P] [--output-dir DIR] [--resume]\n\
            serve      [--addr HOST:PORT] [--workers N] [--http-workers N]\n\
                       [--cache-entries N] [--max-pending N] [--allow-shutdown]\n\
@@ -111,24 +122,33 @@ fn command_help(command: &str) -> Option<&'static str> {
         "randomize" => {
             "gesmc randomize --input FILE --output FILE [options]\n\
              Randomize an edge-list file with a switching chain and write the result.\n\
+             Inputs may be plain text or binary GESMCEL1; the output matches the\n\
+             input's format.\n\
              \n\
              Required:\n\
-               --input FILE       plain-text edge list to randomize\n\
+               --input FILE       edge list to randomize (text or binary GESMCEL1)\n\
                --output FILE      where the randomized edge list goes\n\
              Options:\n\
                --algo SPEC        chain spec (default par-global-es); see `gesmc algorithms`\n\
                --supersteps K     superstep count (default 20)\n\
                --seed S           PRNG seed (default 1)\n\
-               --threads P        rayon thread budget (default: all cores)"
+               --threads P        rayon thread budget (default: all cores)\n\
+               --mmap             run out-of-core: the graph lives in a disk-backed\n\
+                                  store, never on the heap (needs a binary input and a\n\
+                                  store-capable chain such as seq-es-ext); output bytes\n\
+                                  are identical to an in-memory run at the same seed\n\
+               --memory-budget B  chunk-cache budget in bytes for --mmap (default 64 MiB)"
         }
         "generate" => {
             "gesmc generate --family {gnp,pld,road,mesh,dense} --edges M --output FILE [options]\n\
              Generate a synthetic graph from the dataset families.\n\
+             A FILE ending in .el is written as binary GESMCEL1; for gnp the edges\n\
+             stream straight to disk in bounded chunks, so --edges may exceed RAM.\n\
              \n\
              Required:\n\
                --family NAME      gnp, pld, road, mesh, or dense\n\
                --edges M          target edge count\n\
-               --output FILE      where the edge list goes\n\
+               --output FILE      where the edge list goes (.el selects binary GESMCEL1)\n\
              Options:\n\
                --nodes N          node count (default: family-specific from M)\n\
                --gamma G          power-law exponent, pld only (default 2.5)\n\
@@ -158,7 +178,12 @@ fn command_help(command: &str) -> Option<&'static str> {
              streaming thinned samples to per-job files.\n\
              \n\
              Options:\n\
-               --workers N        worker threads (default: manifest value, 0 = all cores)"
+               --workers N        worker threads (default: manifest value, 0 = all cores)\n\
+               --mmap             run the jobs out-of-core, one at a time; each job\n\
+                                  needs a binary GESMCEL1 file source and a\n\
+                                  store-capable chain; samples are written as binary\n\
+                                  {job}-s{superstep}.el files\n\
+               --memory-budget B  chunk-cache budget in bytes for --mmap (default 64 MiB)"
         }
         "resume" => {
             "gesmc resume JOB.ckpt [options]\n\
@@ -169,14 +194,19 @@ fn command_help(command: &str) -> Option<&'static str> {
                --supersteps T         extend the superstep target\n\
                --threads P            rayon thread budget\n\
                --checkpoint-every K   keep checkpointing every K supersteps\n\
-               --checkpoint-dir DIR   checkpoint directory (default: alongside JOB.ckpt)"
+               --checkpoint-dir DIR   checkpoint directory (default: alongside JOB.ckpt)\n\
+               --mmap                 resume out-of-core: the checkpointed edges stream\n\
+                                      into a disk-backed store without ever loading the\n\
+                                      graph; samples are written as binary .el files\n\
+               --memory-budget B      chunk-cache budget in bytes for --mmap (default 64 MiB)"
         }
         "study" => {
             "gesmc study STUDY.json [options]\n\
              Run an end-to-end mixing-time study (the data behind Figs. 2-3).\n\
              \n\
              Options:\n\
-               --scale {smoke,paper}  workload scale (default smoke)\n\
+               --scale {smoke,paper,xl}  workload scale (default smoke; xl sizes the\n\
+                                      graphs for the out-of-core seq-es-ext chain)\n\
                --workers N            cell-level worker threads\n\
                --threads-per-job P    rayon threads per cell\n\
                --output-dir DIR       report directory (default results)\n\
@@ -350,12 +380,39 @@ fn build_chain(
     default_registry().build(&spec, graph, seed).map_err(|e| format!("{e}"))
 }
 
+/// Default chunk-cache budget for `--mmap` runs: 64 MiB.
+const DEFAULT_MEMORY_BUDGET: usize = 64 << 20;
+
+/// Parse the shared `--mmap` / `--memory-budget BYTES` pair.  Returns the
+/// budget when `--mmap` is given; rejects a budget without `--mmap`.
+fn parse_mmap_flags(flags: &HashMap<String, String>) -> Result<Option<usize>, String> {
+    let budget: usize = parse_flag_or(flags, "memory-budget", DEFAULT_MEMORY_BUDGET)?;
+    if flags.contains_key("mmap") {
+        Ok(Some(budget))
+    } else if flags.contains_key("memory-budget") {
+        Err("--memory-budget needs --mmap".to_string())
+    } else {
+        Ok(None)
+    }
+}
+
+fn require_binary_input(input: &str) -> Result<(), String> {
+    match is_binary_edge_list_file(input) {
+        Ok(true) => Ok(()),
+        Ok(false) => Err(format!(
+            "--mmap needs a binary GESMCEL1 input, but {input} is a plain-text edge list \
+             (generate one with `gesmc generate --output {input}.el`)"
+        )),
+        Err(e) => Err(format!("{input}: {e}")),
+    }
+}
+
 fn cmd_randomize(positional: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
     no_positionals("randomize", positional)?;
     reject_unknown_flags(
         "randomize",
         flags,
-        &["input", "output", "algo", "supersteps", "seed", "threads"],
+        &["input", "output", "algo", "supersteps", "seed", "threads", "mmap", "memory-budget"],
     )?;
     let input = require(flags, "input")?;
     let output = require(flags, "output")?;
@@ -369,7 +426,35 @@ fn cmd_randomize(positional: &[String], flags: &HashMap<String, String>) -> Resu
             .map_err(|e| format!("cannot configure thread pool: {e}"))?;
     }
 
-    let graph = read_edge_list_file(input).map_err(|e| format!("{e}"))?;
+    if let Some(budget) = parse_mmap_flags(flags)? {
+        // Out-of-core path: the graph never touches the heap.  The chain
+        // runs over a disk-backed store (bounded chunk cache) and streams
+        // the final state to `output` — byte-identical to the in-memory
+        // path at the same seed, only the memory footprint differs.
+        require_binary_input(input)?;
+        let spec = ChainSpec::parse(algo).map_err(|e| format!("{e}"))?;
+        gesmc_obs::info!(
+            target: "gesmc::randomize",
+            "out-of-core: {input} under a {budget} B chunk budget ({algo}, {supersteps} supersteps)"
+        );
+        let job = ExternalJob::new("randomize", input, spec, budget)
+            .supersteps(supersteps as u64)
+            .seed(seed)
+            .output(ExternalOutput::FinalFile(PathBuf::from(output)));
+        let report = run_external_job(default_registry(), &job).map_err(|e| format!("{e}"))?;
+        gesmc_obs::info!(target: "gesmc::randomize", "{}", report.summary());
+        gesmc_obs::info!(target: "gesmc::randomize", "wrote {output}");
+        return Ok(());
+    }
+
+    // In-memory path; binary inputs round-trip to binary outputs so the two
+    // paths stay `cmp`-comparable.
+    let binary = is_binary_edge_list_file(input).map_err(|e| format!("{input}: {e}"))?;
+    let graph = if binary {
+        read_edge_list_binary_file(input).map_err(|e| format!("{e}"))?
+    } else {
+        read_edge_list_file(input).map_err(|e| format!("{e}"))?
+    };
     let degrees = graph.degrees();
     gesmc_obs::info!(
         target: "gesmc::randomize",
@@ -390,7 +475,11 @@ fn cmd_randomize(positional: &[String], flags: &HashMap<String, String>) -> Resu
         ));
     }
 
-    write_edge_list_file(output, &result).map_err(|e| format!("{e}"))?;
+    if binary {
+        write_edge_list_binary_file(output, &result).map_err(|e| format!("{e}"))?;
+    } else {
+        write_edge_list_file(output, &result).map_err(|e| format!("{e}"))?;
+    }
     gesmc_obs::info!(
         target: "gesmc::randomize",
         "{}: {} supersteps, {:.1}% of {} switches legal, {:.3} s total",
@@ -419,6 +508,23 @@ fn cmd_generate(positional: &[String], flags: &HashMap<String, String>) -> Resul
     let gamma: f64 = parse_flag_or(flags, "gamma", 2.5)?;
     let nodes: Option<usize> = parse_flag(flags, "nodes")?;
 
+    // A `.el` output selects the binary GESMCEL1 format.  For `gnp` the
+    // edges stream straight from the generator to the file in bounded
+    // chunks (temp file, in-place header patch, atomic rename) — the graph
+    // is never materialised, so `--edges` can exceed RAM.
+    let binary = std::path::Path::new(output.as_str()).extension().is_some_and(|ext| ext == "el");
+    if binary && family == "gnp" {
+        let n = nodes.unwrap_or(edges / 8);
+        let written = write_syn_gnp_binary(output, seed, n, edges).map_err(|e| format!("{e}"))?;
+        gesmc_obs::info!(
+            target: "gesmc::generate",
+            "generated gnp (streamed): n = {n}, m = {written}, \
+             avg degree = {:.2} -> {output}",
+            if n == 0 { 0.0 } else { 2.0 * written as f64 / n as f64 }
+        );
+        return Ok(());
+    }
+
     let graph = match family.as_str() {
         "gnp" => syn_gnp_graph(seed, nodes.unwrap_or(edges / 8), edges),
         "pld" => syn_pld_graph(seed, nodes.unwrap_or(edges / 3), gamma),
@@ -427,7 +533,11 @@ fn cmd_generate(positional: &[String], flags: &HashMap<String, String>) -> Resul
         "dense" => family_graph(seed, GraphFamily::Dense, edges).graph,
         other => return Err(format!("unknown family {other:?}")),
     };
-    write_edge_list_file(output, &graph).map_err(|e| format!("{e}"))?;
+    if binary {
+        write_edge_list_binary_file(output, &graph).map_err(|e| format!("{e}"))?;
+    } else {
+        write_edge_list_file(output, &graph).map_err(|e| format!("{e}"))?;
+    }
     gesmc_obs::info!(
         target: "gesmc::generate",
         "generated {family}: n = {}, m = {}, avg degree = {:.2} -> {output}",
@@ -520,10 +630,13 @@ fn cmd_batch(positional: &[String], flags: &HashMap<String, String>) -> Result<(
         [] => return Err("batch needs a manifest path: gesmc batch manifest.json".to_string()),
         more => return Err(format!("batch takes one manifest path, got {}", more.len())),
     };
-    reject_unknown_flags("batch", flags, &["workers"])?;
+    reject_unknown_flags("batch", flags, &["workers", "mmap", "memory-budget"])?;
     let mut manifest = Manifest::from_file(manifest_path).map_err(|e| format!("{e}"))?;
     if let Some(workers) = parse_flag::<usize>(flags, "workers")? {
         manifest.workers = workers;
+    }
+    if let Some(budget) = parse_mmap_flags(flags)? {
+        return batch_external(manifest_path, &manifest, budget);
     }
     gesmc_obs::info!(
         target: "gesmc::batch",
@@ -554,6 +667,67 @@ fn cmd_batch(positional: &[String], flags: &HashMap<String, String>) -> Result<(
     Ok(())
 }
 
+/// `gesmc batch --mmap`: run every manifest job out-of-core, one at a time
+/// (each job owns the chunk budget), streaming binary samples into the
+/// manifest's output directory.  Jobs need a binary `GESMCEL1` file source
+/// and a store-capable chain; anything else fails that job, not the batch.
+fn batch_external(manifest_path: &str, manifest: &Manifest, budget: usize) -> Result<(), String> {
+    std::fs::create_dir_all(&manifest.output_dir).map_err(|e| format!("{e}"))?;
+    if let Some(dir) = &manifest.checkpoint_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{e}"))?;
+    }
+    gesmc_obs::info!(
+        target: "gesmc::batch",
+        "batch {manifest_path}: {} jobs out-of-core ({budget} B budget each) -> {}",
+        manifest.jobs.len(),
+        manifest.output_dir.display()
+    );
+    let mut failures = 0usize;
+    for spec in &manifest.jobs {
+        let result = external_job_from_spec(spec, manifest, budget)
+            .and_then(|job| run_external_job(default_registry(), &job).map_err(|e| format!("{e}")));
+        match result {
+            Ok(report) => {
+                gesmc_obs::info!(target: "gesmc::batch", id: spec.name, "{}", report.summary());
+            }
+            Err(e) => {
+                failures += 1;
+                gesmc_obs::error!(target: "gesmc::batch", id: spec.name, "FAILED: {e}");
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(format!("{failures} of {} jobs failed", manifest.jobs.len()));
+    }
+    gesmc_obs::info!(target: "gesmc::batch", "all {} jobs finished", manifest.jobs.len());
+    Ok(())
+}
+
+/// Map one manifest [`JobSpec`] onto an [`ExternalJob`].
+fn external_job_from_spec(
+    spec: &JobSpec,
+    manifest: &Manifest,
+    budget: usize,
+) -> Result<ExternalJob, String> {
+    let GraphSource::File(path) = &spec.source else {
+        return Err("--mmap requires a file graph source".to_string());
+    };
+    let input = path.to_string_lossy();
+    require_binary_input(&input)?;
+    let mut job = ExternalJob::new(spec.name.clone(), path, spec.algorithm.clone(), budget)
+        .supersteps(spec.supersteps)
+        .thinning(spec.thinning)
+        .seed(spec.seed)
+        .scratch(manifest.output_dir.join(format!("{}.scratch.el", spec.name)))
+        .output(ExternalOutput::Directory(manifest.output_dir.clone()));
+    if let Some(every) = spec.checkpoint_every {
+        if let Some(dir) = spec.checkpoint_dir.clone().or_else(|| manifest.checkpoint_dir.clone()) {
+            job = job.checkpoint(every, dir);
+        }
+    }
+    Ok(job)
+}
+
 /// `gesmc resume job.ckpt`: continue an interrupted job from its checkpoint,
 /// bit-identically to a run that was never interrupted.
 fn cmd_resume(positional: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
@@ -565,8 +739,19 @@ fn cmd_resume(positional: &[String], flags: &HashMap<String, String>) -> Result<
     reject_unknown_flags(
         "resume",
         flags,
-        &["samples-dir", "supersteps", "threads", "checkpoint-every", "checkpoint-dir"],
+        &[
+            "samples-dir",
+            "supersteps",
+            "threads",
+            "checkpoint-every",
+            "checkpoint-dir",
+            "mmap",
+            "memory-budget",
+        ],
     )?;
+    if let Some(budget) = parse_mmap_flags(flags)? {
+        return resume_external(checkpoint_path, flags, budget);
+    }
     let checkpoint = Checkpoint::read_from_file(checkpoint_path).map_err(|e| format!("{e}"))?;
     // Resolve the checkpoint header through the registry (it accepts the
     // recorded chain name); unknown chains fail here with the known list.
@@ -645,6 +830,67 @@ fn cmd_resume(positional: &[String], flags: &HashMap<String, String>) -> Result<
     Ok(())
 }
 
+/// `gesmc resume --mmap`: continue an interrupted job out-of-core.  Only the
+/// checkpoint header is read up front; the edge payload streams straight
+/// into a fresh scratch store, so resuming never needs the graph in memory.
+fn resume_external(
+    checkpoint_path: &str,
+    flags: &HashMap<String, String>,
+    budget: usize,
+) -> Result<(), String> {
+    let reader = CheckpointReader::open(checkpoint_path).map_err(|e| format!("{e}"))?;
+    let meta = reader.meta().clone();
+    drop(reader);
+    let mut supersteps = meta.total_supersteps;
+    if let Some(t) = parse_flag::<u64>(flags, "supersteps")? {
+        if t <= meta.snapshot.supersteps_done {
+            return Err(format!(
+                "--supersteps {t} is not beyond the checkpoint's superstep {}",
+                meta.snapshot.supersteps_done
+            ));
+        }
+        supersteps = t;
+    }
+    let samples_dir = flags.get("samples-dir").map(String::as_str).unwrap_or("samples");
+    std::fs::create_dir_all(samples_dir).map_err(|e| format!("{e}"))?;
+    // The chain and its parameters come from the checkpoint itself (the
+    // spec placed here is ignored by the resume path).
+    let mut job = ExternalJob::new(
+        meta.job_name.clone(),
+        checkpoint_path,
+        ChainSpec::new(meta.snapshot.algorithm.clone()),
+        budget,
+    )
+    .supersteps(supersteps)
+    .thinning(meta.thinning)
+    .scratch(std::path::Path::new(checkpoint_path).with_extension("scratch.el"))
+    .output(ExternalOutput::Directory(PathBuf::from(samples_dir)));
+    if let Some(every) = parse_flag::<u64>(flags, "checkpoint-every")? {
+        let default_dir = std::path::Path::new(checkpoint_path)
+            .parent()
+            .filter(|dir| !dir.as_os_str().is_empty())
+            .unwrap_or_else(|| std::path::Path::new("."))
+            .to_path_buf();
+        job.checkpoint_every = Some(every);
+        job.checkpoint_dir =
+            Some(flags.get("checkpoint-dir").map(PathBuf::from).unwrap_or(default_dir));
+    } else if flags.contains_key("checkpoint-dir") {
+        return Err("--checkpoint-dir needs --checkpoint-every".to_string());
+    }
+    gesmc_obs::info!(
+        target: "gesmc::resume",
+        id: meta.job_name,
+        "resuming out-of-core ({}) at superstep {} of {supersteps}, \
+         budget {budget} B, samples -> {samples_dir}",
+        meta.snapshot.algorithm,
+        meta.snapshot.supersteps_done
+    );
+    let report = resume_external_job(default_registry(), &job, checkpoint_path)
+        .map_err(|e| format!("{e}"))?;
+    gesmc_obs::info!(target: "gesmc::resume", id: meta.job_name, "{}", report.summary());
+    Ok(())
+}
+
 /// `gesmc study study.json`: run an end-to-end mixing-time study — sweep
 /// {chain} × {graph}, stream per-superstep metrics, aggregate the
 /// non-independence fractions per thinning value into deterministic JSON/CSV
@@ -663,8 +909,9 @@ fn cmd_study(positional: &[String], flags: &HashMap<String, String>) -> Result<(
     let spec = StudySpec::from_file(spec_path).map_err(|e| format!("{e}"))?;
     let scale = match flags.get("scale") {
         None => StudyScale::Smoke,
-        Some(s) => StudyScale::parse(s)
-            .ok_or_else(|| format!("invalid value {s:?} for --scale (expected smoke or paper)"))?,
+        Some(s) => StudyScale::parse(s).ok_or_else(|| {
+            format!("invalid value {s:?} for --scale (expected smoke, paper or xl)")
+        })?,
     };
     let opts = StudyOptions {
         scale,
@@ -1028,7 +1275,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let (positional, flags) =
-        match parse_args(rest, &["resume", "names", "help", "allow-shutdown", "json"]) {
+        match parse_args(rest, &["resume", "names", "help", "allow-shutdown", "json", "mmap"]) {
             Ok(parsed) => parsed,
             Err(e) => {
                 gesmc_obs::error!(target: "gesmc", "{e}");

@@ -48,6 +48,7 @@ pub mod seq_global;
 pub mod snapshot;
 pub mod spec;
 pub mod stats;
+pub mod store_chain;
 pub mod superstep;
 pub mod switch;
 
@@ -55,10 +56,13 @@ pub use chain::{EdgeSwitching, SwitchingConfig};
 pub use naive_par::NaiveParES;
 pub use par_es::ParES;
 pub use par_global::ParGlobalES;
-pub use registry::{ChainFactory, ChainInfo, ChainRegistry, ParamInfo, ParamKind};
+pub use registry::{
+    ChainFactory, ChainInfo, ChainRegistry, ParamInfo, ParamKind, StoreChainFactory,
+};
 pub use seq_es::SeqES;
 pub use seq_global::SeqGlobalES;
 pub use snapshot::{ChainSnapshot, SnapshotError};
 pub use spec::{ChainError, ChainSpec, ParamValue};
 pub use stats::{ChainStats, SuperstepStats};
+pub use store_chain::StoreSwitching;
 pub use switch::{switch_targets, SwitchRequest};

@@ -29,8 +29,9 @@
 
 use crate::chain::{EdgeSwitching, SwitchingConfig};
 use crate::spec::{ChainError, ChainSpec, ParamValue, PARAM_LOOP_PROBABILITY, PARAM_PREFETCH};
+use crate::store_chain::StoreSwitching;
 use crate::{NaiveParES, ParES, ParGlobalES, SeqES, SeqGlobalES};
-use gesmc_graph::EdgeListGraph;
+use gesmc_graph::{EdgeListGraph, EdgeStore};
 use std::collections::HashMap;
 
 /// The factory signature of a registered chain: build a boxed chain
@@ -45,6 +46,19 @@ pub type ChainFactory = fn(
     SwitchingConfig,
     &ChainSpec,
 ) -> Result<Box<dyn EdgeSwitching + Send>, ChainError>;
+
+/// The factory signature of a chain that can run over any
+/// [`EdgeStore`] backend (in-memory or external) — the capability behind
+/// `--mmap` out-of-core execution.
+///
+/// Registered *in addition to* a chain's ordinary [`ChainFactory`] via
+/// [`ChainRegistry::register_store_factory`], so the external runner resolves
+/// it through the registry like everything else — no engine special-casing.
+pub type StoreChainFactory = fn(
+    Box<dyn EdgeStore + Send>,
+    SwitchingConfig,
+    &ChainSpec,
+) -> Result<Box<dyn StoreSwitching + Send>, ChainError>;
 
 /// The type of a chain parameter (see [`ParamInfo`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,6 +169,9 @@ pub struct ChainRegistry {
     infos: Vec<ChainInfo>,
     /// Every resolvable spelling → index into `infos`.
     index: HashMap<&'static str, usize>,
+    /// Chains that can additionally run over any [`EdgeStore`] backend:
+    /// index into `infos` → store-aware factory.
+    store_factories: HashMap<usize, StoreChainFactory>,
 }
 
 impl ChainRegistry {
@@ -284,6 +301,77 @@ impl ChainRegistry {
     ) -> Result<Box<dyn EdgeSwitching + Send>, ChainError> {
         let info = self.resolve(&spec.name)?;
         (info.factory)(graph, config, spec)
+    }
+
+    /// Additionally register a store-aware factory for an already-registered
+    /// chain, making it selectable for out-of-core (`--mmap`) execution.
+    ///
+    /// # Panics
+    ///
+    /// If `name` does not resolve, or the chain already has a store factory —
+    /// both are programming errors, like duplicate [`ChainRegistry::register`]
+    /// calls.
+    pub fn register_store_factory(&mut self, name: &str, factory: StoreChainFactory) {
+        let index = *self
+            .index
+            .get(name)
+            .unwrap_or_else(|| panic!("store factory for unregistered chain {name:?}"));
+        if self.store_factories.insert(index, factory).is_some() {
+            panic!("chain {:?} already has a store factory", self.infos[index].name);
+        }
+    }
+
+    /// The store-aware factory of a chain, if it registered one (resolves
+    /// every spelling, like [`ChainRegistry::get`]).
+    pub fn store_factory(&self, name: &str) -> Option<StoreChainFactory> {
+        let index = *self.index.get(name)?;
+        self.store_factories.get(&index).copied()
+    }
+
+    /// Primary names of the chains that can run over an external
+    /// [`EdgeStore`], in registration order (surfaced by `--mmap` error
+    /// messages and `gesmc algorithms`).
+    pub fn store_capable_names(&self) -> Vec<&'static str> {
+        (0..self.infos.len())
+            .filter(|i| self.store_factories.contains_key(i))
+            .map(|i| self.infos[i].name)
+            .collect()
+    }
+
+    /// Validate `spec` and build the store-aware chain over `store`, seeding
+    /// its pseudo-random stream with `seed`.  Fails with
+    /// [`ChainError::BadParam`] naming the store-capable chains when the
+    /// chain has no store factory.
+    pub fn build_store(
+        &self,
+        spec: &ChainSpec,
+        store: Box<dyn EdgeStore + Send>,
+        seed: u64,
+    ) -> Result<Box<dyn StoreSwitching + Send>, ChainError> {
+        self.validate(spec)?;
+        let config = spec.switching_config(seed)?;
+        self.build_store_with_config(spec, store, config)
+    }
+
+    /// Build a store-aware chain from an explicit [`SwitchingConfig`],
+    /// bypassing parameter validation (the resume path; see
+    /// [`ChainRegistry::build_with_config`]).
+    pub fn build_store_with_config(
+        &self,
+        spec: &ChainSpec,
+        store: Box<dyn EdgeStore + Send>,
+        config: SwitchingConfig,
+    ) -> Result<Box<dyn StoreSwitching + Send>, ChainError> {
+        let info = self.resolve(&spec.name)?;
+        let factory = self.store_factory(info.name).ok_or_else(|| ChainError::BadParam {
+            chain: info.name.to_string(),
+            param: "mmap".to_string(),
+            message: format!(
+                "chain does not support external-memory execution (store-capable chains: {})",
+                self.store_capable_names().join(", ")
+            ),
+        })?;
+        factory(store, config, spec)
     }
 }
 
@@ -480,5 +568,128 @@ mod tests {
     fn duplicate_registration_panics() {
         let mut registry = ChainRegistry::with_core_chains();
         registry.register(core_chain_infos().remove(0));
+    }
+
+    /// Minimal store-aware chain used to exercise the registry surface; the
+    /// real implementation lives in `gesmc-exmem`.
+    struct StubStoreChain {
+        store: std::sync::Mutex<Box<dyn EdgeStore + Send>>,
+        config: SwitchingConfig,
+        supersteps_done: u64,
+    }
+
+    impl EdgeSwitching for StubStoreChain {
+        fn name(&self) -> &'static str {
+            "StubStore"
+        }
+        fn num_edges(&self) -> usize {
+            self.store.lock().unwrap().num_edges()
+        }
+        fn graph(&self) -> EdgeListGraph {
+            self.store.lock().unwrap().materialize()
+        }
+        fn superstep(&mut self) -> crate::SuperstepStats {
+            self.supersteps_done += 1;
+            crate::SuperstepStats::default()
+        }
+    }
+
+    impl crate::StoreSwitching for StubStoreChain {
+        fn store_num_nodes(&self) -> usize {
+            self.store.lock().unwrap().num_nodes()
+        }
+        fn stream_edges(&mut self, visit: &mut dyn FnMut(gesmc_graph::Edge)) {
+            self.store.get_mut().unwrap().for_each_edge(&mut |_, e| visit(e));
+        }
+        fn snapshot_meta(&self) -> crate::ChainSnapshot {
+            crate::ChainSnapshot {
+                algorithm: "StubStore".to_string(),
+                num_nodes: self.store_num_nodes(),
+                edges: Vec::new(),
+                rng: gesmc_randx::RngState::default(),
+                aux_seed_state: 0,
+                supersteps_done: self.supersteps_done,
+                seed: self.config.seed,
+                loop_probability: self.config.loop_probability,
+                prefetch: self.config.prefetch,
+            }
+        }
+        fn restore_meta(
+            &mut self,
+            snapshot: &crate::ChainSnapshot,
+        ) -> Result<(), crate::SnapshotError> {
+            snapshot.check_algorithm("StubStore")?;
+            self.supersteps_done = snapshot.supersteps_done;
+            Ok(())
+        }
+        fn flush_store(&mut self) -> std::io::Result<()> {
+            self.store.get_mut().unwrap().flush()
+        }
+    }
+
+    fn stub_store_factory(
+        store: Box<dyn EdgeStore + Send>,
+        config: SwitchingConfig,
+        _spec: &ChainSpec,
+    ) -> Result<Box<dyn crate::StoreSwitching + Send>, ChainError> {
+        Ok(Box::new(StubStoreChain {
+            store: std::sync::Mutex::new(store),
+            config,
+            supersteps_done: 0,
+        }))
+    }
+
+    #[test]
+    fn store_factories_register_and_resolve_through_every_spelling() {
+        let mut registry = ChainRegistry::with_core_chains();
+        assert!(registry.store_factory("seq-es").is_none());
+        assert!(registry.store_capable_names().is_empty());
+
+        registry.register_store_factory("seq-es", stub_store_factory);
+        assert!(registry.store_factory("seq-es").is_some());
+        // Chain-name spelling resolves too, like plain lookups.
+        assert!(registry.store_factory("SeqES").is_some());
+        assert_eq!(registry.store_capable_names(), vec!["seq-es"]);
+
+        let graph = test_graph();
+        let edges = graph.edges().to_vec();
+        let mut chain =
+            registry.build_store(&ChainSpec::new("seq-es"), Box::new(graph), 7).unwrap();
+        let mut streamed = Vec::new();
+        chain.stream_edges(&mut |e| streamed.push(e));
+        assert_eq!(streamed, edges);
+    }
+
+    #[test]
+    fn chains_without_store_factories_fail_with_the_capable_list() {
+        let mut registry = ChainRegistry::with_core_chains();
+        registry.register_store_factory("seq-es", stub_store_factory);
+        let err = registry
+            .build_store(&ChainSpec::new("par-es"), Box::new(test_graph()), 1)
+            .map(|_| ())
+            .unwrap_err();
+        match err {
+            ChainError::BadParam { chain, param, message } => {
+                assert_eq!(chain, "par-es");
+                assert_eq!(param, "mmap");
+                assert!(message.contains("seq-es"), "{message}");
+            }
+            other => panic!("expected BadParam, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a store factory")]
+    fn duplicate_store_factory_registration_panics() {
+        let mut registry = ChainRegistry::with_core_chains();
+        registry.register_store_factory("seq-es", stub_store_factory);
+        registry.register_store_factory("SeqES", stub_store_factory);
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered chain")]
+    fn store_factory_for_unknown_chain_panics() {
+        let mut registry = ChainRegistry::new();
+        registry.register_store_factory("ghost-es", stub_store_factory);
     }
 }

@@ -23,5 +23,7 @@ pub mod syn_gnp;
 pub mod syn_pld;
 
 pub use netrep_like::{netrep_corpus, netrep_sample, CorpusGraph, GraphFamily};
-pub use syn_gnp::{syn_gnp_graph, syn_gnp_sweep, GnpInstance};
+pub use syn_gnp::{
+    syn_gnp_graph, syn_gnp_stream, syn_gnp_sweep, write_syn_gnp_binary, GnpInstance,
+};
 pub use syn_pld::{syn_pld_graph, syn_pld_sweep, PldInstance};

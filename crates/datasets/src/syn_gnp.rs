@@ -1,8 +1,10 @@
 //! The *SynGnp* dataset: `G(n, p)` graphs for varying `n` and `p`.
 
-use gesmc_graph::gen::gnp_with_expected_edges;
-use gesmc_graph::EdgeListGraph;
+use gesmc_graph::gen::{gnp_stream, gnp_with_expected_edges};
+use gesmc_graph::io::{BinaryEdgeListWriter, IoError};
+use gesmc_graph::{Edge, EdgeListGraph};
 use gesmc_randx::rng_from_seed;
+use std::path::Path;
 
 /// One instance of the SynGnp sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -19,6 +21,45 @@ pub struct GnpInstance {
 pub fn syn_gnp_graph(seed: u64, n: usize, m: usize) -> EdgeListGraph {
     let mut rng = rng_from_seed(seed ^ 0x5919_6e70);
     gnp_with_expected_edges(&mut rng, n, m)
+}
+
+/// Stream the edges of [`syn_gnp_graph`] without materialising the graph —
+/// same seed derivation, same draws, same slot order, so collecting the
+/// emitted edges reproduces `syn_gnp_graph(seed, n, m)` exactly.
+pub fn syn_gnp_stream(seed: u64, n: usize, m: usize, emit: impl FnMut(Edge)) {
+    let mut rng = rng_from_seed(seed ^ 0x5919_6e70);
+    if n < 2 {
+        return;
+    }
+    let possible = n as f64 * (n as f64 - 1.0) / 2.0;
+    let p = (m as f64 / possible).min(1.0);
+    gnp_stream(&mut rng, n, p, emit);
+}
+
+/// Write one SynGnp graph straight to a binary `GESMCEL1` file in bounded
+/// memory: edges stream from the generator through a
+/// [`BinaryEdgeListWriter`] (temp file, final in-place header patch, atomic
+/// rename), never forming an in-memory edge list.  Returns the edge count.
+///
+/// Byte-identical to `write_edge_list_binary_file(path,
+/// &syn_gnp_graph(seed, n, m))` — the out-of-core CI smoke relies on that.
+pub fn write_syn_gnp_binary(
+    path: impl AsRef<Path>,
+    seed: u64,
+    n: usize,
+    m: usize,
+) -> Result<u64, IoError> {
+    let mut writer = BinaryEdgeListWriter::create(path, n as u64)?;
+    let mut push_err = None;
+    syn_gnp_stream(seed, n, m, |edge| {
+        if push_err.is_none() {
+            push_err = writer.push(edge).err();
+        }
+    });
+    if let Some(e) = push_err {
+        return Err(e);
+    }
+    writer.finish()
 }
 
 /// The parameter sweep of Fig. 7: for each edge budget `m ∈ {2^k}` the average
@@ -68,6 +109,29 @@ mod tests {
             let implied = 2.0 * inst.m as f64 / inst.n as f64;
             assert!((implied - inst.avg_degree).abs() / inst.avg_degree < 0.2);
         }
+    }
+
+    #[test]
+    fn stream_and_binary_writer_match_the_in_memory_generator() {
+        let graph = syn_gnp_graph(5, 400, 1200);
+        let mut streamed = Vec::new();
+        syn_gnp_stream(5, 400, 1200, |e| streamed.push(e));
+        assert_eq!(streamed, graph.edges(), "stream must emit the same slot order");
+
+        let dir = std::env::temp_dir().join("gesmc-syn-gnp-binary");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let streamed_path = dir.join("streamed.el");
+        let control_path = dir.join("control.el");
+        let written = write_syn_gnp_binary(&streamed_path, 5, 400, 1200).unwrap();
+        assert_eq!(written, graph.num_edges() as u64);
+        gesmc_graph::io::write_edge_list_binary_file(&control_path, &graph).unwrap();
+        assert_eq!(
+            std::fs::read(&streamed_path).unwrap(),
+            std::fs::read(&control_path).unwrap(),
+            "streamed file must be byte-identical to the in-memory writer"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -81,12 +81,22 @@ pub struct Checkpoint {
 
 /// FNV-1a 64-bit hash, the format's integrity checksum.
 fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
+    let mut hash: u64 = FNV_OFFSET;
+    fnv1a_update(&mut hash, bytes);
     hash
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold `bytes` into a running FNV-1a state — the incremental form used by
+/// the streaming writer/reader, byte-for-byte equivalent to [`fnv1a`] over
+/// the concatenation.
+fn fnv1a_update(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
 }
 
 /// Byte-buffer reader with bounds-checked primitives.
@@ -169,10 +179,13 @@ impl Checkpoint {
         self.algorithm_spec.clone().unwrap_or_else(|| ChainSpec::new(self.chain_name()))
     }
 
-    /// Serialise to the binary format.
-    pub fn to_bytes(&self) -> Vec<u8> {
+    /// Everything before the edge payload, with `num_edges` as the declared
+    /// edge count.  Shared by [`to_bytes`](Self::to_bytes) and the streaming
+    /// [`CheckpointWriter`] so the two paths are byte-identical by
+    /// construction.
+    fn encode_prefix(&self, num_edges: u64) -> Vec<u8> {
         let snap = &self.snapshot;
-        let mut out = Vec::with_capacity(128 + snap.edges.len() * 8);
+        let mut out = Vec::with_capacity(128);
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&VERSION.to_le_bytes());
         let flags = if snap.prefetch { FLAG_PREFETCH } else { 0 };
@@ -192,18 +205,35 @@ impl Checkpoint {
         }
         out.extend_from_slice(&snap.aux_seed_state.to_le_bytes());
         out.extend_from_slice(&(snap.num_nodes as u64).to_le_bytes());
-        out.extend_from_slice(&(snap.edges.len() as u64).to_le_bytes());
+        out.extend_from_slice(&num_edges.to_le_bytes());
+        out
+    }
+
+    /// The optional trailing chain-spec field (empty when absent, so legacy
+    /// round-trips stay byte-identical).  Shared with [`CheckpointWriter`].
+    fn encode_spec_tail(&self) -> Vec<u8> {
+        match &self.algorithm_spec {
+            None => Vec::new(),
+            Some(spec) => {
+                let text = spec.to_string();
+                let mut out = Vec::with_capacity(8 + text.len());
+                out.extend_from_slice(&(text.len() as u64).to_le_bytes());
+                out.extend_from_slice(text.as_bytes());
+                out
+            }
+        }
+    }
+
+    /// Serialise to the binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let snap = &self.snapshot;
+        let mut out = self.encode_prefix(snap.edges.len() as u64);
+        out.reserve(snap.edges.len() * 8 + 24);
         for edge in &snap.edges {
             out.extend_from_slice(&edge.u().to_le_bytes());
             out.extend_from_slice(&edge.v().to_le_bytes());
         }
-        // Optional trailing field: the canonical chain spec.  Omitted when
-        // absent (legacy round-trips stay byte-identical).
-        if let Some(spec) = &self.algorithm_spec {
-            let text = spec.to_string();
-            out.extend_from_slice(&(text.len() as u64).to_le_bytes());
-            out.extend_from_slice(text.as_bytes());
-        }
+        out.extend_from_slice(&self.encode_spec_tail());
         let checksum = fnv1a(&out);
         out.extend_from_slice(&checksum.to_le_bytes());
         out
@@ -329,6 +359,322 @@ impl Checkpoint {
         let bytes = std::fs::read(path)
             .map_err(|e| EngineError::Checkpoint(format!("cannot read {}: {e}", path.display())))?;
         Self::from_bytes(&bytes)
+    }
+}
+
+/// Streams a checkpoint to disk in bounded memory, producing exactly the
+/// bytes [`Checkpoint::to_bytes`] would — without ever materialising the
+/// edge array.  This is how out-of-core runs checkpoint graphs larger than
+/// their memory budget.
+///
+/// Usage: [`create`](Self::create) with the metadata (`snapshot.edges` is
+/// ignored; pass the true count as `num_edges`), [`push_edge`](Self::push_edge)
+/// each edge in slot order, then [`finish`](Self::finish).  The file is
+/// written to a sibling temp path and renamed into place only after an fsync,
+/// matching [`Checkpoint::write_to_file`]'s crash-safety; dropping the writer
+/// without finishing removes the temp file.
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    writer: std::io::BufWriter<std::fs::File>,
+    hash: u64,
+    tmp: std::path::PathBuf,
+    path: std::path::PathBuf,
+    spec_tail: Vec<u8>,
+    declared_edges: u64,
+    written_edges: u64,
+    finished: bool,
+}
+
+impl CheckpointWriter {
+    /// Start writing a checkpoint for `meta` declaring `num_edges` edges.
+    pub fn create(
+        path: impl AsRef<Path>,
+        meta: &Checkpoint,
+        num_edges: u64,
+    ) -> Result<Self, EngineError> {
+        let path = path.as_ref().to_path_buf();
+        let tmp = path.with_extension("ckpt.tmp");
+        let prefix = meta.encode_prefix(num_edges);
+        let file = std::fs::File::create(&tmp)?;
+        let mut writer = std::io::BufWriter::new(file);
+        std::io::Write::write_all(&mut writer, &prefix)?;
+        Ok(Self {
+            writer,
+            hash: fnv1a(&prefix),
+            tmp,
+            path,
+            spec_tail: meta.encode_spec_tail(),
+            declared_edges: num_edges,
+            written_edges: 0,
+            finished: false,
+        })
+    }
+
+    /// Append the next edge (slot order).
+    pub fn push_edge(&mut self, edge: Edge) -> Result<(), EngineError> {
+        if self.written_edges == self.declared_edges {
+            return Err(EngineError::Checkpoint(format!(
+                "checkpoint writer overflow: {} edges declared",
+                self.declared_edges
+            )));
+        }
+        let mut buf = [0u8; 8];
+        buf[..4].copy_from_slice(&edge.u().to_le_bytes());
+        buf[4..].copy_from_slice(&edge.v().to_le_bytes());
+        fnv1a_update(&mut self.hash, &buf);
+        std::io::Write::write_all(&mut self.writer, &buf)?;
+        self.written_edges += 1;
+        Ok(())
+    }
+
+    /// Write the spec tail and checksum, fsync, and rename into place.
+    pub fn finish(mut self) -> Result<(), EngineError> {
+        if self.written_edges != self.declared_edges {
+            return Err(EngineError::Checkpoint(format!(
+                "checkpoint writer finished after {} of {} declared edges",
+                self.written_edges, self.declared_edges
+            )));
+        }
+        let tail = std::mem::take(&mut self.spec_tail);
+        fnv1a_update(&mut self.hash, &tail);
+        std::io::Write::write_all(&mut self.writer, &tail)?;
+        std::io::Write::write_all(&mut self.writer, &self.hash.to_le_bytes())?;
+        std::io::Write::flush(&mut self.writer)?;
+        self.writer.get_ref().sync_all()?;
+        std::fs::rename(&self.tmp, &self.path)?;
+        self.finished = true;
+        if let Some(parent) = self.path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Ok(dir) = std::fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for CheckpointWriter {
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = std::fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+/// Streams a checkpoint *from* disk in bounded memory: metadata first, then
+/// one edge at a time, then the integrity verdict.
+///
+/// Unlike [`Checkpoint::from_bytes`] — which verifies the FNV-1a checksum
+/// before parsing anything — a streaming reader necessarily hands out edges
+/// *before* the checksum at the end of the file can be checked.  Callers must
+/// treat everything streamed as tentative until [`finish`](Self::finish)
+/// returns `Ok`, and discard any scratch state built from the edges if it
+/// does not (the out-of-core resume path deletes its scratch store).
+#[derive(Debug)]
+pub struct CheckpointReader {
+    reader: std::io::BufReader<std::fs::File>,
+    hash: u64,
+    payload_len: u64,
+    pos: u64,
+    meta: Checkpoint,
+    num_edges: u64,
+    edges_read: u64,
+}
+
+impl CheckpointReader {
+    /// Open a checkpoint file and parse its header fields.
+    ///
+    /// The returned reader's [`meta`](Self::meta) has an **empty**
+    /// `snapshot.edges` and no `algorithm_spec` yet; stream the edges with
+    /// [`next_edge`](Self::next_edge) and obtain the completed metadata from
+    /// [`finish`](Self::finish).
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, EngineError> {
+        let path = path.as_ref();
+        let file = std::fs::File::open(path)
+            .map_err(|e| EngineError::Checkpoint(format!("cannot read {}: {e}", path.display())))?;
+        let file_len = file.metadata()?.len();
+        if file_len < (MAGIC.len() + 8) as u64 {
+            return Err(EngineError::Checkpoint("file too short to be a checkpoint".to_string()));
+        }
+        let mut this = Self {
+            reader: std::io::BufReader::new(file),
+            hash: FNV_OFFSET,
+            payload_len: file_len - 8,
+            pos: 0,
+            meta: Checkpoint {
+                job_name: String::new(),
+                snapshot: ChainSnapshot {
+                    algorithm: String::new(),
+                    num_nodes: 0,
+                    edges: Vec::new(),
+                    rng: RngState::default(),
+                    aux_seed_state: 0,
+                    supersteps_done: 0,
+                    seed: 0,
+                    loop_probability: 0.0,
+                    prefetch: false,
+                },
+                algorithm_spec: None,
+                total_supersteps: 0,
+                thinning: 0,
+                samples_emitted: 0,
+            },
+            num_edges: 0,
+            edges_read: 0,
+        };
+
+        let mut magic = [0u8; 8];
+        this.take_into(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(EngineError::Checkpoint("bad magic: not a gesmc checkpoint".to_string()));
+        }
+        let version = this.u32()?;
+        if version != VERSION {
+            return Err(EngineError::Checkpoint(format!(
+                "unsupported checkpoint version {version} (this build reads version {VERSION})"
+            )));
+        }
+        let flags = this.u32()?;
+        this.meta.snapshot.prefetch = flags & FLAG_PREFETCH != 0;
+        this.meta.job_name = this.string()?;
+        this.meta.snapshot.algorithm = this.string()?;
+        this.meta.snapshot.seed = this.u64()?;
+        let loop_probability = f64::from_bits(this.u64()?);
+        if !(0.0..1.0).contains(&loop_probability) {
+            return Err(EngineError::Checkpoint(format!(
+                "loop probability {loop_probability} outside [0, 1)"
+            )));
+        }
+        this.meta.snapshot.loop_probability = loop_probability;
+        this.meta.snapshot.supersteps_done = this.u64()?;
+        this.meta.total_supersteps = this.u64()?;
+        this.meta.thinning = this.u64()?;
+        this.meta.samples_emitted = this.u64()?;
+        let mut words = [0u64; 4];
+        for word in &mut words {
+            *word = this.u64()?;
+        }
+        this.meta.snapshot.rng = RngState::from_words(words);
+        this.meta.snapshot.aux_seed_state = this.u64()?;
+        this.meta.snapshot.num_nodes = this.u64()? as usize;
+        this.num_edges = this.u64()?;
+        let fits = this
+            .num_edges
+            .checked_mul(8)
+            .and_then(|b| this.pos.checked_add(b))
+            .is_some_and(|end| end <= this.payload_len);
+        if !fits {
+            return Err(EngineError::Checkpoint(format!(
+                "truncated checkpoint: header claims {} edges but only {} payload bytes follow",
+                this.num_edges,
+                this.payload_len - this.pos
+            )));
+        }
+        Ok(this)
+    }
+
+    /// The header metadata (edge list empty, chain spec not yet read).
+    pub fn meta(&self) -> &Checkpoint {
+        &self.meta
+    }
+
+    /// Number of edges declared by the header.
+    pub fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    /// Read the next edge in slot order.
+    pub fn next_edge(&mut self) -> Result<Edge, EngineError> {
+        if self.edges_read == self.num_edges {
+            return Err(EngineError::Checkpoint(format!(
+                "checkpoint reader overrun: all {} edges already read",
+                self.num_edges
+            )));
+        }
+        let mut buf = [0u8; 8];
+        self.take_into(&mut buf)?;
+        self.edges_read += 1;
+        let u = u32::from_le_bytes(buf[..4].try_into().expect("length checked"));
+        let v = u32::from_le_bytes(buf[4..].try_into().expect("length checked"));
+        Ok(Edge::new(u, v))
+    }
+
+    /// Read the optional chain-spec tail, verify the checksum, and return
+    /// the completed metadata (still with an empty edge list).
+    pub fn finish(mut self) -> Result<Checkpoint, EngineError> {
+        if self.edges_read != self.num_edges {
+            return Err(EngineError::Checkpoint(format!(
+                "checkpoint reader finished after {} of {} declared edges",
+                self.edges_read, self.num_edges
+            )));
+        }
+        // Files from before the registry redesign end right after the edge
+        // list; newer files append the canonical chain spec.
+        if self.pos < self.payload_len {
+            let text = self.string()?;
+            self.meta.algorithm_spec = Some(ChainSpec::parse(&text).map_err(|e| {
+                EngineError::Checkpoint(format!("malformed chain spec {text:?}: {e}"))
+            })?);
+        }
+        if self.pos != self.payload_len {
+            return Err(EngineError::Checkpoint(format!(
+                "{} trailing bytes after edge list",
+                self.payload_len - self.pos
+            )));
+        }
+        let mut checksum = [0u8; 8];
+        std::io::Read::read_exact(&mut self.reader, &mut checksum)
+            .map_err(|e| EngineError::Checkpoint(format!("cannot read checksum: {e}")))?;
+        let stored = u64::from_le_bytes(checksum);
+        if stored != self.hash {
+            return Err(EngineError::Checkpoint(format!(
+                "checksum mismatch (stored {stored:#018x}, computed {:#018x}): \
+                 the file is corrupt or truncated",
+                self.hash
+            )));
+        }
+        Ok(self.meta)
+    }
+
+    /// Read exactly `buf.len()` payload bytes, folding them into the
+    /// running checksum.
+    fn take_into(&mut self, buf: &mut [u8]) -> Result<(), EngineError> {
+        let n = buf.len() as u64;
+        if self.pos + n > self.payload_len {
+            return Err(EngineError::Checkpoint(format!(
+                "truncated checkpoint: wanted {n} bytes at offset {}, only {} available",
+                self.pos,
+                self.payload_len - self.pos
+            )));
+        }
+        std::io::Read::read_exact(&mut self.reader, buf).map_err(|e| {
+            EngineError::Checkpoint(format!("read failed at offset {}: {e}", self.pos))
+        })?;
+        fnv1a_update(&mut self.hash, buf);
+        self.pos += n;
+        Ok(())
+    }
+
+    fn u32(&mut self) -> Result<u32, EngineError> {
+        let mut buf = [0u8; 4];
+        self.take_into(&mut buf)?;
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    fn u64(&mut self) -> Result<u64, EngineError> {
+        let mut buf = [0u8; 8];
+        self.take_into(&mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn string(&mut self) -> Result<String, EngineError> {
+        let len = self.u64()?;
+        if len > self.payload_len {
+            return Err(EngineError::Checkpoint(format!("implausible string length {len}")));
+        }
+        let mut buf = vec![0u8; len as usize];
+        self.take_into(&mut buf)?;
+        String::from_utf8(buf)
+            .map_err(|_| EngineError::Checkpoint("non-UTF-8 string field".to_string()))
     }
 }
 
@@ -459,6 +805,86 @@ mod tests {
         let parsed = Checkpoint::from_bytes(&ckpt.to_bytes()).unwrap();
         assert_eq!(parsed.chain_name(), "FutureChain");
         assert!(default_registry().resolve(parsed.chain_name()).is_err());
+    }
+
+    #[test]
+    fn streamed_writer_matches_to_bytes_byte_for_byte() {
+        let dir = std::env::temp_dir().join("gesmc-ckpt-stream-writer");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in ["seq-es", "seq-es-ext", "par-global-es"] {
+            let ckpt = captured_checkpoint(name);
+            let path = dir.join(format!("{name}.ckpt"));
+
+            // Stream from a metadata-only copy (edges empty) plus the edge
+            // iterator — the shape the out-of-core runner uses.
+            let mut meta = ckpt.clone();
+            meta.snapshot.edges = Vec::new();
+            let mut writer =
+                CheckpointWriter::create(&path, &meta, ckpt.snapshot.edges.len() as u64).unwrap();
+            for &edge in &ckpt.snapshot.edges {
+                writer.push_edge(edge).unwrap();
+            }
+            writer.finish().unwrap();
+
+            assert_eq!(std::fs::read(&path).unwrap(), ckpt.to_bytes(), "{name}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streamed_writer_enforces_the_declared_edge_count() {
+        let dir = std::env::temp_dir().join("gesmc-ckpt-stream-count");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = captured_checkpoint("seq-es");
+        let edge = ckpt.snapshot.edges[0];
+
+        let path = dir.join("short.ckpt");
+        let writer = CheckpointWriter::create(&path, &ckpt, 2).unwrap();
+        assert!(writer.finish().is_err(), "finish before all edges must fail");
+        assert!(!path.exists(), "unfinished writer must not publish a file");
+
+        let mut writer = CheckpointWriter::create(&path, &ckpt, 1).unwrap();
+        writer.push_edge(edge).unwrap();
+        assert!(writer.push_edge(edge).is_err(), "overflowing the declared count must fail");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streaming_reader_roundtrips_and_verifies_the_checksum() {
+        let dir = std::env::temp_dir().join("gesmc-ckpt-stream-reader");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = captured_checkpoint("seq-es-ext");
+        let path = dir.join("job.ckpt");
+        ckpt.write_to_file(&path).unwrap();
+
+        let mut reader = CheckpointReader::open(&path).unwrap();
+        assert_eq!(reader.meta().job_name, ckpt.job_name);
+        assert_eq!(reader.meta().snapshot.algorithm, "SeqESExt");
+        assert_eq!(reader.meta().snapshot.rng, ckpt.snapshot.rng);
+        assert_eq!(reader.num_edges(), ckpt.snapshot.edges.len() as u64);
+        let mut edges = Vec::new();
+        for _ in 0..reader.num_edges() {
+            edges.push(reader.next_edge().unwrap());
+        }
+        let mut meta = reader.finish().unwrap();
+        assert_eq!(edges, ckpt.snapshot.edges);
+        meta.snapshot.edges = edges;
+        assert_eq!(meta, ckpt, "streamed read reassembles the exact checkpoint");
+
+        // A flipped payload bit parses field-by-field but fails at finish().
+        let mut corrupt = ckpt.to_bytes();
+        let flip = corrupt.len() - 20; // inside the edge payload / spec tail
+        corrupt[flip] ^= 0x01;
+        std::fs::write(&path, &corrupt).unwrap();
+        let mut reader = CheckpointReader::open(&path).unwrap();
+        for _ in 0..reader.num_edges() {
+            let _ = reader.next_edge();
+        }
+        assert!(reader.finish().is_err(), "corruption must surface at finish()");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -55,6 +55,7 @@
 pub mod checkpoint;
 pub mod control;
 pub mod error;
+pub mod external;
 pub mod job;
 pub mod manifest;
 pub mod pool;
@@ -62,9 +63,10 @@ pub mod queue;
 pub mod service;
 pub mod sink;
 
-pub use checkpoint::{Checkpoint, CheckpointSink};
+pub use checkpoint::{Checkpoint, CheckpointReader, CheckpointSink, CheckpointWriter};
 pub use control::{JobControl, JobProgress};
 pub use error::EngineError;
+pub use external::{resume_external_job, run_external_job, ExternalJob, ExternalOutput};
 pub use gesmc_core::{ChainError, ChainInfo, ChainRegistry, ChainSpec, ParamValue};
 pub use job::{GraphSource, JobSpec, GRAPH_FAMILIES};
 pub use manifest::Manifest;
@@ -77,9 +79,11 @@ pub use sink::{CallbackSink, EdgeListFileSink, MemorySink, NullSink, SampleConte
 
 use std::sync::OnceLock;
 
-/// The engine's default chain registry: the five `gesmc-core` chains plus
-/// the `gesmc-baselines` chains (`global-curveball`, `adjacency-es`,
-/// `sorted-adjacency-es`).
+/// The engine's default chain registry: the five `gesmc-core` chains, the
+/// `gesmc-baselines` chains (`global-curveball`, `adjacency-es`,
+/// `sorted-adjacency-es`), and the out-of-core `seq-es-ext` chain from
+/// `gesmc-exmem` (with its store-aware factory, so `--mmap` runs resolve
+/// through the same registry).
 ///
 /// Everything that resolves a chain by name without an explicit registry —
 /// [`run_job`], [`WorkerPool::run`], [`Manifest::parse`] — uses this set.
@@ -90,6 +94,7 @@ pub fn default_registry() -> &'static ChainRegistry {
     REGISTRY.get_or_init(|| {
         let mut registry = ChainRegistry::with_core_chains();
         gesmc_baselines::register_baselines(&mut registry);
+        gesmc_exmem::register(&mut registry);
         registry
     })
 }
@@ -132,6 +137,7 @@ mod tests {
             "global-curveball",
             "adjacency-es",
             "sorted-adjacency-es",
+            "seq-es-ext",
         ] {
             assert!(registry.get(name).is_some(), "{name} missing from the default registry");
         }

@@ -1,0 +1,23 @@
+//! Error type shared by the out-of-core views and stores.
+
+use std::fmt;
+
+/// Errors surfaced by the `gesmc-exmem` crate.
+#[derive(Debug)]
+pub enum ExmemError {
+    /// The underlying file could not be read or written.
+    Io(String),
+    /// The file's bytes violate the `GESMCEL1` format rules.
+    Format(String),
+}
+
+impl fmt::Display for ExmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExmemError::Io(msg) => write!(f, "i/o error: {msg}"),
+            ExmemError::Format(msg) => write!(f, "invalid GESMCEL1 data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExmemError {}

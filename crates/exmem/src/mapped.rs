@@ -1,0 +1,384 @@
+//! `MappedEdgeList` — a zero-copy read-only view of a `GESMCEL1` file.
+//!
+//! Opens a binary edge-list file and validates its header against the same
+//! rules as the heap parser (`gesmc_graph::io::read_edge_list_binary`): magic,
+//! plausible node count, and an exact `24 + 8·m` byte length (truncated
+//! payloads and trailing bytes are both rejected).  Unlike the heap parser it
+//! never materializes the edge vector: accesses go straight to the mapped
+//! pages (or, on the portability fallback, to positioned file reads), and
+//! **bounds are re-checked before every slot access** — a corrupt or
+//! shrinking view yields an error, never undefined behaviour.
+//!
+//! Per-edge validation (self-loops, node range) happens lazily on access,
+//! because an `O(m)` up-front sweep is exactly what an out-of-core view
+//! exists to avoid; [`MappedEdgeList::for_each_edge`] surfaces the same
+//! errors during streaming.  Duplicate detection needs `O(m)` memory and is
+//! deliberately *not* performed here — callers that need it materialize
+//! through the heap parser.
+
+use crate::error::ExmemError;
+use crate::mmap::{Advice, Mmap};
+use gesmc_graph::io::BINARY_MAGIC;
+use gesmc_graph::{Edge, Node};
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+
+/// Header length of the `GESMCEL1` format.
+pub const HEADER_BYTES: u64 = 24;
+/// Bytes per edge record.
+pub const EDGE_BYTES: u64 = 8;
+
+/// How the file's bytes are accessed.
+enum Backing {
+    /// Whole-file read-only memory map (zero-copy).
+    Mapped(Mmap),
+    /// Positioned reads against the open file (portability fallback; used
+    /// off Linux and under `GESMC_EXMEM_NO_MMAP=1`).
+    File(File),
+}
+
+impl std::fmt::Debug for Backing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backing::Mapped(_) => f.write_str("Mapped"),
+            Backing::File(_) => f.write_str("File"),
+        }
+    }
+}
+
+/// A validated, read-only, slot-addressed view of a `GESMCEL1` file.
+#[derive(Debug)]
+pub struct MappedEdgeList {
+    backing: Backing,
+    num_nodes: u64,
+    num_edges: u64,
+}
+
+impl MappedEdgeList {
+    /// Open and validate a `GESMCEL1` file.
+    ///
+    /// Prefers a whole-file memory map and silently falls back to positioned
+    /// reads when mapping is unavailable; [`MappedEdgeList::is_mapped`]
+    /// reports which path was taken.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, ExmemError> {
+        let path = path.as_ref();
+        let mut file = File::open(path)
+            .map_err(|e| ExmemError::Io(format!("cannot open {}: {e}", path.display())))?;
+        let file_len = file
+            .metadata()
+            .map_err(|e| ExmemError::Io(format!("cannot stat {}: {e}", path.display())))?
+            .len();
+
+        let mut header = [0u8; HEADER_BYTES as usize];
+        if file_len < HEADER_BYTES {
+            return Err(ExmemError::Format("truncated header (need 24 bytes)".to_string()));
+        }
+        file.read_exact(&mut header).map_err(|e| ExmemError::Io(format!("header read: {e}")))?;
+        if &header[0..8] != BINARY_MAGIC {
+            return Err(ExmemError::Format(format!(
+                "bad magic {:?} (expected {:?})",
+                &header[0..8],
+                BINARY_MAGIC
+            )));
+        }
+        let num_nodes = u64::from_le_bytes(header[8..16].try_into().expect("length checked"));
+        let num_edges = u64::from_le_bytes(header[16..24].try_into().expect("length checked"));
+        if num_nodes > u64::from(u32::MAX) + 1 {
+            return Err(ExmemError::Format(format!("implausible node count {num_nodes}")));
+        }
+        let expected =
+            HEADER_BYTES
+                .checked_add(num_edges.checked_mul(EDGE_BYTES).ok_or_else(|| {
+                    ExmemError::Format(format!("implausible edge count {num_edges}"))
+                })?)
+                .ok_or_else(|| ExmemError::Format(format!("implausible edge count {num_edges}")))?;
+        if file_len < expected {
+            let have = (file_len - HEADER_BYTES) / EDGE_BYTES;
+            return Err(ExmemError::Format(format!(
+                "truncated payload: header claims {num_edges} edges, data ends at edge {have}"
+            )));
+        }
+        if file_len > expected {
+            return Err(ExmemError::Format("trailing bytes after the edge payload".to_string()));
+        }
+
+        let backing = match Mmap::map_readonly(&file, file_len as usize) {
+            Ok(map) => {
+                map.advise(Advice::WillNeed);
+                Backing::Mapped(map)
+            }
+            Err(_) => Backing::File(file),
+        };
+        Ok(Self { backing, num_nodes, num_edges })
+    }
+
+    /// Number of nodes `n`.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes as usize
+    }
+
+    /// Number of edges `m`.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges as usize
+    }
+
+    /// Whether the zero-copy mmap path is active (as opposed to the
+    /// positioned-read fallback).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.backing, Backing::Mapped(_))
+    }
+
+    /// Read the raw `(u, v)` words of the edge at `slot`, re-checking bounds
+    /// against the length captured at open time.
+    fn raw_edge(&self, slot: u64) -> Result<(Node, Node), ExmemError> {
+        if slot >= self.num_edges {
+            return Err(ExmemError::Format(format!(
+                "edge slot {slot} out of bounds (file has {} edges)",
+                self.num_edges
+            )));
+        }
+        let offset = HEADER_BYTES + slot * EDGE_BYTES;
+        let mut buf = [0u8; EDGE_BYTES as usize];
+        match &self.backing {
+            Backing::Mapped(map) => {
+                let bytes = map.as_slice();
+                let start = offset as usize;
+                // The length was validated at open; re-check anyway so a
+                // logic error can only produce an error, never UB.
+                let end = start.checked_add(EDGE_BYTES as usize).filter(|&e| e <= bytes.len());
+                let Some(end) = end else {
+                    return Err(ExmemError::Format(format!(
+                        "mapped view too short for edge {slot}"
+                    )));
+                };
+                buf.copy_from_slice(&bytes[start..end]);
+            }
+            Backing::File(file) => {
+                read_exact_at(file, &mut buf, offset)
+                    .map_err(|e| ExmemError::Io(format!("read of edge {slot}: {e}")))?;
+            }
+        }
+        let u = Node::from_le_bytes(buf[0..4].try_into().expect("length checked"));
+        let v = Node::from_le_bytes(buf[4..8].try_into().expect("length checked"));
+        Ok((u, v))
+    }
+
+    /// The edge at `slot`, validated against self-loops and the node range.
+    pub fn edge(&self, slot: usize) -> Result<Edge, ExmemError> {
+        let (u, v) = self.raw_edge(slot as u64)?;
+        if u == v {
+            return Err(ExmemError::Format(format!("self-loop at node {u} (edge {slot})")));
+        }
+        let e = Edge::new(u, v);
+        if u64::from(e.v()) >= self.num_nodes {
+            return Err(ExmemError::Format(format!(
+                "edge {e} references a node outside [0, {})",
+                self.num_nodes
+            )));
+        }
+        Ok(e)
+    }
+
+    /// Stream every edge in slot order, validating each like
+    /// [`MappedEdgeList::edge`]; stops at the first invalid record.
+    ///
+    /// On the mmap path this touches each page exactly once sequentially;
+    /// on the fallback path it reads in bounded buffers.
+    pub fn for_each_edge(&self, visit: &mut dyn FnMut(usize, Edge)) -> Result<(), ExmemError> {
+        if let Backing::Mapped(map) = &self.backing {
+            map.advise(Advice::Sequential);
+        }
+        // Bounded read buffer on the fallback path (8192 edges).
+        const CHUNK_EDGES: u64 = 1 << 13;
+        let mut chunk = Vec::new();
+        let mut slot = 0u64;
+        while slot < self.num_edges {
+            let count = CHUNK_EDGES.min(self.num_edges - slot);
+            match &self.backing {
+                Backing::Mapped(map) => {
+                    let bytes = map.as_slice();
+                    for i in 0..count {
+                        let start = (HEADER_BYTES + (slot + i) * EDGE_BYTES) as usize;
+                        if start + EDGE_BYTES as usize > bytes.len() {
+                            return Err(ExmemError::Format(format!(
+                                "mapped view too short for edge {}",
+                                slot + i
+                            )));
+                        }
+                        let u = Node::from_le_bytes(
+                            bytes[start..start + 4].try_into().expect("length checked"),
+                        );
+                        let v = Node::from_le_bytes(
+                            bytes[start + 4..start + 8].try_into().expect("length checked"),
+                        );
+                        self.check_and_visit(slot + i, u, v, visit)?;
+                    }
+                }
+                Backing::File(file) => {
+                    chunk.resize((count * EDGE_BYTES) as usize, 0);
+                    read_exact_at(file, &mut chunk, HEADER_BYTES + slot * EDGE_BYTES)
+                        .map_err(|e| ExmemError::Io(format!("read at edge {slot}: {e}")))?;
+                    for i in 0..count {
+                        let start = (i * EDGE_BYTES) as usize;
+                        let u = Node::from_le_bytes(
+                            chunk[start..start + 4].try_into().expect("length checked"),
+                        );
+                        let v = Node::from_le_bytes(
+                            chunk[start + 4..start + 8].try_into().expect("length checked"),
+                        );
+                        self.check_and_visit(slot + i, u, v, visit)?;
+                    }
+                }
+            }
+            slot += count;
+        }
+        Ok(())
+    }
+
+    fn check_and_visit(
+        &self,
+        slot: u64,
+        u: Node,
+        v: Node,
+        visit: &mut dyn FnMut(usize, Edge),
+    ) -> Result<(), ExmemError> {
+        if u == v {
+            return Err(ExmemError::Format(format!("self-loop at node {u} (edge {slot})")));
+        }
+        let e = Edge::new(u, v);
+        if u64::from(e.v()) >= self.num_nodes {
+            return Err(ExmemError::Format(format!(
+                "edge {e} references a node outside [0, {})",
+                self.num_nodes
+            )));
+        }
+        visit(slot as usize, e);
+        Ok(())
+    }
+}
+
+/// Positioned read covering the whole buffer (like `FileExt::read_exact_at`,
+/// spelled out so the non-Unix fallback stays `std`-portable).
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        std::os::unix::fs::FileExt::read_exact_at(file, buf, offset)
+    }
+    #[cfg(not(unix))]
+    {
+        use std::io::{Seek, SeekFrom};
+        let mut f = file;
+        f.seek(SeekFrom::Start(offset))?;
+        f.read_exact(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gesmc_graph::io::write_edge_list_binary_file;
+    use gesmc_graph::EdgeListGraph;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("gesmc-exmem-mapped-{name}"))
+    }
+
+    fn sample_graph() -> EdgeListGraph {
+        EdgeListGraph::new(6, vec![Edge::new(4, 1), Edge::new(0, 5), Edge::new(2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn opens_and_reads_slots_in_order() {
+        let g = sample_graph();
+        let path = temp_path("ok.el");
+        write_edge_list_binary_file(&path, &g).unwrap();
+        let view = MappedEdgeList::open(&path).unwrap();
+        assert_eq!(view.num_nodes(), 6);
+        assert_eq!(view.num_edges(), 3);
+        for (i, &e) in g.edges().iter().enumerate() {
+            assert_eq!(view.edge(i).unwrap(), e);
+        }
+        let mut streamed = Vec::new();
+        view.for_each_edge(&mut |i, e| streamed.push((i, e))).unwrap();
+        assert_eq!(streamed.len(), 3);
+        assert_eq!(streamed[1], (1, Edge::new(0, 5)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn out_of_bounds_slots_error_never_ub() {
+        let path = temp_path("bounds.el");
+        write_edge_list_binary_file(&path, &sample_graph()).unwrap();
+        let view = MappedEdgeList::open(&path).unwrap();
+        let err = view.edge(3).unwrap_err();
+        assert!(err.to_string().contains("out of bounds"), "{err}");
+        let err = view.edge(usize::MAX).unwrap_err();
+        assert!(err.to_string().contains("out of bounds"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_files_are_rejected_at_open() {
+        let g = sample_graph();
+        let path = temp_path("corrupt.el");
+        let mut bytes = Vec::new();
+        gesmc_graph::io::write_edge_list_binary(&mut bytes, &g).unwrap();
+
+        let expect = |bytes: &[u8], needle: &str| {
+            std::fs::write(&path, bytes).unwrap();
+            match MappedEdgeList::open(&path) {
+                Err(e) => assert!(e.to_string().contains(needle), "{e} lacks {needle:?}"),
+                Ok(_) => panic!("expected error containing {needle:?}"),
+            }
+        };
+
+        expect(b"GESMCEL1", "truncated header");
+        expect(b"NOTMAGIC\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0", "bad magic");
+        expect(&bytes[..bytes.len() - 4], "truncated payload");
+        let mut padded = bytes.clone();
+        padded.push(0xFF);
+        expect(&padded, "trailing bytes");
+        let mut forged = bytes.clone();
+        forged[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        expect(&forged, "implausible edge count");
+        let mut big_n = bytes.clone();
+        big_n[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        expect(&big_n, "implausible node count");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn per_edge_corruption_surfaces_on_access() {
+        let g = sample_graph();
+        let path = temp_path("lazy.el");
+        let mut bytes = Vec::new();
+        gesmc_graph::io::write_edge_list_binary(&mut bytes, &g).unwrap();
+        // Slot 1 becomes a self-loop; slot 2 an out-of-range endpoint.
+        bytes[32..40].copy_from_slice(&[2, 0, 0, 0, 2, 0, 0, 0]);
+        bytes[40..44].copy_from_slice(&9u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+
+        let view = MappedEdgeList::open(&path).unwrap();
+        assert!(view.edge(0).is_ok());
+        assert!(view.edge(1).unwrap_err().to_string().contains("self-loop"));
+        assert!(view.edge(2).unwrap_err().to_string().contains("outside"));
+        let mut seen = 0;
+        let err = view.for_each_edge(&mut |_, _| seen += 1).unwrap_err();
+        assert_eq!(seen, 1, "streaming stops at the first invalid record");
+        assert!(err.to_string().contains("self-loop"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_graphs_open_on_both_backings() {
+        let path = temp_path("empty.el");
+        write_edge_list_binary_file(&path, &EdgeListGraph::new(0, vec![]).unwrap()).unwrap();
+        let view = MappedEdgeList::open(&path).unwrap();
+        assert_eq!(view.num_edges(), 0);
+        // 24-byte files cannot be mapped portably as edge payloads are empty;
+        // whichever backing was chosen, streaming visits nothing.
+        view.for_each_edge(&mut |_, _| panic!("no edges")).unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+}

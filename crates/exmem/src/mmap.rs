@@ -1,0 +1,234 @@
+//! A dependency-free read-only memory-map wrapper.
+//!
+//! The workspace vendors every dependency offline, so instead of pulling in
+//! the `libc` crate this module declares the three syscall wrappers it needs
+//! (`mmap`, `munmap`, `madvise`) directly via `extern "C"` — they are part of
+//! the platform C library every Rust binary on Linux already links.  On other
+//! targets (and when `GESMC_EXMEM_NO_MMAP=1` is set, which the test suite
+//! uses to cover both paths on one machine), callers fall back to plain
+//! `std::fs` positioned reads; see [`crate::MappedEdgeList`].
+//!
+//! ## Safety argument
+//!
+//! * Maps are always `PROT_READ` + `MAP_PRIVATE` over a file *we* opened;
+//!   the mapping length is captured once at creation and every access is
+//!   bounds-checked against it ([`Mmap::as_slice`] hands out a slice of
+//!   exactly that length, never a raw pointer).
+//! * `munmap` runs in `Drop` with the same pointer/length pair returned by
+//!   `mmap`, so the mapping cannot leak or double-free.
+//! * Zero-length files are never mapped (`mmap` rejects length 0); callers
+//!   handle the empty case before constructing a map.
+//! * A file truncated *by another process* while mapped can raise `SIGBUS`
+//!   on access.  The files mapped here are samples and spill files owned and
+//!   written atomically (`write(tmp)→fsync→rename`) by this workspace, which
+//!   never truncates them in place; external interference is outside the
+//!   threat model, exactly as it is for the heap readers.
+
+/// Advice passed to [`Mmap::advise`] (`madvise(2)` on Linux, a no-op
+/// elsewhere).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Advice {
+    /// Expect accesses in random order (`MADV_RANDOM`).
+    Random,
+    /// Expect sequential accesses (`MADV_SEQUENTIAL`).
+    Sequential,
+    /// Expect the whole mapping to be needed soon (`MADV_WILLNEED`).
+    WillNeed,
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use core::ffi::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 0x1;
+    pub const MAP_PRIVATE: c_int = 0x02;
+    pub const MADV_RANDOM: c_int = 1;
+    pub const MADV_SEQUENTIAL: c_int = 2;
+    pub const MADV_WILLNEED: c_int = 3;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, length: usize) -> c_int;
+        pub fn madvise(addr: *mut c_void, length: usize, advice: c_int) -> c_int;
+    }
+}
+
+/// Whether memory-mapping is available on this build/configuration.
+///
+/// `false` off Linux and when the `GESMC_EXMEM_NO_MMAP` environment variable
+/// is set to anything but `0`/empty (the escape hatch the tests use to
+/// exercise the positioned-read fallback everywhere).
+pub fn mmap_available() -> bool {
+    if !cfg!(target_os = "linux") {
+        return false;
+    }
+    match std::env::var("GESMC_EXMEM_NO_MMAP") {
+        Ok(v) => v.is_empty() || v == "0",
+        Err(_) => true,
+    }
+}
+
+/// A read-only, private memory map of an entire file.
+#[derive(Debug)]
+pub struct Mmap {
+    #[cfg(target_os = "linux")]
+    ptr: *mut core::ffi::c_void,
+    len: usize,
+    #[cfg(not(target_os = "linux"))]
+    _unconstructable: core::convert::Infallible,
+}
+
+// SAFETY: the mapping is read-only and private; the underlying pages are
+// never written through this handle, so sharing references across threads is
+// as safe as sharing `&[u8]`.
+#[cfg(target_os = "linux")]
+unsafe impl Send for Mmap {}
+#[cfg(target_os = "linux")]
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Map `len` bytes of `file` read-only from offset 0.
+    ///
+    /// Fails with `Unsupported` when mapping is unavailable (non-Linux, or
+    /// disabled via `GESMC_EXMEM_NO_MMAP`) and with `InvalidInput` for a
+    /// zero-length request; callers fall back to positioned reads.
+    #[cfg(target_os = "linux")]
+    pub fn map_readonly(file: &std::fs::File, len: usize) -> std::io::Result<Self> {
+        use std::os::unix::io::AsRawFd;
+        if !mmap_available() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "memory-mapping disabled via GESMC_EXMEM_NO_MMAP",
+            ));
+        }
+        if len == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "cannot map zero bytes",
+            ));
+        }
+        // SAFETY: requests a fresh private read-only mapping of a file we
+        // hold open; the kernel picks the address.  Failure is reported via
+        // MAP_FAILED and errno, which we surface as an io::Error.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(Self { ptr, len })
+    }
+
+    /// See the Linux variant; always `Unsupported` on other targets.
+    #[cfg(not(target_os = "linux"))]
+    pub fn map_readonly(_file: &std::fs::File, _len: usize) -> std::io::Result<Self> {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "memory-mapping is only wired up on Linux; use the positioned-read fallback",
+        ))
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping is empty (never true for a constructed map).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The mapped bytes.
+    #[cfg(target_os = "linux")]
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: `ptr` is a live mapping of exactly `len` readable bytes
+        // (established at creation, torn down only in Drop).
+        unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+    }
+
+    /// The mapped bytes (unreachable off Linux — the type cannot be built).
+    #[cfg(not(target_os = "linux"))]
+    pub fn as_slice(&self) -> &[u8] {
+        match self._unconstructable {}
+    }
+
+    /// Advise the kernel about the expected access pattern (best-effort).
+    pub fn advise(&self, advice: Advice) {
+        #[cfg(target_os = "linux")]
+        {
+            let flag = match advice {
+                Advice::Random => sys::MADV_RANDOM,
+                Advice::Sequential => sys::MADV_SEQUENTIAL,
+                Advice::WillNeed => sys::MADV_WILLNEED,
+            };
+            // SAFETY: same live ptr/len pair as the mapping; madvise cannot
+            // invalidate it.  The result is advisory, so errors are ignored.
+            let _ = unsafe { sys::madvise(self.ptr, self.len, flag) };
+        }
+        #[cfg(not(target_os = "linux"))]
+        let _ = advice;
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        // SAFETY: exactly the pointer/length pair mmap returned; after this
+        // the struct is gone, so no dangling slice can be produced.
+        unsafe {
+            sys::munmap(self.ptr, self.len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_a_real_file_and_reads_it_back() {
+        if !mmap_available() {
+            return;
+        }
+        let path = std::env::temp_dir().join("gesmc-exmem-mmap-test.bin");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::File::create(&path).unwrap().write_all(&payload).unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        let map = Mmap::map_readonly(&file, payload.len()).unwrap();
+        assert_eq!(map.len(), payload.len());
+        assert!(!map.is_empty());
+        assert_eq!(map.as_slice(), &payload[..]);
+        map.advise(Advice::Sequential);
+        map.advise(Advice::Random);
+        map.advise(Advice::WillNeed);
+        drop(map);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn zero_length_maps_are_rejected() {
+        if !mmap_available() {
+            return;
+        }
+        let path = std::env::temp_dir().join("gesmc-exmem-mmap-empty-test.bin");
+        std::fs::File::create(&path).unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        assert!(Mmap::map_readonly(&file, 0).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -16,22 +16,42 @@ use rand::RngCore;
 /// # Panics
 /// Panics if `p` is not in `[0, 1]`.
 pub fn gnp<R: RngCore + ?Sized>(rng: &mut R, n: usize, p: f64) -> EdgeListGraph {
+    let mut edges = if p < 1.0 {
+        Vec::with_capacity((p * (n as f64) * (n as f64 - 1.0) / 2.0) as usize + 16)
+    } else {
+        Vec::with_capacity(if n < 2 { 0 } else { n * (n - 1) / 2 })
+    };
+    gnp_stream(rng, n, p, |e| edges.push(e));
+    EdgeListGraph::from_edges_unchecked(n, edges)
+}
+
+/// Sample a `G(n, p)` graph, emitting each edge to `emit` as it is drawn
+/// instead of materializing the edge vector.
+///
+/// The enumeration order and the random draws are exactly those of [`gnp`]:
+/// for the same RNG state, `gnp_stream` emits the slot sequence that `gnp`
+/// collects, so the out-of-core generator path (`gesmc generate` writing
+/// `GESMCEL1` through a [`BinaryEdgeListWriter`](crate::io::BinaryEdgeListWriter))
+/// produces byte-identical graphs to the in-memory one.  Emitted edges are
+/// simple by construction (no loops, no duplicates).
+///
+/// # Panics
+/// Panics if `p` is not in `[0, 1]`.
+pub fn gnp_stream<R: RngCore + ?Sized>(rng: &mut R, n: usize, p: f64, mut emit: impl FnMut(Edge)) {
     assert!((0.0..=1.0).contains(&p) && p.is_finite(), "p must be in [0, 1]");
     if n < 2 || p == 0.0 {
-        return EdgeListGraph::from_edges_unchecked(n, Vec::new());
+        return;
     }
     if p >= 1.0 {
-        let mut edges = Vec::with_capacity(n * (n - 1) / 2);
         for u in 0..n as Node {
             for v in (u + 1)..n as Node {
-                edges.push(Edge::new(u, v));
+                emit(Edge::new(u, v));
             }
         }
-        return EdgeListGraph::from_edges_unchecked(n, edges);
+        return;
     }
 
     // Geometric skipping over the implicit enumeration of all C(n,2) pairs.
-    let mut edges = Vec::with_capacity((p * (n as f64) * (n as f64 - 1.0) / 2.0) as usize + 16);
     let log1p = (1.0 - p).ln();
     let mut v: i64 = 1;
     let mut w: i64 = -1;
@@ -46,10 +66,9 @@ pub fn gnp<R: RngCore + ?Sized>(rng: &mut R, n: usize, p: f64) -> EdgeListGraph 
             v += 1;
         }
         if v < n_i {
-            edges.push(Edge::new(w as Node, v as Node));
+            emit(Edge::new(w as Node, v as Node));
         }
     }
-    EdgeListGraph::from_edges_unchecked(n, edges)
 }
 
 /// Sample a `G(n, p)` graph where `p` is chosen so the *expected* number of
@@ -112,6 +131,22 @@ mod tests {
         let g = gnp_with_expected_edges(&mut rng, 1000, 5000);
         let m = g.num_edges() as f64;
         assert!(m > 4000.0 && m < 6000.0, "m = {m}");
+    }
+
+    #[test]
+    fn stream_and_collect_variants_are_identical() {
+        for seed in 0..4u64 {
+            let collected = gnp(&mut rng_from_seed(seed), 300, 0.03);
+            let mut streamed = Vec::new();
+            gnp_stream(&mut rng_from_seed(seed), 300, 0.03, |e| streamed.push(e));
+            assert_eq!(collected.edges(), &streamed[..], "seed {seed}");
+        }
+        // Dense and trivial paths too.
+        let collected = gnp(&mut rng_from_seed(9), 8, 1.0);
+        let mut streamed = Vec::new();
+        gnp_stream(&mut rng_from_seed(9), 8, 1.0, |e| streamed.push(e));
+        assert_eq!(collected.edges(), &streamed[..]);
+        gnp_stream(&mut rng_from_seed(9), 1, 0.5, |_| panic!("no edges on trivial graphs"));
     }
 
     #[test]

@@ -14,6 +14,6 @@ pub mod pld;
 
 pub use chung_lu::chung_lu;
 pub use configuration::{configuration_model_erased, configuration_model_multigraph};
-pub use gnp::{gnp, gnp_with_expected_edges};
+pub use gnp::{gnp, gnp_stream, gnp_with_expected_edges};
 pub use havel_hakimi::{havel_hakimi, HavelHakimiError};
 pub use pld::{powerlaw_degree_sequence, PowerlawConfig};

@@ -216,6 +216,139 @@ pub fn read_edge_list_binary_file<P: AsRef<Path>>(path: P) -> Result<EdgeListGra
     read_edge_list_binary(file)
 }
 
+/// Whether a file starts with the [`BINARY_MAGIC`] header (i.e. is a
+/// `GESMCEL1` binary edge list rather than a plain-text one).
+pub fn is_binary_edge_list_file<P: AsRef<Path>>(path: P) -> std::io::Result<bool> {
+    let mut file = std::fs::File::open(path)?;
+    let mut magic = [0u8; 8];
+    match std::io::Read::read_exact(&mut file, &mut magic) {
+        Ok(()) => Ok(&magic == BINARY_MAGIC),
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+/// Incremental writer of the binary `GESMCEL1` encoding.
+///
+/// Writes edges one at a time in bounded buffers, so a graph never has to be
+/// materialized to be serialised — the out-of-core generators and the
+/// external-memory engine stream through this.  The edge count of the header
+/// is unknown upfront; [`BinaryEdgeListWriter::finish`] patches it in place
+/// before the fsync, then atomically renames the sibling temp file over the
+/// destination (the same `write(tmp)→fsync→rename` discipline as the engine's
+/// checkpoint writer), so readers only ever observe complete files.
+///
+/// Dropping the writer without calling `finish` removes the temp file.
+#[derive(Debug)]
+pub struct BinaryEdgeListWriter {
+    file: Option<std::fs::File>,
+    buf: Vec<u8>,
+    tmp: std::path::PathBuf,
+    path: std::path::PathBuf,
+    num_nodes: u64,
+    written: u64,
+}
+
+impl BinaryEdgeListWriter {
+    /// Buffered bytes before a write syscall (8192 edges).
+    const BUF_BYTES: usize = 1 << 16;
+
+    /// Start writing a binary edge list for a graph over `num_nodes` nodes.
+    ///
+    /// The header is written immediately with a zero edge count; the real
+    /// count is patched by [`BinaryEdgeListWriter::finish`].
+    pub fn create<P: AsRef<Path>>(path: P, num_nodes: u64) -> Result<Self, IoError> {
+        let path = path.as_ref().to_path_buf();
+        if num_nodes > u64::from(u32::MAX) + 1 {
+            return Err(IoError::Binary(format!("implausible node count {num_nodes}")));
+        }
+        let file_name = path
+            .file_name()
+            .ok_or_else(|| IoError::Binary(format!("{} has no file name", path.display())))?;
+        let mut tmp_name = file_name.to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
+        let mut file = std::fs::File::create(&tmp)?;
+        let mut header = Vec::with_capacity(24);
+        header.extend_from_slice(BINARY_MAGIC);
+        header.extend_from_slice(&num_nodes.to_le_bytes());
+        header.extend_from_slice(&0u64.to_le_bytes());
+        file.write_all(&header)?;
+        Ok(Self {
+            file: Some(file),
+            buf: Vec::with_capacity(Self::BUF_BYTES),
+            tmp,
+            path,
+            num_nodes,
+            written: 0,
+        })
+    }
+
+    /// Number of edges pushed so far.
+    pub fn edges_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Append one edge (validated against self-loops and the node range).
+    pub fn push(&mut self, edge: Edge) -> Result<(), IoError> {
+        if edge.is_loop() {
+            return Err(IoError::Binary(format!(
+                "self-loop at node {} (edge {})",
+                edge.u(),
+                self.written
+            )));
+        }
+        if u64::from(edge.v()) >= self.num_nodes {
+            return Err(IoError::Binary(format!(
+                "edge {edge} references a node outside [0, {})",
+                self.num_nodes
+            )));
+        }
+        self.buf.extend_from_slice(&edge.u().to_le_bytes());
+        self.buf.extend_from_slice(&edge.v().to_le_bytes());
+        self.written += 1;
+        if self.buf.len() >= Self::BUF_BYTES {
+            self.flush_buf()?;
+        }
+        Ok(())
+    }
+
+    fn flush_buf(&mut self) -> Result<(), IoError> {
+        if !self.buf.is_empty() {
+            self.file.as_mut().expect("file present until finish").write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Flush, patch the header's edge count, fsync, and atomically rename
+    /// into place.  Returns the number of edges written.
+    pub fn finish(mut self) -> Result<u64, IoError> {
+        use std::io::{Seek, SeekFrom};
+        self.flush_buf()?;
+        let mut file = self.file.take().expect("finish runs once");
+        file.seek(SeekFrom::Start(16))?;
+        file.write_all(&self.written.to_le_bytes())?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&self.tmp, &self.path)?;
+        if let Some(parent) = self.path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Ok(dir) = std::fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+        Ok(self.written)
+    }
+}
+
+impl Drop for BinaryEdgeListWriter {
+    fn drop(&mut self) {
+        if self.file.take().is_some() {
+            let _ = std::fs::remove_file(&self.tmp);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,6 +451,64 @@ mod tests {
         let mut out_of_range = good;
         out_of_range[24..32].copy_from_slice(&[0, 0, 0, 0, 9, 0, 0, 0]);
         expect_binary_err(&out_of_range, "invalid graph");
+    }
+
+    #[test]
+    fn streaming_writer_is_byte_identical_to_the_in_memory_encoder() {
+        let g =
+            EdgeListGraph::new(6, vec![Edge::new(4, 1), Edge::new(0, 5), Edge::new(2, 3)]).unwrap();
+        let dir = std::env::temp_dir().join("gesmc-io-stream-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.el");
+
+        let mut w = BinaryEdgeListWriter::create(&path, g.num_nodes() as u64).unwrap();
+        for &e in g.edges() {
+            w.push(e).unwrap();
+        }
+        assert_eq!(w.edges_written(), 3);
+        assert_eq!(w.finish().unwrap(), 3);
+
+        assert_eq!(std::fs::read(&path).unwrap(), binary_bytes(&g));
+        assert!(is_binary_edge_list_file(&path).unwrap());
+        let parsed = read_edge_list_binary_file(&path).unwrap();
+        assert_eq!(parsed.edges(), g.edges());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streaming_writer_validates_and_cleans_up_on_abort() {
+        let dir = std::env::temp_dir().join("gesmc-io-stream-abort-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.el");
+
+        let mut w = BinaryEdgeListWriter::create(&path, 4).unwrap();
+        assert!(
+            matches!(w.push(Edge::new(2, 2)), Err(IoError::Binary(m)) if m.contains("self-loop"))
+        );
+        assert!(
+            matches!(w.push(Edge::new(0, 9)), Err(IoError::Binary(m)) if m.contains("outside"))
+        );
+        drop(w);
+        // Neither the destination nor the temp file survives an abort.
+        assert!(std::fs::read_dir(&dir).unwrap().next().is_none());
+        assert!(is_binary_edge_list_file(dir.join("missing.el")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn magic_sniffing_distinguishes_text_files() {
+        let dir = std::env::temp_dir().join("gesmc-io-sniff-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let text = dir.join("g.txt");
+        std::fs::write(&text, "0 1\n").unwrap();
+        assert!(!is_binary_edge_list_file(&text).unwrap());
+        let short = dir.join("short.el");
+        std::fs::write(&short, "abc").unwrap();
+        assert!(!is_binary_edge_list_file(&short).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     mod binary_proptests {

@@ -16,7 +16,10 @@
 //! * structural metrics used by the examples and the mixing-time analysis
 //!   (triangles, clustering, assortativity, connected components)
 //!   ([`metrics`]),
-//! * plain-text edge-list I/O ([`io`]).
+//! * plain-text and binary edge-list I/O, including a streaming `GESMCEL1`
+//!   writer for graphs that never fit in RAM ([`io`]),
+//! * the slot-addressed [`EdgeStore`] abstraction behind out-of-core
+//!   randomization ([`store`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,8 +31,10 @@ pub mod edge_list;
 pub mod gen;
 pub mod io;
 pub mod metrics;
+pub mod store;
 
 pub use adjacency::{AdjacencyList, Csr};
 pub use degree::DegreeSequence;
 pub use edge::{Edge, Node, PackedEdge};
 pub use edge_list::{EdgeListGraph, GraphError};
+pub use store::EdgeStore;

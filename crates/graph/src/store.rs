@@ -1,0 +1,114 @@
+//! `EdgeStore` — the slot-addressed edge storage abstraction behind
+//! out-of-core randomization.
+//!
+//! Switching chains fundamentally need three operations on the edge array:
+//! read the edge at a slot, overwrite the edge at a slot, and stream the
+//! whole array in slot order.  [`EdgeStore`] captures exactly that surface so
+//! a chain can run identically over the in-memory [`EdgeListGraph`] and over
+//! an external (disk-backed) store such as `gesmc_exmem::ExternalEdgeStore` —
+//! the storage backend must never change the sample bytes, only the order and
+//! locality of memory accesses.
+//!
+//! Reads take `&mut self` because external backends maintain a bounded chunk
+//! cache that mutates on every access; the in-memory implementation simply
+//! ignores the mutability.
+
+use crate::edge::Edge;
+use crate::edge_list::EdgeListGraph;
+
+/// A mutable, slot-addressed array of edges plus the node count.
+///
+/// Implementations must preserve slot semantics exactly: `set_edge(i, e)`
+/// followed by `edge(i)` returns `e`, slots are independent, and
+/// [`EdgeStore::for_each_edge`] visits slots `0..num_edges` in ascending
+/// order with the latest written values (including not-yet-flushed ones).
+pub trait EdgeStore: Send {
+    /// Number of nodes `n` of the graph.
+    fn num_nodes(&self) -> usize;
+
+    /// Number of edge slots `m` (fixed over the store's lifetime — edge
+    /// switching rewires slots, it never adds or removes them).
+    fn num_edges(&self) -> usize;
+
+    /// The edge currently at `slot`.
+    ///
+    /// # Panics
+    ///
+    /// If `slot >= num_edges()`, or (external backends) on an unrecoverable
+    /// I/O error against the backing scratch file.
+    fn edge(&mut self, slot: usize) -> Edge;
+
+    /// Overwrite the edge at `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Like [`EdgeStore::edge`].
+    fn set_edge(&mut self, slot: usize, edge: Edge);
+
+    /// Visit every slot in ascending order with its current edge.
+    fn for_each_edge(&mut self, visit: &mut dyn FnMut(usize, Edge));
+
+    /// Write any buffered dirty state back to durable storage (no-op for
+    /// in-memory stores).
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    /// Materialize the current contents as an in-memory [`EdgeListGraph`]
+    /// (allocates the full edge array — avoid on out-of-core inputs).
+    fn materialize(&mut self) -> EdgeListGraph {
+        let mut edges = Vec::with_capacity(self.num_edges());
+        self.for_each_edge(&mut |_, e| edges.push(e));
+        EdgeListGraph::from_edges_unchecked(self.num_nodes(), edges)
+    }
+}
+
+impl EdgeStore for EdgeListGraph {
+    fn num_nodes(&self) -> usize {
+        EdgeListGraph::num_nodes(self)
+    }
+
+    fn num_edges(&self) -> usize {
+        EdgeListGraph::num_edges(self)
+    }
+
+    fn edge(&mut self, slot: usize) -> Edge {
+        EdgeListGraph::edge(self, slot)
+    }
+
+    fn set_edge(&mut self, slot: usize, edge: Edge) {
+        self.edges_mut()[slot] = edge;
+    }
+
+    fn for_each_edge(&mut self, visit: &mut dyn FnMut(usize, Edge)) {
+        for (i, &e) in self.edges().iter().enumerate() {
+            visit(i, e);
+        }
+    }
+
+    fn materialize(&mut self) -> EdgeListGraph {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_list_graph_is_an_edge_store() {
+        let mut g = EdgeListGraph::new(4, vec![Edge::new(0, 1), Edge::new(2, 3)]).unwrap();
+        let store: &mut dyn EdgeStore = &mut g;
+        assert_eq!(store.num_nodes(), 4);
+        assert_eq!(store.num_edges(), 2);
+        assert_eq!(store.edge(1), Edge::new(2, 3));
+        store.set_edge(0, Edge::new(1, 3));
+        assert_eq!(store.edge(0), Edge::new(1, 3));
+        let mut seen = Vec::new();
+        store.for_each_edge(&mut |i, e| seen.push((i, e)));
+        assert_eq!(seen, vec![(0, Edge::new(1, 3)), (1, Edge::new(2, 3))]);
+        store.flush().unwrap();
+        let snap = store.materialize();
+        assert_eq!(snap.edges(), &[Edge::new(1, 3), Edge::new(2, 3)]);
+    }
+}

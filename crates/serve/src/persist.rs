@@ -49,8 +49,9 @@ use gesmc_engine::{
     CallbackSink, Checkpoint, CheckpointSink, EngineError, GraphSource, JobHandle, JobReport,
     JobSpec, JobState, QueuedJob, SampleContext, SampleSink,
 };
+use gesmc_exmem::{ExmemError, MappedEdgeList};
 use gesmc_graph::io::{
-    read_edge_list_binary, read_edge_list_binary_file, write_edge_list, write_edge_list_binary,
+    read_edge_list_binary_file, write_edge_list, write_edge_list_binary, BINARY_MAGIC,
 };
 use gesmc_graph::EdgeListGraph;
 use gesmc_randx::fnv1a_64;
@@ -250,6 +251,31 @@ fn warn(what: &str, err: &dyn std::fmt::Display) {
     gesmc_obs::warn!(target: "gesmc_serve::persist", "{what}: {err}");
 }
 
+/// Re-encode a spilled `GESMCEL1` sample through a zero-copy
+/// [`MappedEdgeList`] view: edges stream straight off the mapped pages (or
+/// the positioned-read fallback) into the text and binary response
+/// encodings, never materialising a heap edge vector on top of the file
+/// bytes.  Validation is the mapped view's — header rules identical to the
+/// heap parser, per-edge checks during the stream — so a corrupt spill
+/// yields `Err`, never wrong bytes.  Because spills are written from the
+/// canonical binary encoding (`u ≤ v`, slot order preserved), the
+/// re-encoded bytes are bit-identical to the originals.
+fn rehydrate_spill(path: &Path) -> Result<(Vec<u8>, Vec<u8>), ExmemError> {
+    let view = MappedEdgeList::open(path)?;
+    let mut text =
+        format!("# nodes {} edges {}\n", view.num_nodes(), view.num_edges()).into_bytes();
+    let mut binary = Vec::with_capacity(24 + 8 * view.num_edges());
+    binary.extend_from_slice(BINARY_MAGIC);
+    binary.extend_from_slice(&(view.num_nodes() as u64).to_le_bytes());
+    binary.extend_from_slice(&(view.num_edges() as u64).to_le_bytes());
+    view.for_each_edge(&mut |_, e| {
+        text.extend_from_slice(format!("{} {}\n", e.u(), e.v()).as_bytes());
+        binary.extend_from_slice(&e.u().to_le_bytes());
+        binary.extend_from_slice(&e.v().to_le_bytes());
+    })?;
+    Ok((text, binary))
+}
+
 impl Persistence {
     /// Open (creating if needed) the data directory layout under `root`.
     pub fn open(root: impl Into<PathBuf>, io: Arc<dyn PersistIo>) -> io::Result<Self> {
@@ -427,41 +453,31 @@ impl Persistence {
         }
     }
 
-    /// Rehydrate a spilled cache entry.  A missing file is a plain miss; a
-    /// corrupt file is metered and treated as a miss (never a wrong
-    /// sample — the strict `GESMCEL1` reader rejects any damage).
+    /// Rehydrate a spilled cache entry through a zero-copy
+    /// [`MappedEdgeList`] view.  A missing file is a plain miss; a corrupt
+    /// file is metered and treated as a miss (never a wrong sample — the
+    /// mapped view applies the same `GESMCEL1` validation rules as the
+    /// heap parser and re-checks bounds on every access).
     pub(crate) fn load_cached(&self, key: &CacheKey) -> Option<CachedSample> {
         let path = self.cache_path(key);
-        let bytes = match std::fs::read(&path) {
-            Ok(bytes) => bytes,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return None,
-            Err(e) => {
-                self.metrics.count_error();
-                warn("cache read failed", &e);
-                return None;
+        if !path.exists() {
+            return None;
+        }
+        match rehydrate_spill(&path) {
+            Ok((text, binary)) => {
+                self.metrics.cache_rehydrated.fetch_add(1, Ordering::Relaxed);
+                Some(CachedSample {
+                    text: Arc::new(text),
+                    binary: Arc::new(binary),
+                    seed: derive_sample_seed(key),
+                })
             }
-        };
-        let graph = match read_edge_list_binary(&bytes[..]) {
-            Ok(graph) => graph,
             Err(e) => {
                 self.metrics.count_error();
                 warn("corrupt cache entry skipped", &e);
-                return None;
+                None
             }
-        };
-        // Re-encode both formats from the parsed graph: the binary reader
-        // preserves edge order, so the bytes match the original encodings
-        // bit for bit.
-        let mut text = Vec::new();
-        write_edge_list(&mut text, &graph).expect("writing to a Vec cannot fail");
-        let mut binary = Vec::new();
-        write_edge_list_binary(&mut binary, &graph).expect("writing to a Vec cannot fail");
-        self.metrics.cache_rehydrated.fetch_add(1, Ordering::Relaxed);
-        Some(CachedSample {
-            text: Arc::new(text),
-            binary: Arc::new(binary),
-            seed: derive_sample_seed(key),
-        })
+        }
     }
 
     /// Load a job's spilled samples in index order, stopping at the first
@@ -488,13 +504,8 @@ impl Persistence {
             if index != samples.len() as u64 {
                 break; // gap: everything past it is unusable
             }
-            match read_edge_list_binary_file(&path) {
-                Ok(graph) => {
-                    let mut text = Vec::new();
-                    write_edge_list(&mut text, &graph).expect("writing to a Vec cannot fail");
-                    let mut binary = Vec::new();
-                    write_edge_list_binary(&mut binary, &graph)
-                        .expect("writing to a Vec cannot fail");
+            match rehydrate_spill(&path) {
+                Ok((text, binary)) => {
                     samples.push(StoredSample {
                         superstep,
                         text: Arc::new(text),

@@ -8,7 +8,7 @@
 use gesmc_serve::{FaultIo, IoOp, PersistIo, ServeConfig, Server};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -212,6 +212,89 @@ fn sample_spill_faults_keep_samples_fetchable_in_memory() {
     assert!(!sample.is_empty());
     assert!(metric(addr, "gesmc_persist_errors_total") >= 1);
     server.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Bind a server onto an existing data dir (restart; nothing is wiped).
+fn durable_server_at(dir: &Path, io: Arc<FaultIo>) -> Server {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        http_workers: 2,
+        engine_workers: 1,
+        data_dir: Some(dir.to_path_buf()),
+        checkpoint_every: 5,
+        persist_io: Some(io as Arc<dyn PersistIo>),
+        ..ServeConfig::default()
+    };
+    Server::bind(config).unwrap()
+}
+
+#[test]
+fn corrupt_cache_spills_rehydrate_as_misses_never_as_wrong_bytes() {
+    // The cache rehydration path streams spilled samples through the
+    // zero-copy mapped GESMCEL1 view; every kind of damage to the spilled
+    // file must surface as a recompute-miss with the identical bytes (seeds
+    // derive from the cache key), never as a served wrong sample.
+    let io = Arc::new(FaultIo::new());
+    let (server, dir) = durable_server("corrupt-spill", Arc::clone(&io));
+    let addr = server.local_addr();
+    let path = "/v1/sample?graph=pld:m=500&algo=par-global-es&supersteps=10";
+    let (status, head, original) = get(addr, path);
+    assert_eq!(status, 200);
+    assert_eq!(header(&head, "X-Gesmc-Cache"), Some("miss"));
+    server.shutdown();
+
+    let spill = std::fs::read_dir(dir.join("cache"))
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|ext| ext == "el"))
+        .expect("the sample must have spilled to cache/");
+    let pristine = std::fs::read(&spill).unwrap();
+
+    // Restart on the same data dir: the intact spill rehydrates through the
+    // mapped view and serves as a hit, bytes bit-identical.
+    let server = durable_server_at(&dir, Arc::new(FaultIo::new()));
+    let addr = server.local_addr();
+    let (status, head, body) = get(addr, path);
+    assert_eq!(status, 200);
+    assert_eq!(header(&head, "X-Gesmc-Cache"), Some("hit"), "intact spill must rehydrate");
+    assert_eq!(body, original, "rehydrated bytes must be bit-identical");
+    assert!(metric(addr, "gesmc_persist_cache_rehydrated_total") >= 1);
+    server.shutdown();
+
+    // Three damage modes against the mapped view: bad magic (rejected at
+    // open), truncation (rejected at open), and a self-loop edge (rejected
+    // during the validating stream).
+    let bad_magic = {
+        let mut b = pristine.clone();
+        b[0..8].copy_from_slice(b"NOTMAGIC");
+        b
+    };
+    let truncated = pristine[..pristine.len() - 4].to_vec();
+    let self_loop = {
+        let mut b = pristine.clone();
+        b[24..28].copy_from_slice(&1u32.to_le_bytes());
+        b[28..32].copy_from_slice(&1u32.to_le_bytes());
+        b
+    };
+    for (mode, bytes) in
+        [("bad magic", bad_magic), ("truncated", truncated), ("self-loop", self_loop)]
+    {
+        std::fs::write(&spill, &bytes).unwrap();
+        let server = durable_server_at(&dir, Arc::new(FaultIo::new()));
+        let addr = server.local_addr();
+        let (status, head, body) = get(addr, path);
+        assert_eq!(status, 200, "{mode}: the sample must be recomputed");
+        assert_eq!(
+            header(&head, "X-Gesmc-Cache"),
+            Some("miss"),
+            "{mode}: a corrupt spill must read as a miss"
+        );
+        assert_eq!(body, original, "{mode}: recomputed bytes must match (seeded)");
+        assert!(metric(addr, "gesmc_persist_errors_total") >= 1, "{mode}: must be metered");
+        server.shutdown();
+    }
     let _ = std::fs::remove_dir_all(dir);
 }
 

@@ -55,4 +55,6 @@ pub use error::StudyError;
 pub use report::{CellReport, StudyReport};
 pub use runner::{run_study, StudyOptions, StudyRun};
 pub use sink::{CellMetrics, CellOutcome, MetricsSink};
-pub use spec::{derive_seed, CellSpec, GraphSpec, PaperOverrides, StudyScale, StudySpec};
+pub use spec::{
+    derive_seed, CellSpec, GraphSpec, PaperOverrides, StudyScale, StudySpec, XlOverrides,
+};

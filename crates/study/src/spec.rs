@@ -24,7 +24,12 @@
 //!
 //! The top-level numbers describe the **smoke** scale (seconds on a laptop);
 //! the optional `"paper"` object overrides the superstep count and scales
-//! every graph's edge budget when the study runs with `--scale paper`.
+//! every graph's edge budget when the study runs with `--scale paper`.  An
+//! optional `"xl"` object of the same shape describes the **xl** scale:
+//! graphs sized past main memory, meant to run through the out-of-core
+//! `seq-es-ext` chain (`gesmc randomize --mmap`).  Absent an explicit `"xl"`
+//! block, xl keeps the paper superstep count and multiplies the paper edge
+//! budget by another 16×.
 //!
 //! Each `"chains"` entry is a [`ChainSpec`] — a plain name, a
 //! `name?key=value` string, or the equivalent JSON object — resolved against
@@ -46,14 +51,18 @@ pub enum StudyScale {
     /// Hours: the spec's `"paper"` overrides applied (superstep count and
     /// edge budgets approaching the publication's parameter ranges).
     Paper,
+    /// Out-of-core: the spec's `"xl"` overrides applied — edge budgets past
+    /// main memory, intended for the external-memory `seq-es-ext` chain.
+    Xl,
 }
 
 impl StudyScale {
-    /// Parse the CLI spelling (`"smoke"` / `"paper"`).
+    /// Parse the CLI spelling (`"smoke"` / `"paper"` / `"xl"`).
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "smoke" => Some(StudyScale::Smoke),
             "paper" => Some(StudyScale::Paper),
+            "xl" => Some(StudyScale::Xl),
             _ => None,
         }
     }
@@ -63,6 +72,7 @@ impl StudyScale {
         match self {
             StudyScale::Smoke => "smoke",
             StudyScale::Paper => "paper",
+            StudyScale::Xl => "xl",
         }
     }
 }
@@ -89,6 +99,16 @@ pub struct PaperOverrides {
     /// Superstep count at paper scale (default: the smoke count × 64).
     pub supersteps: Option<u64>,
     /// Multiplier on every graph's edge budget (default 16).
+    pub edge_factor: Option<u64>,
+}
+
+/// Overrides applied when a study runs with `--scale xl`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct XlOverrides {
+    /// Superstep count at xl scale (default: the paper count).
+    pub supersteps: Option<u64>,
+    /// Multiplier on every graph's *smoke* edge budget (default: the paper
+    /// factor × 16, i.e. another 16× past paper scale).
     pub edge_factor: Option<u64>,
 }
 
@@ -123,6 +143,8 @@ pub struct StudySpec {
     pub output_dir: PathBuf,
     /// Paper-scale overrides.
     pub paper: PaperOverrides,
+    /// Xl-scale (out-of-core) overrides.
+    pub xl: XlOverrides,
 }
 
 /// One cell of the sweep: a (chain, graph) pair with its derived seeds.
@@ -343,6 +365,17 @@ impl StudySpec {
             }
         };
 
+        let xl = match root.get("xl") {
+            None => XlOverrides::default(),
+            Some(v) if v.as_object().is_some() => XlOverrides {
+                supersteps: field_u64(v, "supersteps", "xl")?,
+                edge_factor: field_u64(v, "edge_factor", "xl")?,
+            },
+            Some(_) => {
+                return Err(StudyError::Spec("\"xl\" must be an object".to_string()));
+            }
+        };
+
         Ok(Self {
             name,
             chains,
@@ -358,6 +391,7 @@ impl StudySpec {
                 field_str(&root, "output_dir", "study")?.unwrap_or("results"),
             ),
             paper,
+            xl,
         })
     }
 
@@ -376,6 +410,11 @@ impl StudySpec {
             StudyScale::Paper => {
                 self.paper.supersteps.unwrap_or_else(|| self.supersteps.saturating_mul(64))
             }
+            // Xl grows the *graphs*, not the chain length: absent an explicit
+            // override it keeps the paper superstep count.
+            StudyScale::Xl => {
+                self.xl.supersteps.unwrap_or_else(|| self.supersteps_at(StudyScale::Paper))
+            }
         }
     }
 
@@ -386,6 +425,12 @@ impl StudySpec {
             StudyScale::Paper => {
                 base_edges.saturating_mul(self.paper.edge_factor.unwrap_or(16) as usize)
             }
+            StudyScale::Xl => base_edges.saturating_mul(
+                self.xl
+                    .edge_factor
+                    .unwrap_or_else(|| self.paper.edge_factor.unwrap_or(16).saturating_mul(16))
+                    as usize,
+            ),
         }
     }
 
@@ -518,6 +563,43 @@ mod tests {
         assert_eq!(bare.supersteps_at(StudyScale::Paper), 16 * 64);
         assert_eq!(bare.edges_at(StudyScale::Paper, 300), 4800);
         assert_eq!(bare.effective_proxy_stride(), 4);
+    }
+
+    #[test]
+    fn xl_scale_applies_overrides_and_defaults_past_paper() {
+        // Explicit "xl" block wins.
+        let explicit = StudySpec::parse(&SPEC.replace(
+            r#""paper": { "supersteps": 1024, "edge_factor": 8 }"#,
+            r#""paper": { "supersteps": 1024, "edge_factor": 8 },
+               "xl": { "supersteps": 2048, "edge_factor": 500 }"#,
+        ))
+        .unwrap();
+        let cells = explicit.cells(StudyScale::Xl);
+        assert_eq!(cells[0].supersteps, 2048);
+        assert_eq!(cells[0].graph.edges, 300 * 500);
+
+        // Without an "xl" block: paper supersteps, paper edge factor × 16.
+        let spec = StudySpec::parse(SPEC).unwrap();
+        assert_eq!(spec.supersteps_at(StudyScale::Xl), 1024);
+        assert_eq!(spec.edges_at(StudyScale::Xl, 300), 300 * 8 * 16);
+
+        // Bare defaults (neither "paper" nor "xl"): 64× smoke supersteps,
+        // 16 × 16 = 256× smoke edges.
+        let bare = StudySpec::parse(&SPEC.replace(
+            r#""paper": { "supersteps": 1024, "edge_factor": 8 }"#,
+            r#""proxy_stride": 4"#,
+        ))
+        .unwrap();
+        assert_eq!(bare.supersteps_at(StudyScale::Xl), 16 * 64);
+        assert_eq!(bare.edges_at(StudyScale::Xl, 300), 300 * 256);
+
+        assert_eq!(StudyScale::parse("xl"), Some(StudyScale::Xl));
+        assert_eq!(StudyScale::Xl.name(), "xl");
+        expect_spec_error(
+            r#"{"name": "x", "chains": ["seq-es"],
+                "graphs": [{"family": "gnp", "edges": 9}], "thinnings": [1], "xl": 3}"#,
+            "\"xl\" must be an object",
+        );
     }
 
     fn expect_spec_error(text: &str, needle: &str) {

@@ -14,6 +14,10 @@
 //! * [`analysis`] — autocorrelation-based mixing-time analysis and proxies;
 //! * [`datasets`] — the SynGnp / SynPld / NetRep-like dataset families;
 //! * [`concurrent`] — the concurrent hash sets and dependency tables;
+//! * [`exmem`] — out-of-core edge storage: a dependency-free mmap wrapper,
+//!   the zero-copy `MappedEdgeList` view, the disk-backed
+//!   `ExternalEdgeStore`, and the `seq-es-ext` chain (bit-identical to
+//!   `seq-es`; `gesmc randomize --mmap` on the command line);
 //! * [`randx`] — randomness utilities (bounded sampling, permutations);
 //! * [`engine`] — the batched randomization job engine: job queue + worker
 //!   pool, streaming thinned-sample sinks, binary checkpoint/resume, and the
@@ -62,6 +66,7 @@ pub use gesmc_concurrent as concurrent;
 pub use gesmc_core as chains;
 pub use gesmc_datasets as datasets;
 pub use gesmc_engine as engine;
+pub use gesmc_exmem as exmem;
 pub use gesmc_graph as graph;
 pub use gesmc_obs as obs;
 pub use gesmc_randx as randx;
@@ -85,7 +90,8 @@ pub mod prelude {
         CheckpointSink, GraphSource, JobControl, JobHandle, JobSpec, JobState, Manifest,
         MemorySink, SampleSink, ServicePool, WorkerPool,
     };
-    pub use gesmc_graph::{DegreeSequence, Edge, EdgeListGraph};
+    pub use gesmc_exmem::{ExternalEdgeStore, MappedEdgeList, SeqESExt};
+    pub use gesmc_graph::{DegreeSequence, Edge, EdgeListGraph, EdgeStore};
     pub use gesmc_serve::{ClusterConfig, PersistIo, ServeConfig, Server, StdFs};
     pub use gesmc_study::{run_study, MetricsSink, StudyOptions, StudyReport, StudySpec};
 }

@@ -145,3 +145,25 @@ fn committed_smoke_spec_is_valid_and_complete() {
     let paper_cells = spec.cells(StudyScale::Paper);
     assert!(paper_cells[0].graph.edges > smoke_cells[0].graph.edges);
 }
+
+#[test]
+fn committed_xl_spec_targets_the_out_of_core_chain() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("studies/outofcore_xl.json");
+    let spec = StudySpec::from_file(&path).unwrap();
+    assert_eq!(spec.name, "outofcore_xl");
+    assert!(
+        spec.chains.iter().any(|c| c.name == "seq-es-ext"),
+        "the xl study must sweep the external-memory chain"
+    );
+    assert!(
+        spec.chains.iter().any(|c| c.name == "seq-es"),
+        "the xl study must keep the in-memory control chain"
+    );
+    // Xl must scale the graphs past paper scale (that is its point); the
+    // superstep count stays within the paper range.
+    let base = spec.graphs[0].edges;
+    assert!(spec.edges_at(StudyScale::Xl, base) > spec.edges_at(StudyScale::Paper, base));
+    assert!(spec.supersteps_at(StudyScale::Xl) >= spec.supersteps_at(StudyScale::Smoke));
+    let cells = spec.cells(StudyScale::Xl);
+    assert_eq!(cells.len(), spec.chains.len() * spec.graphs.len());
+}
