@@ -1,0 +1,165 @@
+//! Fixed-bucket latency accounting for `gesmc loadgen`.
+//!
+//! Workers record each request latency into quarter-log2 microsecond
+//! buckets (`bound(i) = 2^(i/4) µs`), so a tally is a few hundred bytes
+//! regardless of run length, merging per-thread tallies is an array add,
+//! and percentiles are derived from the cumulative bucket counts.  The
+//! quarter-log2 spacing bounds the estimation error of any percentile at
+//! one bucket ratio (`2^(1/4) ≈ 1.19`); estimates are additionally clamped
+//! to the observed min/max, so constant workloads report exact values.
+
+/// Number of finite buckets; bucket `i` covers `(2^((i-1)/4), 2^(i/4)]` µs,
+/// the last bucket (~17.9 minutes) absorbs everything longer.
+pub const BUCKETS: usize = 121;
+
+/// The inclusive upper bound of bucket `i`, in microseconds.
+pub fn bucket_bound_us(i: usize) -> u64 {
+    2f64.powf(i as f64 / 4.0).round() as u64
+}
+
+fn bucket_index(us: u64) -> usize {
+    if us <= 1 {
+        return 0;
+    }
+    let i = (4.0 * (us as f64).log2()).ceil() as usize;
+    i.min(BUCKETS - 1)
+}
+
+/// A mergeable bucketed latency tally.
+#[derive(Debug, Clone)]
+pub struct LatencyBuckets {
+    counts: [u64; BUCKETS],
+    count: u64,
+    min_us: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyBuckets {
+    fn default() -> Self {
+        Self { counts: [0; BUCKETS], count: 0, min_us: u64::MAX, max_us: 0 }
+    }
+}
+
+impl LatencyBuckets {
+    /// Record one latency observation.
+    pub fn record_us(&mut self, us: u64) {
+        self.counts[bucket_index(us)] += 1;
+        self.count += 1;
+        self.min_us = self.min_us.min(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Fold another tally into this one.
+    pub fn merge(&mut self, other: &LatencyBuckets) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.min_us = self.min_us.min(other.min_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The `p`-th percentile (0..=1), derived from the bucket counts: the
+    /// upper bound of the bucket holding the rank, clamped to the observed
+    /// min/max.  Returns 0 for an empty tally.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64 * p).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                if i == BUCKETS - 1 {
+                    // Overflow bucket: its bound says nothing, the observed
+                    // max is the only honest estimate.
+                    return self.max_us;
+                }
+                return bucket_bound_us(i).clamp(self.min_us, self.max_us);
+            }
+        }
+        self.max_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_grow_by_a_quarter_log2() {
+        assert_eq!(bucket_bound_us(0), 1);
+        assert_eq!(bucket_bound_us(4), 2);
+        assert_eq!(bucket_bound_us(40), 1024);
+        for i in 1..BUCKETS {
+            assert!(bucket_bound_us(i) >= bucket_bound_us(i - 1), "bucket {i} not monotone");
+        }
+    }
+
+    #[test]
+    fn empty_tally_reports_zero() {
+        let tally = LatencyBuckets::default();
+        assert_eq!(tally.count(), 0);
+        assert_eq!(tally.percentile_us(0.50), 0);
+    }
+
+    #[test]
+    fn constant_workload_is_exact_and_skew_is_bounded() {
+        let mut tally = LatencyBuckets::default();
+        for _ in 0..100 {
+            tally.record_us(1_000);
+        }
+        // The clamp to the observed max makes a constant workload exact.
+        assert_eq!(tally.percentile_us(0.50), 1_000);
+        assert_eq!(tally.percentile_us(0.99), 1_000);
+
+        // A known mixture: 90 fast, 10 slow.  p50 lands in the fast bucket,
+        // p99 in the slow one, each within one bucket ratio (2^(1/4)).
+        let mut tally = LatencyBuckets::default();
+        for _ in 0..90 {
+            tally.record_us(500);
+        }
+        for _ in 0..10 {
+            tally.record_us(20_000);
+        }
+        let p50 = tally.percentile_us(0.50);
+        assert!((500..=595).contains(&p50), "p50 {p50}");
+        let p99 = tally.percentile_us(0.99);
+        assert!((20_000..=23_784).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn merge_matches_a_single_combined_tally() {
+        let mut a = LatencyBuckets::default();
+        let mut b = LatencyBuckets::default();
+        let mut combined = LatencyBuckets::default();
+        for us in [120, 4_500, 90, 300_000, 77] {
+            a.record_us(us);
+            combined.record_us(us);
+        }
+        for us in [2, 800, 15_000] {
+            b.record_us(us);
+            combined.record_us(us);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), combined.count());
+        for p in [0.5, 0.9, 0.99] {
+            assert_eq!(a.percentile_us(p), combined.percentile_us(p), "p{p}");
+        }
+    }
+
+    #[test]
+    fn outliers_land_in_the_overflow_bucket() {
+        let mut tally = LatencyBuckets::default();
+        tally.record_us(u64::MAX);
+        tally.record_us(3);
+        assert_eq!(tally.percentile_us(1.0), u64::MAX);
+        assert_eq!(tally.percentile_us(0.25), 3);
+    }
+}

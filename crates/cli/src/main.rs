@@ -23,6 +23,7 @@
 //!                    [--log-format {text,json}] [--log-level L]
 //!   gesmc loadgen    --endpoints A[,B,...] [--clients M] [--duration-secs S]
 //!                    [--keys K] [--edges M] [--algo SPEC] [--supersteps K] [--json]
+//!   gesmc trace      TRACE_ID --endpoints A[,B,...] [--width N] [--json]
 //!   gesmc --version | gesmc <subcommand> --help
 //! ```
 //!
@@ -65,6 +66,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::str::FromStr;
 
+mod latency;
+mod waterfall;
+
 fn print_usage() {
     println!(
         "gesmc — uniform sampling of simple graphs with prescribed degrees\n\
@@ -88,6 +92,7 @@ fn print_usage() {
                       [--log-format {{text,json}}] [--log-level L]\n\
            loadgen    --endpoints A[,B,...] [--clients M] [--duration-secs S]\n\
                       [--keys K] [--edges M] [--algo SPEC] [--supersteps K] [--json]\n\
+           trace      TRACE_ID --endpoints A[,B,...] [--width N] [--json]\n\
          \n\
          Run `gesmc <subcommand> --help` for per-subcommand details and\n\
          `gesmc --version` for the version.\n\
@@ -112,6 +117,7 @@ const SUBCOMMANDS: &[&str] = &[
     "study",
     "serve",
     "loadgen",
+    "trace",
     "help",
     "version",
 ];
@@ -255,6 +261,23 @@ fn command_help(command: &str) -> Option<&'static str> {
                --algo SPEC          chain spec (default par-global-es)\n\
                --supersteps K       supersteps per sample (default 20)\n\
                --json               print the summary as one JSON object (for CI)"
+        }
+        "trace" => {
+            "gesmc trace TRACE_ID --endpoints A[,B,...] [options]\n\
+             Reconstruct one distributed request: fetch the trace's span\n\
+             fragments from every listed serve node (GET /v1/debug/trace/{id}),\n\
+             join them on span ids, and render an ASCII waterfall — one line\n\
+             per span, bars positioned on the trace's wall-clock window.\n\
+             \n\
+             Trace ids come from the client SDK (Sample::trace_id), the\n\
+             X-Gesmc-Trace-Id response header, or GET /v1/debug/traces.\n\
+             \n\
+             Required:\n\
+               TRACE_ID             the 32-hex trace id to reconstruct\n\
+               --endpoints A[,B,..] serve addresses to collect fragments from\n\
+             Options:\n\
+               --width N            waterfall bar width in columns (default 32)\n\
+               --json               print the joined spans as one JSON object"
         }
         _ => return None,
     })
@@ -1090,22 +1113,15 @@ fn cmd_serve(positional: &[String], flags: &HashMap<String, String>) -> Result<(
 /// Per-thread tallies of one loadgen worker, merged after the run.
 #[derive(Default)]
 struct LoadgenTally {
-    latencies_us: Vec<u64>,
+    /// Bucketed latencies: constant-size per thread, whatever the run
+    /// length; percentiles are derived from the merged buckets.
+    latency: latency::LatencyBuckets,
     hits: u64,
     misses: u64,
     coalesced: u64,
     errors: u64,
     /// First few error messages, for the summary.
     error_samples: Vec<String>,
-}
-
-/// The `p`-th percentile (0..=1) of an already-sorted latency list.
-fn percentile_us(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
 }
 
 /// `gesmc loadgen`: drive one or more serve nodes with concurrent sample
@@ -1174,7 +1190,7 @@ fn cmd_loadgen(positional: &[String], flags: &HashMap<String, String>) -> Result
                         let t0 = std::time::Instant::now();
                         match client.samples().get(spec) {
                             Ok(sample) => {
-                                tally.latencies_us.push(t0.elapsed().as_micros() as u64);
+                                tally.latency.record_us(t0.elapsed().as_micros() as u64);
                                 match sample.cache.as_str() {
                                     "hit" => tally.hits += 1,
                                     "coalesced" => tally.coalesced += 1,
@@ -1197,10 +1213,9 @@ fn cmd_loadgen(positional: &[String], flags: &HashMap<String, String>) -> Result
     });
     let elapsed = start.elapsed().as_secs_f64();
 
-    let mut latencies: Vec<u64> = Vec::new();
     let mut merged = LoadgenTally::default();
     for tally in tallies {
-        latencies.extend(&tally.latencies_us);
+        merged.latency.merge(&tally.latency);
         merged.hits += tally.hits;
         merged.misses += tally.misses;
         merged.coalesced += tally.coalesced;
@@ -1211,13 +1226,12 @@ fn cmd_loadgen(positional: &[String], flags: &HashMap<String, String>) -> Result
             }
         }
     }
-    latencies.sort_unstable();
-    let requests = latencies.len() as u64;
+    let requests = merged.latency.count();
     let rps = if elapsed > 0.0 { requests as f64 / elapsed } else { 0.0 };
     let (p50, p90, p99) = (
-        percentile_us(&latencies, 0.50),
-        percentile_us(&latencies, 0.90),
-        percentile_us(&latencies, 0.99),
+        merged.latency.percentile_us(0.50),
+        merged.latency.percentile_us(0.90),
+        merged.latency.percentile_us(0.99),
     );
 
     if flags.contains_key("json") {
@@ -1264,7 +1278,105 @@ fn cmd_loadgen(positional: &[String], flags: &HashMap<String, String>) -> Result
     Ok(())
 }
 
+/// `gesmc trace`: fetch a trace's span fragments from every listed serve
+/// node, join them on span ids, and render the cross-process waterfall.
+fn cmd_trace(positional: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+    reject_unknown_flags("trace", flags, &["endpoints", "width", "json"])?;
+    let trace_id = match positional {
+        [id] => id.as_str(),
+        _ => return Err("trace takes exactly one TRACE_ID argument (32 hex digits)".to_string()),
+    };
+    if gesmc_obs::TraceId::parse(trace_id).is_none() {
+        return Err(format!("trace id {trace_id:?} is not 32 hex digits"));
+    }
+    let endpoints: Vec<String> = require(flags, "endpoints")?
+        .split(',')
+        .map(str::trim)
+        .filter(|e| !e.is_empty())
+        .map(String::from)
+        .collect();
+    if endpoints.is_empty() {
+        return Err("--endpoints needs at least one address".to_string());
+    }
+    let width: usize = parse_flag_or(flags, "width", 32)?;
+    if width == 0 {
+        return Err("--width must be at least 1".to_string());
+    }
+
+    let path = format!("/v1/debug/trace/{trace_id}");
+    let mut fragments = Vec::new();
+    for endpoint in &endpoints {
+        match gesmc_cluster::request(endpoint, "GET", &path, &[], &[]) {
+            Ok(resp) if resp.status == 200 => {
+                let text = String::from_utf8_lossy(&resp.body);
+                let fragment = waterfall::parse_fragment(&text, trace_id)
+                    .map_err(|e| format!("{endpoint}: {e}"))?;
+                fragments.push(fragment);
+            }
+            // 404 is normal: a node that never touched the request (or
+            // whose ring evicted the trace) holds no fragment.
+            Ok(resp) if resp.status == 404 => {}
+            Ok(resp) => return Err(format!("{endpoint}: HTTP {}", resp.status)),
+            Err(e) => return Err(format!("cannot reach {endpoint}: {e}")),
+        }
+    }
+    let spans = waterfall::join_fragments(fragments);
+    if spans.is_empty() {
+        return Err(format!(
+            "no node among {} holds trace {trace_id} (the tail sampler may have \
+             dropped it, or the ring evicted it; client-originated traces are \
+             always kept while resident)",
+            endpoints.join(", ")
+        ));
+    }
+
+    if flags.contains_key("json") {
+        let spans_json: Vec<serde_json::Value> = spans
+            .iter()
+            .map(|span| {
+                let mut map = serde_json::Map::new();
+                map.insert("span_id".to_string(), serde_json::Value::String(span.span_id.clone()));
+                map.insert(
+                    "parent_id".to_string(),
+                    match &span.parent_id {
+                        Some(parent) => serde_json::Value::String(parent.clone()),
+                        None => serde_json::Value::Null,
+                    },
+                );
+                map.insert("name".to_string(), serde_json::Value::String(span.name.clone()));
+                map.insert("service".to_string(), serde_json::Value::String(span.service.clone()));
+                map.insert(
+                    "start_unix_us".to_string(),
+                    serde_json::Value::Number(span.start_unix_us as f64),
+                );
+                map.insert(
+                    "duration_us".to_string(),
+                    serde_json::Value::Number(span.duration_us as f64),
+                );
+                map.insert("error".to_string(), serde_json::Value::Bool(span.error));
+                let mut annotations = serde_json::Map::new();
+                for (key, value) in &span.annotations {
+                    annotations.insert(key.clone(), serde_json::Value::String(value.clone()));
+                }
+                map.insert("annotations".to_string(), serde_json::Value::Object(annotations));
+                serde_json::Value::Object(map)
+            })
+            .collect();
+        let mut doc = serde_json::Map::new();
+        doc.insert("trace_id".to_string(), serde_json::Value::String(trace_id.to_string()));
+        doc.insert("spans".to_string(), serde_json::Value::Array(spans_json));
+        println!("{}", serde_json::to_string(&serde_json::Value::Object(doc)).expect("flat JSON"));
+    } else {
+        print!("{}", waterfall::render_waterfall(trace_id, &spans, width));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
+    // Spans originated here (the client SDK's fetches, loadgen) are
+    // attributed to "cli" in joined trace trees; `serve` overrides this
+    // with its advertise address when it binds.
+    gesmc_obs::trace::tracer().set_service("cli");
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
         print_usage();
@@ -1307,6 +1419,7 @@ fn main() -> ExitCode {
         "study" => cmd_study(&positional, &flags),
         "serve" => cmd_serve(&positional, &flags),
         "loadgen" => cmd_loadgen(&positional, &flags),
+        "trace" => cmd_trace(&positional, &flags),
         "--help" | "-h" | "help" => {
             print_usage();
             Ok(())

@@ -1,0 +1,312 @@
+//! Joining and rendering distributed trace fragments (`gesmc trace`).
+//!
+//! Every serve node holds only the spans *it* recorded for a trace
+//! (`GET /v1/debug/trace/{id}`).  The viewer fetches each node's fragment,
+//! joins them on span ids, rebuilds the parent tree, and renders an ASCII
+//! waterfall over the trace's wall-clock window.  Span ids are minted
+//! per-process but parent links cross process boundaries (the trace header
+//! carries the parent's span id), so the joined set forms one tree even
+//! when its pieces come from different machines.
+
+use serde_json::Value;
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+/// One span parsed out of a node's trace fragment.
+#[derive(Debug, Clone)]
+pub struct TraceSpan {
+    /// 16-hex span id, unique within the trace.
+    pub span_id: String,
+    /// Parent span id, `None` for the trace root.
+    pub parent_id: Option<String>,
+    /// Phase name (`request`, `forward`, `compute`, …).
+    pub name: String,
+    /// The service that recorded the span (a node's advertise address,
+    /// `cli`, …).
+    pub service: String,
+    /// Start time, microseconds since the Unix epoch (recording node's
+    /// clock).
+    pub start_unix_us: u64,
+    /// Wall-clock duration in microseconds.
+    pub duration_us: u64,
+    /// Whether the span was marked as an error.
+    pub error: bool,
+    /// `key=value` annotations in recording order.
+    pub annotations: Vec<(String, String)>,
+}
+
+/// Parse one `/v1/debug/trace/{id}` document into its spans.  `expect_id`
+/// guards against a node answering for a different trace.
+pub fn parse_fragment(json: &str, expect_id: &str) -> Result<Vec<TraceSpan>, String> {
+    let doc = serde_json::from_str(json).map_err(|e| format!("fragment is not JSON: {e}"))?;
+    let trace_id = doc
+        .get("trace_id")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "fragment lacks \"trace_id\"".to_string())?;
+    if trace_id != expect_id {
+        return Err(format!("fragment is for trace {trace_id}, expected {expect_id}"));
+    }
+    let spans = doc
+        .get("spans")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "fragment lacks a \"spans\" array".to_string())?;
+    let mut out = Vec::with_capacity(spans.len());
+    for (i, span) in spans.iter().enumerate() {
+        let field_str = |name: &str| {
+            span.get(name)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("span #{i} lacks string field {name:?}"))
+        };
+        let field_u64 = |name: &str| {
+            span.get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("span #{i} lacks integer field {name:?}"))
+        };
+        let mut annotations = Vec::new();
+        if let Some(map) = span.get("annotations").and_then(Value::as_object) {
+            for (key, value) in map.iter() {
+                if let Some(value) = value.as_str() {
+                    annotations.push((key.clone(), value.to_string()));
+                }
+            }
+        }
+        out.push(TraceSpan {
+            span_id: field_str("span_id")?,
+            parent_id: span
+                .get("parent_id")
+                .filter(|v| !v.is_null())
+                .and_then(Value::as_str)
+                .map(str::to_string),
+            name: field_str("name")?,
+            service: field_str("service")?,
+            start_unix_us: field_u64("start_unix_us")?,
+            duration_us: field_u64("duration_us")?,
+            error: span.get("error").and_then(Value::as_bool).unwrap_or(false),
+            annotations,
+        });
+    }
+    Ok(out)
+}
+
+/// Join fragments from several nodes into one span set: duplicates (the
+/// same span id reported twice) keep the first occurrence.
+pub fn join_fragments(fragments: Vec<Vec<TraceSpan>>) -> Vec<TraceSpan> {
+    let mut seen = HashSet::new();
+    let mut joined = Vec::new();
+    for fragment in fragments {
+        for span in fragment {
+            if seen.insert(span.span_id.clone()) {
+                joined.push(span);
+            }
+        }
+    }
+    joined
+}
+
+/// Depth-first order of the joined tree: roots (no parent, or parent not in
+/// the set — a fragment may be missing) by start time, children likewise.
+fn tree_order(spans: &[TraceSpan]) -> Vec<(usize, usize)> {
+    let ids: HashSet<&str> = spans.iter().map(|s| s.span_id.as_str()).collect();
+    let mut children: HashMap<&str, Vec<usize>> = HashMap::new();
+    let mut roots = Vec::new();
+    for (i, span) in spans.iter().enumerate() {
+        match span.parent_id.as_deref().filter(|p| ids.contains(p)) {
+            Some(parent) => children.entry(parent).or_default().push(i),
+            None => roots.push(i),
+        }
+    }
+    let by_start = |list: &mut Vec<usize>| {
+        list.sort_by_key(|&i| (spans[i].start_unix_us, spans[i].span_id.clone()));
+    };
+    by_start(&mut roots);
+    for list in children.values_mut() {
+        by_start(list);
+    }
+    let mut order = Vec::with_capacity(spans.len());
+    let mut stack: Vec<(usize, usize)> = roots.into_iter().rev().map(|i| (i, 0)).collect();
+    while let Some((i, depth)) = stack.pop() {
+        order.push((i, depth));
+        if let Some(kids) = children.get(spans[i].span_id.as_str()) {
+            for &kid in kids.iter().rev() {
+                stack.push((kid, depth + 1));
+            }
+        }
+    }
+    order
+}
+
+fn format_ms(us: u64) -> String {
+    format!("{:.2} ms", us as f64 / 1e3)
+}
+
+/// Render the joined span set as an ASCII waterfall: one line per span in
+/// tree order, with a `bar_width`-column bar positioned on the trace's
+/// wall-clock window.  Clocks of different machines may skew; bars from a
+/// remote service are positioned on that machine's own timestamps.
+pub fn render_waterfall(trace_id: &str, spans: &[TraceSpan], bar_width: usize) -> String {
+    let mut out = String::new();
+    if spans.is_empty() {
+        let _ = writeln!(out, "trace {trace_id}: no spans");
+        return out;
+    }
+    let services: HashSet<&str> = spans.iter().map(|s| s.service.as_str()).collect();
+    let window_start = spans.iter().map(|s| s.start_unix_us).min().unwrap_or(0);
+    let window_end = spans
+        .iter()
+        .map(|s| s.start_unix_us.saturating_add(s.duration_us))
+        .max()
+        .unwrap_or(window_start);
+    let window_us = (window_end - window_start).max(1);
+    let _ = writeln!(
+        out,
+        "trace {trace_id} — {} span{} across {} service{}, {} total",
+        spans.len(),
+        if spans.len() == 1 { "" } else { "s" },
+        services.len(),
+        if services.len() == 1 { "" } else { "s" },
+        format_ms(window_us),
+    );
+
+    let order = tree_order(spans);
+    let service_col = spans.iter().map(|s| s.service.len()).max().unwrap_or(0);
+    let name_col =
+        order.iter().map(|&(i, depth)| 2 * depth + spans[i].name.len()).max().unwrap_or(0);
+    for (i, depth) in order {
+        let span = &spans[i];
+        let offset_us = span.start_unix_us.saturating_sub(window_start);
+        let lead = (offset_us as u128 * bar_width as u128 / window_us as u128) as usize;
+        let lead = lead.min(bar_width.saturating_sub(1));
+        let len = (span.duration_us as u128 * bar_width as u128 / window_us as u128) as usize;
+        let len = len.clamp(1, bar_width - lead);
+        let mut bar = String::with_capacity(bar_width * 3);
+        bar.push_str(&"·".repeat(lead));
+        bar.push_str(&"█".repeat(len));
+        bar.push_str(&"·".repeat(bar_width - lead - len));
+        let label = format!("{:indent$}{}", "", span.name, indent = 2 * depth);
+        let mut line = format!(
+            "{:<service_col$}  {:<name_col$}  |{bar}|  {:>10}",
+            span.service,
+            label,
+            format_ms(span.duration_us),
+        );
+        if span.error {
+            line.push_str("  ERROR");
+        }
+        if !span.annotations.is_empty() {
+            let mut rendered = String::new();
+            for (j, (key, value)) in span.annotations.iter().enumerate() {
+                if j > 0 {
+                    rendered.push(' ');
+                }
+                let _ = write!(rendered, "{key}={value}");
+            }
+            if rendered.len() > 72 {
+                rendered.truncate(69);
+                rendered.push_str("...");
+            }
+            let _ = write!(line, "  {rendered}");
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(
+        id: &str,
+        parent: Option<&str>,
+        name: &str,
+        service: &str,
+        start: u64,
+        dur: u64,
+    ) -> TraceSpan {
+        TraceSpan {
+            span_id: id.to_string(),
+            parent_id: parent.map(str::to_string),
+            name: name.to_string(),
+            service: service.to_string(),
+            start_unix_us: start,
+            duration_us: dur,
+            error: false,
+            annotations: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn fragments_parse_and_reject_mismatched_ids() {
+        let json = r#"{"trace_id":"aa","service":"n1","spans":[
+            {"span_id":"01","parent_id":null,"name":"request","service":"n1",
+             "start_unix_us":100,"duration_us":50,"error":false,
+             "annotations":{"path":"/v1/sample"}}]}"#;
+        let spans = parse_fragment(json, "aa").unwrap();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "request");
+        assert_eq!(spans[0].parent_id, None);
+        assert_eq!(spans[0].annotations, vec![("path".to_string(), "/v1/sample".to_string())]);
+        let err = parse_fragment(json, "bb").unwrap_err();
+        assert!(err.contains("expected bb"), "{err}");
+        assert!(parse_fragment("{}", "aa").is_err());
+        assert!(parse_fragment("not json", "aa").is_err());
+    }
+
+    #[test]
+    fn join_dedups_on_span_id_first_wins() {
+        let a = vec![span("01", None, "request", "n1", 0, 10)];
+        let b = vec![
+            span("01", None, "request", "n2", 0, 99),
+            span("02", Some("01"), "compute", "n2", 2, 6),
+        ];
+        let joined = join_fragments(vec![a, b]);
+        assert_eq!(joined.len(), 2);
+        assert_eq!(joined[0].service, "n1", "first fragment wins the duplicate");
+        assert_eq!(joined[1].name, "compute");
+    }
+
+    #[test]
+    fn tree_order_nests_cross_service_children_and_keeps_orphans() {
+        let spans = vec![
+            span("03", Some("02"), "compute", "n2", 30, 40),
+            span("01", None, "client_fetch", "cli", 0, 100),
+            span("02", Some("01"), "request", "n2", 20, 60),
+            span("09", Some("77"), "orphan", "n3", 5, 1), // parent fragment missing
+        ];
+        let order = tree_order(&spans);
+        let names: Vec<(&str, usize)> =
+            order.iter().map(|&(i, d)| (spans[i].name.as_str(), d)).collect();
+        assert_eq!(names, vec![("client_fetch", 0), ("request", 1), ("compute", 2), ("orphan", 0)]);
+    }
+
+    #[test]
+    fn waterfall_renders_one_line_per_span_with_scaled_bars() {
+        let mut spans = vec![
+            span("01", None, "request", "n1:1", 0, 100),
+            span("02", Some("01"), "forward", "n1:1", 10, 80),
+            span("03", Some("02"), "request", "n2:2", 15, 70),
+        ];
+        spans[1].error = true;
+        spans[2].annotations.push(("status".to_string(), "200".to_string()));
+        let text = render_waterfall("cafe", &spans, 20);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "{text}");
+        assert!(lines[0].contains("trace cafe — 3 spans across 2 services"), "{text}");
+        assert!(lines[1].contains("request") && lines[1].contains("0.10 ms"), "{text}");
+        assert!(lines[2].contains("  forward") && lines[2].contains("ERROR"), "{text}");
+        assert!(lines[3].contains("status=200"), "{text}");
+        // The root bar spans the full window; the nested ones are shorter.
+        let bar_len = |line: &str| line.chars().filter(|&c| c == '█').count();
+        assert_eq!(bar_len(lines[1]), 20, "{text}");
+        assert!(bar_len(lines[2]) < 20 && bar_len(lines[2]) >= 15, "{text}");
+    }
+
+    #[test]
+    fn waterfall_survives_empty_and_zero_duration_spans() {
+        assert!(render_waterfall("dead", &[], 20).contains("no spans"));
+        let spans = vec![span("01", None, "request", "n1", 500, 0)];
+        let text = render_waterfall("dead", &spans, 20);
+        assert!(text.contains('█'), "zero-duration spans still get a visible bar: {text}");
+    }
+}

@@ -132,6 +132,10 @@ pub struct Sample {
     pub seed: u64,
     /// The endpoint that answered.
     pub endpoint: String,
+    /// The trace id this fetch originated (32 hex digits).  The client sets
+    /// the sampled flag, so every hop keeps its spans and `gesmc trace`
+    /// can reconstruct the request afterwards.
+    pub trace_id: String,
 }
 
 /// The `Samples` resource: ring-routed one-shot sampling.
@@ -143,15 +147,34 @@ impl Samples<'_> {
     fn fetch(&self, spec: &SampleSpec, accept: &str) -> Result<Sample, ClientError> {
         let key = spec.key()?;
         let path = spec.path("");
-        let headers = [("Accept", accept)];
-        let out = expect_success(self.pool.routed(
-            key.ring_hash(),
-            &PoolRequest { method: "GET", path: &path, headers: &headers, body: &[] },
-        )?)?;
+        // Originate the trace client-side with the sampled flag set: every
+        // server that handles a hop keeps its span fragment, so the id
+        // returned in [`Sample::trace_id`] is always resolvable afterwards.
+        let mut span = gesmc_obs::trace::tracer()
+            .start_root_flagged("client_fetch", gesmc_obs::trace::FLAG_SAMPLED);
+        span.annotate("path", path.clone());
+        let trace_header = span.context().to_header();
+        let headers = [("Accept", accept), ("X-Gesmc-Trace", &trace_header)];
+        let out = match self
+            .pool
+            .routed(
+                key.ring_hash(),
+                &PoolRequest { method: "GET", path: &path, headers: &headers, body: &[] },
+            )
+            .and_then(expect_success)
+        {
+            Ok(out) => out,
+            Err(e) => {
+                span.set_error();
+                return Err(e);
+            }
+        };
+        span.annotate("endpoint", out.endpoint.clone());
         let cache = out.response.header("x-gesmc-cache").unwrap_or("unknown").to_string();
         let seed =
             out.response.header("x-gesmc-seed").and_then(|v| v.parse().ok()).unwrap_or_default();
-        Ok(Sample { bytes: out.response.body, cache, seed, endpoint: out.endpoint })
+        let trace_id = span.trace_id().to_hex();
+        Ok(Sample { bytes: out.response.body, cache, seed, endpoint: out.endpoint, trace_id })
     }
 
     /// Fetch the sample in the binary edge-list encoding.

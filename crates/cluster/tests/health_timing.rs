@@ -1,0 +1,155 @@
+//! Re-probe timing of [`HealthTracker`] against a fake clock.
+//!
+//! `HealthTracker` takes `now_ms` explicitly on every call, so the full
+//! ejection → probe → recovery cycle is pinned here without a single
+//! sleep: a [`FakeClock`] advances milliseconds deterministically and the
+//! assertions check the exact tick each transition happens on.
+
+use gesmc_cluster::{HealthPolicy, HealthTracker, PeerStatus};
+
+/// A deterministic millisecond clock the tests advance by hand.
+struct FakeClock {
+    now_ms: u64,
+}
+
+impl FakeClock {
+    fn new() -> Self {
+        Self { now_ms: 0 }
+    }
+
+    fn now(&self) -> u64 {
+        self.now_ms
+    }
+
+    fn advance(&mut self, ms: u64) -> u64 {
+        self.now_ms += ms;
+        self.now_ms
+    }
+}
+
+#[test]
+fn three_strikes_eject_under_the_default_policy() {
+    let policy = HealthPolicy::default();
+    assert_eq!(policy.eject_after, 3, "the documented default is 3 strikes");
+    let mut clock = FakeClock::new();
+    let mut tracker = HealthTracker::new(policy);
+
+    // Two failures leave the peer healthy and routable.
+    for _ in 0..2 {
+        assert!(!tracker.record_failure("peer", clock.advance(10)));
+        assert_eq!(tracker.status("peer", clock.now()), PeerStatus::Healthy);
+        assert!(tracker.is_available("peer", clock.now()));
+    }
+    // The third consecutive failure ejects.
+    assert!(tracker.record_failure("peer", clock.advance(10)));
+    assert!(!tracker.is_available("peer", clock.now()));
+    assert_eq!(tracker.status("peer", clock.now()), PeerStatus::Ejected { for_ms: 0 });
+
+    // The ejection age follows the fake clock exactly.
+    let ejected_at = clock.now();
+    clock.advance(137);
+    assert_eq!(
+        tracker.status("peer", clock.now()),
+        PeerStatus::Ejected { for_ms: clock.now() - ejected_at }
+    );
+}
+
+#[test]
+fn a_success_between_failures_resets_the_strike_count() {
+    let mut clock = FakeClock::new();
+    let mut tracker = HealthTracker::new(HealthPolicy::default());
+    assert!(!tracker.record_failure("peer", clock.advance(1)));
+    assert!(!tracker.record_failure("peer", clock.advance(1)));
+    tracker.record_success("peer");
+    // The streak restarted: two more failures still don't eject.
+    assert!(!tracker.record_failure("peer", clock.advance(1)));
+    assert!(!tracker.record_failure("peer", clock.advance(1)));
+    assert_eq!(tracker.status("peer", clock.now()), PeerStatus::Healthy);
+    assert!(tracker.record_failure("peer", clock.advance(1)), "third of the new streak ejects");
+}
+
+#[test]
+fn the_probe_window_opens_on_the_exact_tick_and_has_one_slot() {
+    let policy = HealthPolicy::default();
+    let mut clock = FakeClock::new();
+    let mut tracker = HealthTracker::new(policy);
+    for _ in 0..policy.eject_after {
+        tracker.record_failure("peer", clock.now());
+    }
+
+    // One tick before the window opens: every caller is refused.
+    clock.advance(policy.probe_after_ms - 1);
+    assert!(!tracker.is_available("peer", clock.now()));
+
+    // On the opening tick, the FIRST caller claims the single probe slot;
+    // concurrent callers keep being refused so a recovering peer is never
+    // stampeded.
+    clock.advance(1);
+    assert!(tracker.is_available("peer", clock.now()));
+    for _ in 0..5 {
+        assert!(!tracker.is_available("peer", clock.now()));
+    }
+    // Time passing does not mint another slot while the probe is in flight.
+    clock.advance(10 * policy.probe_after_ms);
+    assert!(!tracker.is_available("peer", clock.now()));
+}
+
+#[test]
+fn a_failed_probe_restarts_the_window_a_successful_one_recovers() {
+    let policy = HealthPolicy::default();
+    let mut clock = FakeClock::new();
+    let mut tracker = HealthTracker::new(policy);
+    for _ in 0..policy.eject_after {
+        tracker.record_failure("peer", clock.now());
+    }
+
+    // First probe fails: the ejection timer restarts from the failure.
+    clock.advance(policy.probe_after_ms);
+    assert!(tracker.is_available("peer", clock.now()));
+    assert!(tracker.record_failure("peer", clock.now()), "a failed probe re-ejects");
+    let reejected_at = clock.now();
+    clock.advance(policy.probe_after_ms - 1);
+    assert!(!tracker.is_available("peer", clock.now()), "window measures from the failed probe");
+    assert_eq!(
+        tracker.status("peer", clock.now()),
+        PeerStatus::Ejected { for_ms: clock.now() - reejected_at }
+    );
+
+    // Second probe succeeds: the peer returns to Healthy with a clean
+    // strike count.
+    clock.advance(1);
+    assert!(tracker.is_available("peer", clock.now()));
+    tracker.record_success("peer");
+    assert_eq!(tracker.status("peer", clock.now()), PeerStatus::Healthy);
+    assert!(tracker.is_available("peer", clock.now()));
+    // Fully recovered: the next failure is strike one, not a re-ejection.
+    assert!(!tracker.record_failure("peer", clock.advance(5)));
+    assert_eq!(tracker.status("peer", clock.now()), PeerStatus::Healthy);
+}
+
+#[test]
+fn peers_track_independent_clocks_and_snapshots_sort() {
+    let policy = HealthPolicy::default();
+    let mut clock = FakeClock::new();
+    let mut tracker = HealthTracker::new(policy);
+    for _ in 0..policy.eject_after {
+        tracker.record_failure("b-peer", clock.now());
+    }
+    clock.advance(policy.probe_after_ms / 2);
+    for _ in 0..policy.eject_after {
+        tracker.record_failure("a-peer", clock.now());
+    }
+    tracker.record_success("c-peer");
+
+    // b-peer's window opens first; a-peer's half a window later.
+    clock.advance(policy.probe_after_ms / 2);
+    assert!(tracker.is_available("b-peer", clock.now()));
+    assert!(!tracker.is_available("a-peer", clock.now()));
+    clock.advance(policy.probe_after_ms / 2);
+    assert!(tracker.is_available("a-peer", clock.now()));
+
+    let snapshot = tracker.snapshot(clock.now());
+    let names: Vec<&str> = snapshot.iter().map(|(name, _)| name.as_str()).collect();
+    assert_eq!(names, ["a-peer", "b-peer", "c-peer"], "snapshot sorts by peer name");
+    assert_eq!(snapshot[2].1, PeerStatus::Healthy);
+}

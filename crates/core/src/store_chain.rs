@@ -48,4 +48,10 @@ pub trait StoreSwitching: EdgeSwitching {
 
     /// Flush buffered dirty state to the backing storage.
     fn flush_store(&mut self) -> std::io::Result<()>;
+
+    /// Cumulative backend I/O counters (defaults to all-zero for stores
+    /// without real I/O); used to annotate trace spans with chunk traffic.
+    fn store_io_stats(&self) -> gesmc_graph::StoreIoStats {
+        gesmc_graph::StoreIoStats::default()
+    }
 }

@@ -146,8 +146,20 @@ pub fn run_external_job(
 ) -> Result<JobReport, EngineError> {
     let start = Instant::now();
     let scratch = job.scratch_path();
-    let store = ExternalEdgeStore::create(&job.input, &scratch, job.memory_budget)
-        .map_err(|e| EngineError::Graph(format!("{}: {e}", job.input.display())))?;
+    let mut create_span = gesmc_obs::trace::child_of_current("store_create");
+    let store =
+        ExternalEdgeStore::create(&job.input, &scratch, job.memory_budget).map_err(|e| {
+            if let Some(span) = create_span.as_mut() {
+                span.set_error();
+            }
+            EngineError::Graph(format!("{}: {e}", job.input.display()))
+        })?;
+    if let Some(span) = create_span.as_mut() {
+        span.annotate("input", job.input.display().to_string());
+        span.annotate("budget_bytes", job.memory_budget.to_string());
+        span.annotate("max_chunks", store.max_chunks().to_string());
+    }
+    drop(create_span);
     let chain = registry.build_store(&job.algorithm, Box::new(store), job.seed)?;
     drive(job, &scratch, chain, &job.algorithm, 0, 0, start)
 }
@@ -170,6 +182,7 @@ pub fn resume_external_job(
 ) -> Result<JobReport, EngineError> {
     let start = Instant::now();
     let scratch = job.scratch_path();
+    let mut restore_span = gesmc_obs::trace::child_of_current("checkpoint_restore");
     let mut reader = CheckpointReader::open(checkpoint)?;
     let num_nodes = reader.meta().snapshot.num_nodes as u64;
     let mut writer = BinaryEdgeListWriter::create(&scratch, num_nodes)
@@ -182,8 +195,17 @@ pub fn resume_external_job(
     }
     // Verify the trailing checksum BEFORE publishing the scratch file: `?`
     // here drops the unfinished writer, which unlinks its temp file.
-    let meta = reader.finish()?;
+    let meta = reader.finish().map_err(|e| {
+        if let Some(span) = restore_span.as_mut() {
+            span.set_error();
+        }
+        e
+    })?;
     writer.finish().map_err(|e| EngineError::Graph(format!("{}: {e}", scratch.display())))?;
+    if let Some(span) = restore_span.as_mut() {
+        span.annotate("resumed_from", meta.snapshot.supersteps_done.to_string());
+    }
+    drop(restore_span);
 
     let spec = meta.chain_spec();
     let store = ExternalEdgeStore::adopt(&scratch, job.memory_budget)
@@ -233,57 +255,92 @@ fn drive(
     let mut legal = 0u64;
     let mut checkpoints = 0u64;
 
-    for step in resumed_from + 1..=job.supersteps {
-        let stats = gesmc_obs::span!(superstep_hist, { chain.superstep() });
-        requested += stats.requested as u64;
-        legal += stats.legal as u64;
+    // One trace span over the whole loop, annotated with the store's chunk
+    // traffic on completion — the per-superstep histogram keeps fine timing.
+    let mut loop_span = gesmc_obs::trace::child_of_current("supersteps");
+    if let Some(span) = loop_span.as_mut() {
+        span.annotate("job", job.name.clone());
+        span.annotate("chain", chain.name());
+        span.annotate("supersteps", job.supersteps.saturating_sub(resumed_from).to_string());
+        span.annotate("budget_bytes", job.memory_budget.to_string());
+    }
+    let io_before = chain.store_io_stats();
+    let loop_result = (|| -> Result<(), EngineError> {
+        for step in resumed_from + 1..=job.supersteps {
+            let stats = gesmc_obs::span!(superstep_hist, { chain.superstep() });
+            requested += stats.requested as u64;
+            legal += stats.legal as u64;
 
-        let emit =
-            if job.thinning == 0 { step == job.supersteps } else { step % job.thinning == 0 };
-        if emit {
-            let out = match &job.output {
-                ExternalOutput::Discard => None,
-                ExternalOutput::Directory(dir) => {
-                    Some(dir.join(format!("{}-s{step:06}.el", job.name)))
-                }
-                ExternalOutput::FinalFile(path) => Some(path.clone()),
-            };
-            emit_sample(chain.as_mut(), out.as_deref(), &degrees, &job.name, step)?;
-            samples_emitted += 1;
-            samples_counter.inc();
-        }
-
-        let due = job
-            .checkpoint_every
-            .is_some_and(|every| every > 0 && step % every == 0 && step < job.supersteps);
-        if due {
-            if let Some(dir) = &job.checkpoint_dir {
-                let capture_timer = gesmc_obs::Timer::start(&capture_hist);
-                let meta = Checkpoint {
-                    job_name: job.name.clone(),
-                    snapshot: chain.snapshot_meta(),
-                    algorithm_spec: Some(algorithm_spec.clone()),
-                    total_supersteps: job.supersteps,
-                    thinning: job.thinning,
-                    samples_emitted,
-                };
-                let path = dir.join(format!("{}.ckpt", job.name));
-                let mut writer = CheckpointWriter::create(&path, &meta, chain.num_edges() as u64)?;
-                let mut push_err = None;
-                chain.stream_edges(&mut |edge| {
-                    if push_err.is_none() {
-                        push_err = writer.push_edge(edge).err();
+            let emit =
+                if job.thinning == 0 { step == job.supersteps } else { step % job.thinning == 0 };
+            if emit {
+                let out = match &job.output {
+                    ExternalOutput::Discard => None,
+                    ExternalOutput::Directory(dir) => {
+                        Some(dir.join(format!("{}-s{step:06}.el", job.name)))
                     }
-                });
-                if let Some(e) = push_err {
-                    return Err(e);
+                    ExternalOutput::FinalFile(path) => Some(path.clone()),
+                };
+                emit_sample(chain.as_mut(), out.as_deref(), &degrees, &job.name, step)?;
+                samples_emitted += 1;
+                samples_counter.inc();
+            }
+
+            let due = job
+                .checkpoint_every
+                .is_some_and(|every| every > 0 && step % every == 0 && step < job.supersteps);
+            if due {
+                if let Some(dir) = &job.checkpoint_dir {
+                    let mut ckpt_span = gesmc_obs::trace::child_of_current("checkpoint");
+                    if let Some(span) = ckpt_span.as_mut() {
+                        span.annotate("superstep", step.to_string());
+                        span.annotate("edges", chain.num_edges().to_string());
+                    }
+                    let capture_timer = gesmc_obs::Timer::start(&capture_hist);
+                    let meta = Checkpoint {
+                        job_name: job.name.clone(),
+                        snapshot: chain.snapshot_meta(),
+                        algorithm_spec: Some(algorithm_spec.clone()),
+                        total_supersteps: job.supersteps,
+                        thinning: job.thinning,
+                        samples_emitted,
+                    };
+                    let path = dir.join(format!("{}.ckpt", job.name));
+                    let mut writer =
+                        CheckpointWriter::create(&path, &meta, chain.num_edges() as u64)?;
+                    let mut push_err = None;
+                    chain.stream_edges(&mut |edge| {
+                        if push_err.is_none() {
+                            push_err = writer.push_edge(edge).err();
+                        }
+                    });
+                    if let Some(e) = push_err {
+                        return Err(e);
+                    }
+                    writer.finish()?;
+                    drop(capture_timer);
+                    checkpoints += 1;
                 }
-                writer.finish()?;
-                drop(capture_timer);
-                checkpoints += 1;
             }
         }
+        Ok(())
+    })();
+    if let Some(span) = loop_span.as_mut() {
+        let io = chain.store_io_stats();
+        span.annotate(
+            "chunks_loaded",
+            io.chunks_loaded.saturating_sub(io_before.chunks_loaded).to_string(),
+        );
+        span.annotate(
+            "chunks_written",
+            io.chunks_written.saturating_sub(io_before.chunks_written).to_string(),
+        );
+        if loop_result.is_err() {
+            span.set_error();
+        }
     }
+    drop(loop_span);
+    loop_result?;
 
     chain.flush_store()?;
     let report = JobReport {

@@ -178,55 +178,85 @@ pub fn run_job_hooked(
     control.set_total(spec.supersteps);
     control.record_start(resumed_from);
 
-    for step in resumed_from + 1..=spec.supersteps {
-        if control.is_cancel_requested() {
-            return Err(EngineError::Cancelled { job: spec.name.clone(), superstep: step - 1 });
-        }
-        let stats = gesmc_obs::span!(superstep_hist, { chain.superstep() });
-        requested += stats.requested as u64;
-        legal += stats.legal as u64;
-        control.record(step);
+    // One trace span for the whole superstep loop (when the submitting
+    // request was traced) — per-superstep spans would swamp the bounded
+    // trace buffers on long jobs; the per-superstep histogram keeps the
+    // fine-grained timing.
+    let mut loop_span = gesmc_obs::trace::child_of_current("supersteps");
+    if let Some(span) = loop_span.as_mut() {
+        span.annotate("job", spec.name.clone());
+        span.annotate("chain", chain.name());
+        span.annotate("supersteps", (spec.supersteps.saturating_sub(resumed_from)).to_string());
+    }
+    let loop_result = (|| -> Result<(), EngineError> {
+        for step in resumed_from + 1..=spec.supersteps {
+            if control.is_cancel_requested() {
+                return Err(EngineError::Cancelled { job: spec.name.clone(), superstep: step - 1 });
+            }
+            let stats = gesmc_obs::span!(superstep_hist, { chain.superstep() });
+            requested += stats.requested as u64;
+            legal += stats.legal as u64;
+            control.record(step);
 
-        let emit =
-            if spec.thinning == 0 { step == spec.supersteps } else { step % spec.thinning == 0 };
-        if emit {
-            let sample = chain.graph();
-            if sample.degrees() != degrees {
-                return Err(EngineError::DegreesViolated {
-                    job: spec.name.clone(),
+            let emit = if spec.thinning == 0 {
+                step == spec.supersteps
+            } else {
+                step % spec.thinning == 0
+            };
+            if emit {
+                let sample = chain.graph();
+                if sample.degrees() != degrees {
+                    return Err(EngineError::DegreesViolated {
+                        job: spec.name.clone(),
+                        superstep: step,
+                    });
+                }
+                let ctx = SampleContext {
+                    job: &spec.name,
                     superstep: step,
-                });
+                    sample_index: samples_emitted,
+                };
+                sink.emit(&ctx, &sample)?;
+                samples_emitted += 1;
+                samples_counter.inc();
             }
-            let ctx =
-                SampleContext { job: &spec.name, superstep: step, sample_index: samples_emitted };
-            sink.emit(&ctx, &sample)?;
-            samples_emitted += 1;
-            samples_counter.inc();
-        }
 
-        let due = spec
-            .checkpoint_every
-            .is_some_and(|every| every > 0 && step % every == 0 && step < spec.supersteps);
-        if due && (spec.checkpoint_dir.is_some() || checkpoint_sink.is_some()) {
-            let capture_timer = gesmc_obs::Timer::start(&capture_hist);
-            let checkpoint = Checkpoint::capture(
-                &spec.name,
-                chain.as_ref(),
-                &algorithm_spec,
-                spec.supersteps,
-                spec.thinning,
-                samples_emitted,
-            )?;
-            if let Some(dir) = &spec.checkpoint_dir {
-                checkpoint.write_to_file(dir.join(format!("{}.ckpt", spec.name)))?;
+            let due = spec
+                .checkpoint_every
+                .is_some_and(|every| every > 0 && step % every == 0 && step < spec.supersteps);
+            if due && (spec.checkpoint_dir.is_some() || checkpoint_sink.is_some()) {
+                let mut ckpt_span = gesmc_obs::trace::child_of_current("checkpoint");
+                if let Some(span) = ckpt_span.as_mut() {
+                    span.annotate("superstep", step.to_string());
+                }
+                let capture_timer = gesmc_obs::Timer::start(&capture_hist);
+                let checkpoint = Checkpoint::capture(
+                    &spec.name,
+                    chain.as_ref(),
+                    &algorithm_spec,
+                    spec.supersteps,
+                    spec.thinning,
+                    samples_emitted,
+                )?;
+                if let Some(dir) = &spec.checkpoint_dir {
+                    checkpoint.write_to_file(dir.join(format!("{}.ckpt", spec.name)))?;
+                }
+                if let Some(hook) = checkpoint_sink.as_deref_mut() {
+                    hook.store(&checkpoint)?;
+                }
+                drop(capture_timer);
+                checkpoints += 1;
             }
-            if let Some(hook) = checkpoint_sink.as_deref_mut() {
-                hook.store(&checkpoint)?;
-            }
-            drop(capture_timer);
-            checkpoints += 1;
+        }
+        Ok(())
+    })();
+    if loop_result.is_err() {
+        if let Some(span) = loop_span.as_mut() {
+            span.set_error();
         }
     }
+    drop(loop_span);
+    loop_result?;
 
     let report = JobReport {
         job: spec.name.clone(),
@@ -331,32 +361,39 @@ pub(crate) fn run_claimed(
     job: &mut QueuedJob,
     control: &JobControl,
 ) -> Result<JobReport, EngineError> {
-    let QueuedJob { spec, sink, resume, checkpoints } = job;
+    let QueuedJob { spec, sink, resume, checkpoints, trace } = job;
+    let trace = *trace;
     match spec.threads {
         Some(threads) => {
             let pool = rayon::ThreadPoolBuilder::new()
                 .num_threads(threads)
                 .build()
                 .map_err(|e| EngineError::Graph(format!("cannot build rayon pool: {e}")))?;
+            // install() moves to a pool thread: the trace context must be
+            // installed there, not on the claiming worker.
             pool.install(|| {
-                run_job_hooked(
-                    registry,
-                    spec,
-                    sink.as_mut(),
-                    resume.as_ref(),
-                    control,
-                    checkpoints.as_deref_mut(),
-                )
+                gesmc_obs::trace::with_context_opt(trace, || {
+                    run_job_hooked(
+                        registry,
+                        spec,
+                        sink.as_mut(),
+                        resume.as_ref(),
+                        control,
+                        checkpoints.as_deref_mut(),
+                    )
+                })
             })
         }
-        None => run_job_hooked(
-            registry,
-            spec,
-            sink.as_mut(),
-            resume.as_ref(),
-            control,
-            checkpoints.as_deref_mut(),
-        ),
+        None => gesmc_obs::trace::with_context_opt(trace, || {
+            run_job_hooked(
+                registry,
+                spec,
+                sink.as_mut(),
+                resume.as_ref(),
+                control,
+                checkpoints.as_deref_mut(),
+            )
+        }),
     }
 }
 

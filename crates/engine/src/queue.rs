@@ -18,23 +18,33 @@ pub struct QueuedJob {
     /// Where periodic checkpoints go, in addition to (or instead of) the
     /// spec's `checkpoint_dir` (`None` = directory files only).
     pub checkpoints: Option<Box<dyn CheckpointSink>>,
+    /// Trace context of the submitting request, if it was traced: the worker
+    /// installs it so engine-side spans join the submitter's trace.
+    pub trace: Option<gesmc_obs::SpanContext>,
 }
 
 impl QueuedJob {
     /// A job starting from scratch.
     pub fn new(spec: JobSpec, sink: Box<dyn SampleSink>) -> Self {
-        Self { spec, sink, resume: None, checkpoints: None }
+        Self { spec, sink, resume: None, checkpoints: None, trace: None }
     }
 
     /// A job continuing from `checkpoint`.
     pub fn resuming(spec: JobSpec, sink: Box<dyn SampleSink>, checkpoint: Checkpoint) -> Self {
-        Self { spec, sink, resume: Some(checkpoint), checkpoints: None }
+        Self { spec, sink, resume: Some(checkpoint), checkpoints: None, trace: None }
     }
 
     /// Builder-style attachment of a [`CheckpointSink`] receiving this job's
     /// periodic checkpoints.
     pub fn with_checkpoint_sink(mut self, sink: Box<dyn CheckpointSink>) -> Self {
         self.checkpoints = Some(sink);
+        self
+    }
+
+    /// Builder-style attachment of the submitter's
+    /// [`gesmc_obs::SpanContext`] so engine spans join its trace.
+    pub fn with_trace(mut self, trace: Option<gesmc_obs::SpanContext>) -> Self {
+        self.trace = trace;
         self
     }
 }

@@ -341,6 +341,10 @@ impl StoreSwitching for SeqESExt {
     fn flush_store(&mut self) -> std::io::Result<()> {
         self.store.get_mut().expect("store mutex poisoned").flush()
     }
+
+    fn store_io_stats(&self) -> gesmc_graph::StoreIoStats {
+        self.store.lock().expect("store mutex poisoned").io_stats()
+    }
 }
 
 #[cfg(test)]

@@ -56,6 +56,10 @@ pub struct ExternalEdgeStore {
     cache: HashMap<usize, Chunk>,
     max_chunks: usize,
     clock: u64,
+    /// Chunks read from disk into the cache (trace-span annotation fodder).
+    chunks_loaded: u64,
+    /// Dirty chunks written back to disk (evictions and flushes).
+    chunks_written: u64,
 }
 
 impl std::fmt::Debug for ExternalEdgeStore {
@@ -162,6 +166,8 @@ impl ExternalEdgeStore {
             cache: HashMap::new(),
             max_chunks,
             clock: 0,
+            chunks_loaded: 0,
+            chunks_written: 0,
         })
     }
 
@@ -208,11 +214,13 @@ impl ExternalEdgeStore {
             let c = self.cache.remove(&victim).expect("victim is cached");
             if c.dirty {
                 write_all_at(&self.file, &c.data, Self::chunk_offset(victim))?;
+                self.chunks_written += 1;
             }
         }
         let len = self.chunk_len(chunk);
         let mut data = vec![0u8; len];
         read_exact_at(&self.file, &mut data, Self::chunk_offset(chunk))?;
+        self.chunks_loaded += 1;
         self.cache.insert(chunk, Chunk { data, dirty: false, last_used: self.clock });
         Ok(())
     }
@@ -246,6 +254,7 @@ impl ExternalEdgeStore {
             let c = self.cache.get_mut(&idx).expect("listed as cached");
             write_all_at(&self.file, &c.data, Self::chunk_offset(idx))?;
             c.dirty = false;
+            self.chunks_written += 1;
         }
         Ok(())
     }
@@ -309,6 +318,13 @@ impl EdgeStore for ExternalEdgeStore {
 
     fn flush(&mut self) -> std::io::Result<()> {
         self.flush_dirty()
+    }
+
+    fn io_stats(&self) -> gesmc_graph::StoreIoStats {
+        gesmc_graph::StoreIoStats {
+            chunks_loaded: self.chunks_loaded,
+            chunks_written: self.chunks_written,
+        }
     }
 }
 

@@ -37,4 +37,4 @@ pub use adjacency::{AdjacencyList, Csr};
 pub use degree::DegreeSequence;
 pub use edge::{Edge, Node, PackedEdge};
 pub use edge_list::{EdgeListGraph, GraphError};
-pub use store::EdgeStore;
+pub use store::{EdgeStore, StoreIoStats};

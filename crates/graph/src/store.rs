@@ -16,6 +16,17 @@
 use crate::edge::Edge;
 use crate::edge_list::EdgeListGraph;
 
+/// Cumulative I/O counters of an [`EdgeStore`] backend (zero for in-memory
+/// stores).  Used to annotate trace spans with how much chunk traffic an
+/// out-of-core phase caused.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreIoStats {
+    /// Chunks read from the backing file into the cache.
+    pub chunks_loaded: u64,
+    /// Dirty chunks written back to the backing file.
+    pub chunks_written: u64,
+}
+
 /// A mutable, slot-addressed array of edges plus the node count.
 ///
 /// Implementations must preserve slot semantics exactly: `set_edge(i, e)`
@@ -60,6 +71,11 @@ pub trait EdgeStore: Send {
         let mut edges = Vec::with_capacity(self.num_edges());
         self.for_each_edge(&mut |_, e| edges.push(e));
         EdgeListGraph::from_edges_unchecked(self.num_nodes(), edges)
+    }
+
+    /// Cumulative backend I/O counters (all-zero for in-memory stores).
+    fn io_stats(&self) -> StoreIoStats {
+        StoreIoStats::default()
     }
 }
 

@@ -22,6 +22,16 @@
 //!   (JSON), and `gesmc-bench`'s snapshot dumps can enumerate everything
 //!   recorded anywhere in the process without wiring.
 //!
+//! Two further pieces ride on the same zero-dependency base:
+//!
+//! * **Distributed tracing** ([`mod@trace`]) — 128-bit trace ids, span trees
+//!   with parent links and annotations, an `X-Gesmc-Trace` wire context,
+//!   and a tail-sampled flight recorder (always keep error and slow
+//!   traces; keep the rest by a deterministic hash of the trace id so all
+//!   cluster nodes agree).
+//! * **Self-telemetry** ([`telemetry`]) — best-effort procfs collection of
+//!   peak RSS, open fds, and I/O byte counts for gauge export.
+//!
 //! ```
 //! let requests = gesmc_obs::histogram("doc_request_seconds", "Example latency.");
 //! {
@@ -38,6 +48,8 @@
 pub mod hist;
 pub mod log;
 pub mod registry;
+pub mod telemetry;
+pub mod trace;
 
 pub use hist::{BucketCount, Histogram, HistogramSnapshot, Timer, BUCKETS};
 pub use log::{next_request_id, Level, LogFormat};
@@ -45,3 +57,5 @@ pub use registry::{
     counter, counter_with, histogram, histogram_with, render_json, render_prometheus, snapshot,
     Counter, CounterSnapshot, ObsSnapshot,
 };
+pub use telemetry::{self_telemetry, SelfTelemetry};
+pub use trace::{Span, SpanContext, SpanId, TraceId, TracePolicy, Tracer};

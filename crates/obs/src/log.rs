@@ -218,17 +218,18 @@ pub fn log(level: Level, target: &str, id: Option<&str>, args: fmt::Arguments<'_
     if level < state.filter.min_level(target) {
         return;
     }
-    let line = format_line(state.format, now_rfc3339().as_str(), level, target, id, args);
+    let mut line = format_line(state.format, now_rfc3339().as_str(), level, target, id, args);
+    // One write_all per line, newline included: even if another process
+    // shares the pipe (no lock can help there), a single write under
+    // PIPE_BUF cannot tear mid-line, so JSON lines stay parseable.
+    line.push('\n');
     match &mut state.sink {
         Sink::Stderr => {
-            let mut err = std::io::stderr().lock();
-            let _ = err.write_all(line.as_bytes());
-            let _ = err.write_all(b"\n");
+            let _ = std::io::stderr().lock().write_all(line.as_bytes());
         }
         Sink::Capture(buffer) => {
             let mut buffer = buffer.lock().expect("capture buffer poisoned");
             buffer.extend_from_slice(line.as_bytes());
-            buffer.push(b'\n');
         }
     }
 }
@@ -433,6 +434,90 @@ mod tests {
             "{\"ts\":\"2026-01-01T00:00:00.000Z\",\"level\":\"warn\",\
              \"target\":\"gesmc_serve\",\"msg\":\"a \\\"quoted\\\"\\nline\"}"
         );
+    }
+
+    /// Minimal JSON validator for the capture test: returns the byte length
+    /// consumed by one value starting at `s`, or `None` if malformed.
+    fn json_value_len(s: &[u8]) -> Option<usize> {
+        match *s.first()? {
+            b'{' => {
+                let mut i = 1;
+                loop {
+                    match *s.get(i)? {
+                        b'}' => return Some(i + 1),
+                        b',' if i > 1 => i += 1,
+                        _ => {}
+                    }
+                    i += json_value_len(&s[i..])?; // key
+                    if *s.get(i)? != b':' {
+                        return None;
+                    }
+                    i += 1;
+                    i += json_value_len(&s[i..])?; // value
+                }
+            }
+            b'"' => {
+                let mut i = 1;
+                loop {
+                    match *s.get(i)? {
+                        b'"' => return Some(i + 1),
+                        b'\\' => i += 2,
+                        c if c < 0x20 => return None,
+                        _ => i += 1,
+                    }
+                }
+            }
+            b'0'..=b'9' | b'-' => {
+                let digits = s
+                    .iter()
+                    .take_while(|c| matches!(c, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+                    .count();
+                Some(digits)
+            }
+            b't' => s.starts_with(b"true").then_some(4),
+            b'f' => s.starts_with(b"false").then_some(5),
+            b'n' => s.starts_with(b"null").then_some(4),
+            _ => None,
+        }
+    }
+
+    fn assert_valid_json_line(line: &str) {
+        let bytes = line.as_bytes();
+        let len = json_value_len(bytes).unwrap_or_else(|| panic!("torn JSON line: {line:?}"));
+        assert_eq!(len, bytes.len(), "trailing garbage after JSON object: {line:?}");
+    }
+
+    #[test]
+    fn concurrent_json_lines_never_tear() {
+        let buffer = capture_for_tests();
+        configure(LogFormat::Json, Level::Info);
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        crate::info!(
+                            target: "gesmc_obs::tear_test",
+                            id: format!("t{t}"),
+                            "line {i} with \"quotes\" and a\nnewline"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let bytes = buffer.lock().unwrap().clone();
+        uncapture_for_tests();
+        configure(LogFormat::Text, Level::Info);
+
+        let text = String::from_utf8(bytes).expect("captured lines are UTF-8");
+        let lines: Vec<&str> =
+            text.lines().filter(|l| l.contains("gesmc_obs::tear_test")).collect();
+        assert_eq!(lines.len(), 8 * 50, "every line arrived whole");
+        for line in lines {
+            assert_valid_json_line(line);
+        }
     }
 
     #[test]

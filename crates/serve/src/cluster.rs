@@ -123,6 +123,7 @@ impl ClusterState {
         owner: &str,
         request: &Request,
         request_id: &str,
+        trace: Option<&str>,
     ) -> Option<Response> {
         {
             let mut health = self.health.lock().expect("cluster health mutex poisoned");
@@ -138,7 +139,10 @@ impl ClusterState {
         }
         let path = rebuild_target(request);
         let accept = request.header("accept").unwrap_or("text/plain");
-        let headers = [("Accept", accept), ("X-Gesmc-Forwarded", "1")];
+        let mut headers = vec![("Accept", accept), ("X-Gesmc-Forwarded", "1")];
+        if let Some(trace) = trace {
+            headers.push(("X-Gesmc-Trace", trace));
+        }
         let outcome = gesmc_cluster::request_with_timeouts(
             owner,
             "GET",
@@ -378,14 +382,17 @@ mod tests {
         };
         let policy = HealthPolicy::default();
         for attempt in 0..policy.eject_after {
-            assert!(state.forward(&dead, &request, "req-test").is_none(), "attempt {attempt}");
+            assert!(
+                state.forward(&dead, &request, "req-test", None).is_none(),
+                "attempt {attempt}"
+            );
         }
         let snapshot = state.metrics();
         assert_eq!(snapshot.fallbacks, u64::from(policy.eject_after));
         assert_eq!(snapshot.forwarded, 0);
         assert_eq!(snapshot.peer_health, vec![(dead.clone(), false)]);
         // Ejected now: the next forward is skipped without touching the wire.
-        assert!(state.forward(&dead, &request, "req-test").is_none());
+        assert!(state.forward(&dead, &request, "req-test", None).is_none());
         let json = serde_json::to_string(&state.status_json()).unwrap();
         assert!(json.contains("\"ejected\""), "{json}");
     }

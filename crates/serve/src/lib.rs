@@ -19,6 +19,8 @@
 //! | `GET /v1/cluster` | ring membership, peer health, and forwarding counters |
 //! | `GET /healthz` | liveness |
 //! | `GET /metrics` | Prometheus-style counters |
+//! | `GET /v1/debug/traces?min_ms=N` | index of kept distributed traces (tail-sampled flight recorder) |
+//! | `GET /v1/debug/trace/{id}` | one kept trace's span fragment (joined across nodes by `gesmc trace`) |
 //! | `POST /v1/shutdown` | graceful shutdown (only with [`ServeConfig::allow_shutdown`]) |
 //!
 //! ## Architecture

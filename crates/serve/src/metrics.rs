@@ -270,6 +270,36 @@ impl Metrics {
             );
         }
 
+        // Process self-telemetry from procfs; each gauge is omitted (not
+        // zeroed) on platforms where its /proc source is unavailable.
+        let telemetry = gesmc_obs::self_telemetry();
+        for (name, help, value) in [
+            (
+                "gesmc_process_peak_rss_bytes",
+                "Peak resident set size of this process (VmHWM).",
+                telemetry.peak_rss_bytes,
+            ),
+            (
+                "gesmc_process_open_fds",
+                "File descriptors currently open in this process.",
+                telemetry.open_fds,
+            ),
+            (
+                "gesmc_process_io_read_bytes_total",
+                "Bytes this process fetched from the storage layer.",
+                telemetry.read_bytes,
+            ),
+            (
+                "gesmc_process_io_write_bytes_total",
+                "Bytes this process sent to the storage layer.",
+                telemetry.write_bytes,
+            ),
+        ] {
+            if let Some(value) = value {
+                gauge(&mut out, name, help, value as f64);
+            }
+        }
+
         // The observability registry (latency histograms and event counters
         // from obs-instrumented code paths) renders last so the gauge lines
         // above keep their exact shape for line-anchored scrapers.
@@ -341,6 +371,11 @@ mod tests {
         assert!(text.contains("gesmc_supersteps_total 5"));
         assert!(text.contains("gesmc_cache_capacity 4"));
         assert!(text.contains("# TYPE gesmc_uptime_seconds gauge"));
+        #[cfg(target_os = "linux")]
+        {
+            assert!(text.contains("gesmc_process_peak_rss_bytes"));
+            assert!(text.contains("gesmc_process_open_fds"));
+        }
         assert!(text
             .contains(&format!("gesmc_build_info{{version=\"{}\"}} 1", env!("CARGO_PKG_VERSION"))));
         // The obs registry render is appended after every gauge above.

@@ -43,7 +43,14 @@ fn json_object(entries: Vec<(&str, Value)>) -> Value {
 
 /// Dispatch a parsed request.  `request_id` is the correlation id the
 /// worker minted for this request; handlers that log pass it along.
-pub(crate) fn route(state: &Arc<ServerState>, request: &Request, request_id: &str) -> Response {
+/// `span` is the request's root trace span — handlers hang child spans
+/// (cache probe, forward hop, compute wait) off it.
+pub(crate) fn route(
+    state: &Arc<ServerState>,
+    request: &Request,
+    request_id: &str,
+    span: &mut gesmc_obs::Span<'static>,
+) -> Response {
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method, segments.as_slice()) {
         (Method::Get, ["healthz"]) => Response::text(200, "ok\n"),
@@ -60,13 +67,15 @@ pub(crate) fn route(state: &Arc<ServerState>, request: &Request, request_id: &st
         .with_content_type("text/plain; version=0.0.4; charset=utf-8"),
         (Method::Get, ["v1", "algorithms"]) => algorithms(state.registry),
         (Method::Get, ["v1", "cluster"]) => cluster_status(state),
-        (Method::Get, ["v1", "sample"]) => sample(state, request, request_id),
+        (Method::Get, ["v1", "sample"]) => sample(state, request, request_id, span),
         (Method::Post, ["v1", "jobs"]) => submit_job(state, request, request_id),
         (Method::Get, ["v1", "jobs"]) => list_jobs(state),
         (Method::Get, ["v1", "jobs", id]) => job_status(state, id),
         (Method::Delete, ["v1", "jobs", id]) => cancel_job(state, id),
         (Method::Get, ["v1", "jobs", id, "samples", k]) => job_sample(state, request, id, k),
         (Method::Get, ["v1", "debug", "stats"]) => debug_stats(state),
+        (Method::Get, ["v1", "debug", "traces"]) => debug_traces(request),
+        (Method::Get, ["v1", "debug", "trace", id]) => debug_trace(id),
         (Method::Post, ["v1", "shutdown"]) => shutdown(state),
         (_, path) => {
             let known = matches!(
@@ -80,6 +89,8 @@ pub(crate) fn route(state: &Arc<ServerState>, request: &Request, request_id: &st
                     | ["v1", "jobs", _]
                     | ["v1", "jobs", _, "samples", _]
                     | ["v1", "debug", "stats"]
+                    | ["v1", "debug", "traces"]
+                    | ["v1", "debug", "trace", _]
                     | ["v1", "shutdown"]
             );
             if known {
@@ -193,6 +204,7 @@ fn generate_into_cache(
     source: GraphSource,
     chain: &ChainSpec,
     supersteps: u64,
+    trace: Option<gesmc_obs::SpanContext>,
 ) -> Result<CachedSample, ColdError> {
     let seed = derive_sample_seed(key);
     let spec = JobSpec::new(
@@ -205,11 +217,33 @@ fn generate_into_cache(
     .seed(seed);
     let sink = MemorySink::new();
     let store = sink.store();
-    let handle = state.pool.submit(QueuedJob::new(spec, Box::new(sink))).map_err(|e| match e {
-        SubmitError::Saturated { .. } => ColdError::Saturated,
-        SubmitError::ShuttingDown => ColdError::ShuttingDown,
+    // The "compute" span covers queueing plus the engine run; the queued job
+    // carries its context, so the engine's supersteps/checkpoint spans nest
+    // beneath it in the joined tree.
+    let mut compute_span =
+        trace.map(|ctx| gesmc_obs::trace::tracer().span_from_context(ctx, "compute"));
+    if let Some(span) = &mut compute_span {
+        span.annotate("chain", key.chain_slug.clone());
+        span.annotate("supersteps", supersteps.to_string());
+    }
+    let job_trace = compute_span.as_ref().map(gesmc_obs::Span::context);
+    let queued = QueuedJob::new(spec, Box::new(sink)).with_trace(job_trace);
+    let handle = state.pool.submit(queued).map_err(|e| {
+        if let Some(span) = &mut compute_span {
+            span.set_error();
+        }
+        match e {
+            SubmitError::Saturated { .. } => ColdError::Saturated,
+            SubmitError::ShuttingDown => ColdError::ShuttingDown,
+        }
     })?;
     let waited = gesmc_obs::span!(state.phases.compute, { handle.wait() });
+    if let Some(span) = &mut compute_span {
+        if !matches!(waited, JobState::Done(_)) {
+            span.set_error();
+        }
+    }
+    drop(compute_span);
     match waited {
         JobState::Done(_) => {
             let samples = store.lock().expect("sample store mutex poisoned");
@@ -235,7 +269,12 @@ fn generate_into_cache(
 
 /// `GET /v1/sample?graph=…&algo=…[&supersteps=…][&warm=true]` — the
 /// synchronous one-shot endpoint and warm-cache hot path.
-fn sample(state: &Arc<ServerState>, request: &Request, request_id: &str) -> Response {
+fn sample(
+    state: &Arc<ServerState>,
+    request: &Request,
+    request_id: &str,
+    span: &mut gesmc_obs::Span<'static>,
+) -> Response {
     // Reject unknown query parameters instead of silently dropping them: an
     // unencoded `&` inside an `algo=name?k=v&k=v` spec would otherwise split
     // into a never-read pair and serve a wrong-config sample with no
@@ -312,16 +351,46 @@ fn sample(state: &Arc<ServerState>, request: &Request, request_id: &str) -> Resp
     if let Some(cluster) = &state.cluster {
         if request.header(FORWARDED_HEADER).is_some() {
             cluster.note_received_forward();
+            span.annotate("forwarded_from_peer", "true");
         } else {
             let owner = cluster.owner_of(&key);
             if owner != cluster.advertise() {
-                if let Some(response) = cluster.forward(owner, request, request_id) {
+                // The hop carries the child span's context, so the owner's
+                // request span joins this trace as a grandchild.
+                let mut fwd = span.child("forward");
+                fwd.annotate("owner", owner.to_string());
+                let header = fwd.context().to_header();
+                let relayed = cluster.forward(owner, request, request_id, Some(&header));
+                if relayed.is_none() {
+                    // Failed hop: mark the span so tail sampling keeps the
+                    // trace even when the local fallback answers quickly.
+                    fwd.annotate("fallback", "local");
+                    fwd.set_error();
+                }
+                drop(fwd);
+                if let Some(response) = relayed {
                     return response;
                 }
             }
         }
     }
-    if let Some(cached) = state.cache.get(&key) {
+    let cached = {
+        let mut probe = span.child("cache_probe");
+        let found = state.cache.get(&key).or_else(|| {
+            // LRU miss: a restarted (or evicted) node may still hold this
+            // key spilled on disk — rehydrate lazily and serve it as a hit.
+            state.persist.as_ref().and_then(|persist| {
+                let cached = persist.load_cached(&key);
+                if let Some(cached) = &cached {
+                    state.cache.insert(key.clone(), cached.clone());
+                }
+                cached
+            })
+        });
+        probe.annotate("result", if found.is_some() { "hit" } else { "miss" });
+        found
+    };
+    if let Some(cached) = cached {
         if warm {
             return Response::json(
                 200,
@@ -329,20 +398,6 @@ fn sample(state: &Arc<ServerState>, request: &Request, request_id: &str) -> Resp
             );
         }
         return sample_response(request, &cached, "hit");
-    }
-    // LRU miss: a restarted (or evicted) node may still hold this key
-    // spilled on disk — rehydrate lazily and serve it as a hit.
-    if let Some(persist) = &state.persist {
-        if let Some(cached) = persist.load_cached(&key) {
-            state.cache.insert(key.clone(), cached.clone());
-            if warm {
-                return Response::json(
-                    200,
-                    &json_object(vec![("status", Value::String("warm".to_string()))]),
-                );
-            }
-            return sample_response(request, &cached, "hit");
-        }
     }
 
     if warm {
@@ -353,8 +408,16 @@ fn sample(state: &Arc<ServerState>, request: &Request, request_id: &str) -> Resp
             let key_for_job = key.clone();
             std::thread::spawn(move || {
                 let guard = LeaseGuard::new(&state, &key_for_job, slot);
-                let outcome =
-                    generate_into_cache(&state, &key_for_job, spec.source, &chain, supersteps);
+                // Background warms outlive their request's root span, so
+                // they run untraced (None) rather than orphaning children.
+                let outcome = generate_into_cache(
+                    &state,
+                    &key_for_job,
+                    spec.source,
+                    &chain,
+                    supersteps,
+                    None,
+                );
                 guard.release(outcome);
             });
         }
@@ -369,17 +432,32 @@ fn sample(state: &Arc<ServerState>, request: &Request, request_id: &str) -> Resp
             // The guard publishes a failure to any followers if the compute
             // path unwinds before `release`.
             let guard = LeaseGuard::new(state, &key, slot);
-            let outcome = generate_into_cache(state, &key, spec.source, &chain, supersteps);
+            let outcome = generate_into_cache(
+                state,
+                &key,
+                spec.source,
+                &chain,
+                supersteps,
+                Some(span.context()),
+            );
             guard.release(outcome.clone());
             match outcome {
                 Ok(sample) => sample_response(request, &sample, "miss"),
                 Err(e) => e.into_response(),
             }
         }
-        Lease::Follower(slot) => match slot.wait() {
-            Ok(sample) => sample_response(request, &sample, "coalesced"),
-            Err(e) => e.into_response(),
-        },
+        Lease::Follower(slot) => {
+            let mut wait_span = span.child("coalesced_wait");
+            let outcome = slot.wait();
+            if outcome.is_err() {
+                wait_span.set_error();
+            }
+            drop(wait_span);
+            match outcome {
+                Ok(sample) => sample_response(request, &sample, "coalesced"),
+                Err(e) => e.into_response(),
+            }
+        }
     }
 }
 
@@ -509,6 +587,31 @@ fn debug_stats(state: &ServerState) -> Response {
     let metrics =
         serde_json::from_str(&gesmc_obs::render_json()).expect("obs registry JSON must parse");
     Response::json(200, &json_object(vec![("jobs", Value::Array(jobs)), ("metrics", metrics)]))
+}
+
+/// `GET /v1/debug/traces?min_ms=N` — summaries of the traces this node's
+/// tail sampler kept, newest first, filtered to roots at least `min_ms`
+/// long.
+fn debug_traces(request: &Request) -> Response {
+    let min_ms = match parse_u64_param(request, "min_ms", 0) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    Response::text(200, gesmc_obs::trace::tracer().traces_json(min_ms))
+        .with_content_type("application/json")
+}
+
+/// `GET /v1/debug/trace/{id}` — every span this node holds for one trace.
+/// A cluster viewer fetches this from each node and joins the fragments on
+/// span ids (`gesmc trace` does exactly that).
+fn debug_trace(id_raw: &str) -> Response {
+    let Some(id) = gesmc_obs::TraceId::parse(id_raw) else {
+        return Response::error(400, &format!("trace id {id_raw:?} is not 32 hex digits"));
+    };
+    match gesmc_obs::trace::tracer().trace_json(id) {
+        Some(json) => Response::text(200, &json).with_content_type("application/json"),
+        None => Response::error(404, &format!("no kept trace {id_raw}")),
+    }
 }
 
 /// `POST /v1/jobs` — submit an asynchronous randomization job.

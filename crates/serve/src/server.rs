@@ -270,6 +270,14 @@ impl Server {
             None => None,
         };
 
+        // Trace spans carry a per-process service label so joined
+        // cross-process trees attribute each span to its node.
+        let service = match &cluster {
+            Some(cluster) => cluster.advertise().to_string(),
+            None => addr.to_string(),
+        };
+        gesmc_obs::trace::tracer().set_service(service);
+
         let state = Arc::new(ServerState {
             pool: ServicePool::start(config.engine_workers, config.max_pending),
             cache: SampleCache::new(config.cache_entries),
@@ -465,7 +473,8 @@ fn http_worker(state: &Arc<ServerState>) {
             state.conn_available.notify_all();
             return;
         };
-        state.phases.queue_wait.observe(queued_at.elapsed());
+        let queue_wait = queued_at.elapsed();
+        state.phases.queue_wait.observe(queue_wait);
         let request_id = gesmc_obs::next_request_id();
         let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
         let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
@@ -473,35 +482,67 @@ fn http_worker(state: &Arc<ServerState>) {
         let mut reader = BufReader::new(read_half);
         let read_start = Instant::now();
         let parsed = read_request(&mut reader, state.config.max_body_bytes);
-        state.phases.read.observe(read_start.elapsed());
-        let (response, request_line) = match parsed {
+        let read_elapsed = read_start.elapsed();
+        state.phases.read.observe(read_elapsed);
+        let (response, request_line, span) = match parsed {
             Ok(request) => {
                 state.metrics.count_request();
                 let line = format!("{} {}", request.method.as_str(), request.path);
+                // Every parsed request gets a root span; the tail sampler
+                // decides at the end whether the trace is kept.  An inbound
+                // `X-Gesmc-Trace` joins the sender's trace instead.
+                let tracer = gesmc_obs::trace::tracer();
+                let mut span =
+                    match request.header("x-gesmc-trace").and_then(gesmc_obs::SpanContext::parse) {
+                        Some(ctx) => tracer.continue_trace(ctx, "request"),
+                        None => tracer.start_root("request"),
+                    };
+                span.annotate("method", request.method.as_str());
+                span.annotate("path", request.path.clone());
+                span.annotate("request_id", request_id.clone());
+                // The queue and read phases happened before the header was
+                // known; attach them retroactively.
+                span.record_completed_child("queue_wait", read_elapsed, queue_wait);
+                span.record_completed_child("read", Duration::ZERO, read_elapsed);
                 // A panicking handler must cost one response, not a worker
                 // thread: answer 500 and keep serving.  (LeaseGuard already
                 // unstranded any followers of a panicked leader.)
                 let handle_start = Instant::now();
                 let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    route(state, &request, &request_id)
+                    route(state, &request, &request_id, &mut span)
                 }));
                 state.phases.handle.observe(handle_start.elapsed());
                 let response = match handled {
                     Ok(response) => response,
-                    Err(_) => Response::error(500, "internal error: request handler panicked"),
+                    Err(_) => {
+                        span.set_error();
+                        Response::error(500, "internal error: request handler panicked")
+                    }
                 };
-                (response, line)
+                (response, line, Some(span))
             }
             Err(error) => match error.into_response() {
-                Some(response) => (response, "<unparsed request>".to_string()),
+                Some(response) => (response, "<unparsed request>".to_string(), None),
                 None => continue, // peer went away; nothing to answer
             },
         };
         state.metrics.count_response(response.status);
-        let response = response.with_header("X-Gesmc-Request-Id", request_id.as_str());
+        let mut response = response.with_header("X-Gesmc-Request-Id", request_id.as_str());
+        if let Some(span) = &span {
+            response = response.with_header("X-Gesmc-Trace-Id", span.trace_id().to_hex().as_str());
+        }
         let write_start = Instant::now();
         let _ = response.write_to(&mut stream);
-        state.phases.write.observe(write_start.elapsed());
+        let write_elapsed = write_start.elapsed();
+        state.phases.write.observe(write_elapsed);
+        if let Some(mut span) = span {
+            span.record_completed_child("write", Duration::ZERO, write_elapsed);
+            if response.status >= 500 {
+                span.set_error();
+            }
+            span.annotate("status", response.status.to_string());
+            drop(span); // local root: the tail decision runs here
+        }
         gesmc_obs::info!(
             target: "gesmc_serve::http",
             id: request_id,

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Diff the last two dated trajectory entries of the checked-in bench
+# journals (BENCH_chains.json, BENCH_serve.json) and flag per-benchmark
+# mean_ns regressions beyond a threshold (default 20%, override with
+# BENCH_DIFF_THRESHOLD_PCT).  Exits 1 if any benchmark regressed; CI runs
+# it as an advisory step because bench history is appended from whatever
+# machine the author benched on, so cross-entry deltas carry machine noise.
+#
+# Usage: scripts/bench_diff.sh [FILE...]
+#   With no arguments, diffs both journals in the repo root.  A file with
+#   fewer than two dated entries (or none at all) is reported and skipped.
+set -eu
+
+cd "$(dirname "$0")/.."
+THRESHOLD_PCT=${BENCH_DIFF_THRESHOLD_PCT:-20}
+if [ $# -gt 0 ]; then FILES=("$@"); else FILES=(BENCH_chains.json BENCH_serve.json); fi
+
+FAILED=0
+for file in "${FILES[@]}"; do
+    if [ ! -f "$file" ]; then
+        echo "$file: missing, skipped"
+        continue
+    fi
+    dated=$(jq '[.[] | select(type == "object" and has("date"))] | length' "$file")
+    if [ "$dated" -lt 2 ]; then
+        echo "$file: $dated dated entry/entries, nothing to diff"
+        continue
+    fi
+    jq -r '[.[] | select(type == "object" and has("date"))][-2:]
+           | "== \(input_filename): \(.[0].date) -> \(.[1].date) =="' "$file"
+    rows=$(jq -r --argjson pct "$THRESHOLD_PCT" '
+        [.[] | select(type == "object" and has("date"))][-2:] as $pair
+        | ($pair[0].results | map({key: .name, value: .mean_ns}) | from_entries) as $base
+        | $pair[1].results[]
+        | select($base[.name] != null)
+        | (100 * (.mean_ns - $base[.name]) / $base[.name]) as $delta
+        | [(if $delta > $pct then "REGRESSION" else "ok" end),
+           .name, ($base[.name] | tostring), (.mean_ns | tostring),
+           ((($delta * 10 | round) / 10 | tostring) + "%")]
+        | join("\t")' "$file")
+    printf 'verdict\tname\tprev_mean_ns\tcurr_mean_ns\tdelta\n%s\n' "$rows" \
+        | column -t -s "$(printf '\t')" 2>/dev/null \
+        || printf 'verdict\tname\tprev_mean_ns\tcurr_mean_ns\tdelta\n%s\n' "$rows"
+    # Benchmarks present in only one of the two entries can't be compared;
+    # name them so a silently dropped benchmark doesn't read as "no change".
+    jq -r '[.[] | select(type == "object" and has("date"))][-2:]
+           | (.[0].results | map(.name)) as $prev
+           | (.[1].results | map(.name)) as $curr
+           | ((($curr - $prev) | map("  only in newest: " + .)[]),
+              (($prev - $curr) | map("  only in previous: " + .)[]))' "$file"
+    if printf '%s\n' "$rows" | grep -q '^REGRESSION'; then
+        FAILED=1
+    fi
+done
+
+if [ "$FAILED" -ne 0 ]; then
+    echo "bench_diff: mean_ns regression(s) beyond ${THRESHOLD_PCT}% flagged above" >&2
+    exit 1
+fi
+echo "bench_diff: no mean_ns regression beyond ${THRESHOLD_PCT}%"

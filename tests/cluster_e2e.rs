@@ -16,7 +16,12 @@
 //! * SIGKILL of one node loses **zero requests**: survivor-owned keys keep
 //!   flowing untouched, victim-owned keys fail over to a successor that
 //!   recomputes the identical bytes, and both the client pool and the
-//!   surviving servers eject the dead peer.
+//!   surviving servers eject the dead peer;
+//! * a traced request deliberately sent to the wrong node produces **one**
+//!   trace id whose joined span tree covers both processes: the forwarder
+//!   contributes the `forward` hop, the owner the cache-probe and
+//!   compute/superstep phases, and every parent link resolves inside the
+//!   joined tree.
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -115,7 +120,7 @@ fn spawn_cluster(tag: &str, n: usize) -> Vec<ClusterNode> {
     let deadline = Instant::now() + Duration::from_secs(60);
     for node in &nodes {
         loop {
-            if let Ok((200, _, _)) = try_http(node.addr, "GET", "/healthz", None) {
+            if let Ok((200, _, _)) = try_http(node.addr, "GET", "/healthz", None, &[]) {
                 break;
             }
             assert!(Instant::now() < deadline, "node {} never became healthy", node.endpoint);
@@ -130,12 +135,16 @@ fn try_http(
     method: &str,
     path: &str,
     accept: Option<&str>,
+    extra_headers: &[(&str, &str)],
 ) -> std::io::Result<(u16, HashMap<String, String>, Vec<u8>)> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(60)))?;
     let mut request = format!("{method} {path} HTTP/1.1\r\nHost: e2e\r\n");
     if let Some(accept) = accept {
         request.push_str(&format!("Accept: {accept}\r\n"));
+    }
+    for (name, value) in extra_headers {
+        request.push_str(&format!("{name}: {value}\r\n"));
     }
     request.push_str("\r\n");
     stream.write_all(request.as_bytes())?;
@@ -161,11 +170,11 @@ fn try_http(
 }
 
 fn get(addr: SocketAddr, path: &str) -> (u16, HashMap<String, String>, Vec<u8>) {
-    try_http(addr, "GET", path, None).expect("http exchange")
+    try_http(addr, "GET", path, None, &[]).expect("http exchange")
 }
 
 fn get_binary(addr: SocketAddr, path: &str) -> (u16, HashMap<String, String>, Vec<u8>) {
-    try_http(addr, "GET", path, Some("application/octet-stream")).expect("http exchange")
+    try_http(addr, "GET", path, Some("application/octet-stream"), &[]).expect("http exchange")
 }
 
 fn metric(addr: SocketAddr, name: &str) -> u64 {
@@ -281,6 +290,132 @@ fn misrouted_requests_forward_to_the_owner_and_match_a_single_node_bit_for_bit()
         assert!(!text.contains("ejected"), "no peer may be ejected yet: {text}");
         assert_eq!(metric(node.addr, "gesmc_cluster_peers"), 3);
     }
+
+    for node in nodes {
+        node.kill();
+    }
+}
+
+/// Fetch a kept trace fragment from one node, retrying briefly: a node
+/// commits spans to its flight recorder when the local root drops, which on
+/// the forwarder happens a beat after the response bytes hit the socket.
+fn trace_fragment(addr: SocketAddr, trace_id: &str) -> serde_json::Value {
+    let path = format!("/v1/debug/trace/{trace_id}");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, _, body) = get(addr, &path);
+        if status == 200 {
+            return serde_json::from_str(std::str::from_utf8(&body).expect("trace utf8"))
+                .expect("trace json");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "node {addr} never exposed trace {trace_id} (last status {status})"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn a_misrouted_traced_request_yields_one_span_tree_across_both_processes() {
+    let nodes = spawn_cluster("trace", 3);
+    let endpoints: Vec<String> = nodes.iter().map(|n| n.endpoint.clone()).collect();
+    let ring = HashRing::new(endpoints).expect("ring");
+
+    // A spec nothing has warmed: the owner must actually compute, so the
+    // engine-side phases (queue_wait / compute / supersteps) appear.
+    let spec = SampleSpec::new("pld:m=120,seed=42").supersteps(10);
+    let owner = ring.owner(spec.key().expect("key").ring_hash()).to_string();
+    let wrong = nodes.iter().find(|n| n.endpoint != owner).expect("non-owner");
+    let owner_node = nodes.iter().find(|n| n.endpoint == owner).expect("owner node");
+
+    // Originate the trace ourselves, exactly as the client SDK does: the
+    // sampled flag (…-01) forces every hop to keep its spans.
+    let trace_id = format!(
+        "{:032x}",
+        0xe2e0_0000_0000_0000_0000_0000_0000_0000u128 | u128::from(std::process::id())
+    );
+    let origin_span_id = format!("{:016x}", 0x5eed_0000_0000_0001u64);
+    let header = format!("{trace_id}-{origin_span_id}-01");
+
+    let (status, headers, body) = try_http(
+        wrong.addr,
+        "GET",
+        &sample_path(&spec),
+        Some("application/octet-stream"),
+        &[("X-Gesmc-Trace", &header)],
+    )
+    .expect("misrouted traced fetch");
+    assert_eq!(status, 200);
+    assert!(!body.is_empty());
+    assert!(
+        headers.contains_key("x-gesmc-forwarded-by"),
+        "the misrouted request must be forwarded: {headers:?}"
+    );
+    assert_eq!(
+        headers.get("x-gesmc-trace-id").map(String::as_str),
+        Some(trace_id.as_str()),
+        "the response must echo the originated trace id"
+    );
+
+    // Both processes must have kept their fragment of the SAME trace.  Join
+    // the fragments on span ids: (id, parent, name, service) per span.
+    let fragments =
+        [trace_fragment(wrong.addr, &trace_id), trace_fragment(owner_node.addr, &trace_id)];
+    let mut spans: Vec<(String, Option<String>, String, String)> = Vec::new();
+    for fragment in &fragments {
+        assert_eq!(
+            fragment.get("trace_id").and_then(|id| id.as_str()),
+            Some(trace_id.as_str()),
+            "fragment carries a foreign trace id: {fragment:?}"
+        );
+        for span in fragment.get("spans").and_then(|s| s.as_array()).expect("spans array") {
+            let field = |key: &str| span.get(key).and_then(|v| v.as_str()).map(str::to_string);
+            spans.push((
+                field("span_id").expect("span_id"),
+                field("parent_id"),
+                field("name").expect("name"),
+                field("service").expect("service"),
+            ));
+        }
+    }
+
+    // Each process reported under its own service name, and the phases of
+    // both sides of the hop are visible.
+    let names_of = |service: &str| -> Vec<&str> {
+        spans.iter().filter(|s| s.3 == service).map(|s| s.2.as_str()).collect()
+    };
+    let forwarder_names = names_of(&wrong.endpoint);
+    let owner_names = names_of(&owner);
+    for name in ["request", "forward", "queue_wait"] {
+        assert!(forwarder_names.contains(&name), "forwarder lacks {name:?}: {forwarder_names:?}");
+    }
+    for name in ["request", "cache_probe", "compute", "supersteps", "queue_wait"] {
+        assert!(owner_names.contains(&name), "owner lacks {name:?}: {owner_names:?}");
+    }
+
+    // The joined fragments form ONE tree hanging off the originated span:
+    // every parent link resolves to another joined span, except the
+    // forwarder's root, which points at the span id we minted.
+    let ids: std::collections::HashSet<&str> = spans.iter().map(|s| s.0.as_str()).collect();
+    assert_eq!(ids.len(), spans.len(), "span ids must be unique across processes");
+    let mut roots = 0;
+    for (id, parent, name, service) in &spans {
+        let parent = parent
+            .as_deref()
+            .unwrap_or_else(|| panic!("span {name} ({id}) on {service} lost its parent link"));
+        if parent == origin_span_id {
+            roots += 1;
+            assert_eq!(name, "request");
+            assert_eq!(service, &wrong.endpoint, "only the forwarder continues the origin span");
+        } else {
+            assert!(
+                ids.contains(parent),
+                "span {name} ({id}) on {service} has dangling parent {parent}"
+            );
+        }
+    }
+    assert_eq!(roots, 1, "exactly one span may hang off the originated context");
 
     for node in nodes {
         node.kill();
